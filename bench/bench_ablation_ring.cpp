@@ -1,0 +1,101 @@
+// Ablation: how the slotted ring's design parameters shape the results —
+// slot count (pipelining depth) and the saturation behaviour under
+// simultaneous all-remote traffic (§3.1's observation that the ring holds
+// up until a fully populated ring issues simultaneous remote accesses).
+#include "bench_common.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+
+namespace {
+
+using namespace ksr;         // NOLINT
+using namespace ksr::bench;  // NOLINT
+using machine::Cpu;
+using machine::KsrMachine;
+using machine::MachineConfig;
+
+/// All `nproc` cells stream each other's data simultaneously; returns the
+/// mean per-access latency and mean slot wait.
+struct Load {
+  double per_access = 0;
+  double wait_per_req = 0;
+};
+
+Load all_remote_load(unsigned nproc, unsigned slots, std::size_t kb) {
+  MachineConfig cfg = MachineConfig::ksr1(nproc);
+  cfg.ring_slots_per_subring = slots;
+  KsrMachine m(cfg);
+  const std::size_t ints = kb * 1024 / sizeof(std::uint32_t);
+  const std::size_t stride = mem::kSubPageBytes / sizeof(std::uint32_t);
+  auto data =
+      m.alloc<std::uint32_t>("abl.data", static_cast<std::size_t>(nproc) * ints);
+  auto barrier = sync::make_barrier(m, sync::BarrierKind::kSystem);
+  double per_access = 0;
+  m.run([&](Cpu& cpu) {
+    const std::size_t base = static_cast<std::size_t>(cpu.id()) * ints;
+    for (std::size_t i = 0; i < ints; i += stride) {
+      cpu.write(data, base + i, 1u);
+    }
+    barrier->arrive(cpu);
+    const std::size_t nb =
+        static_cast<std::size_t>((cpu.id() + 1) % nproc) * ints;
+    const double t0 = cpu.seconds();
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < ints; i += stride, ++n) {
+      (void)cpu.read(data, nb + i);
+    }
+    if (cpu.id() == 0) {
+      per_access = (cpu.seconds() - t0) / static_cast<double>(n);
+    }
+  });
+  cache::PerfMonitor total;
+  for (unsigned i = 0; i < nproc; ++i) total.add(m.cell_pmon(i));
+  return {per_access,
+          total.ring_requests
+              ? static_cast<double>(total.inject_wait_ns) /
+                    static_cast<double>(total.ring_requests)
+              : 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  print_header("Ablation: ring slot count and saturation",
+               "design-choice ablation for Section 3.1's network results");
+
+  const std::size_t kb = opt.quick ? 8 : 32;
+
+  std::cout << "\n--- slot count (pipelining depth), 32 procs all-remote ---\n";
+  TextTable t1({"slots/subring", "per-access (us)", "slot wait/req (ns)"});
+  for (unsigned slots : {1u, 2u, 4u, 8u, 12u, 24u}) {
+    const Load l = all_remote_load(32, slots, kb);
+    t1.add_row({std::to_string(slots), TextTable::num(l.per_access * 1e6, 3),
+                TextTable::num(l.wait_per_req, 0)});
+  }
+  if (opt.csv) {
+    t1.print_csv();
+  } else {
+    t1.print();
+    std::cout << "Fewer slots = less pipelining: waits blow up as the 32\n"
+                 "simultaneous requesters fight for slots. The production\n"
+                 "value (12 per sub-ring) keeps the all-remote penalty mild\n"
+                 "— the paper's ~8% rise.\n";
+  }
+
+  std::cout << "\n--- offered load vs processors (12 slots) ---\n";
+  TextTable t2({"procs", "per-access (us)", "slot wait/req (ns)"});
+  for (unsigned p : {2u, 8u, 16u, 24u, 32u}) {
+    const Load l = all_remote_load(p, 12, kb);
+    t2.add_row({std::to_string(p), TextTable::num(l.per_access * 1e6, 3),
+                TextTable::num(l.wait_per_req, 0)});
+  }
+  if (opt.csv) {
+    t2.print_csv();
+  } else {
+    t2.print();
+    std::cout << "The fully populated ring (32 simultaneous requesters) is\n"
+                 "where waits climb — the saturation the paper blames for\n"
+                 "IS's 30->32 serial-fraction step.\n";
+  }
+  return 0;
+}

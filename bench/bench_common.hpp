@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction bench binaries. Each binary
+// regenerates one table or figure of the paper; `--csv` prints
+// machine-readable output, `--quick` shrinks sizes for smoke runs and
+// `--full` approaches paper-like sizes.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ksr/machine/factory.hpp"
+#include "ksr/study/metrics.hpp"
+#include "ksr/study/table.hpp"
+#include "ksr/sync/barrier.hpp"
+
+namespace ksr::bench {
+
+using study::BenchOptions;
+using study::TextTable;
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << ")\n"
+            << "==================================================================\n";
+}
+
+/// Mean barrier episode time on `m` using `kind`, over `episodes` episodes
+/// with small random arrival skew (as the paper measures).
+inline double barrier_episode_seconds(machine::Machine& m,
+                                      sync::BarrierKind kind, int episodes) {
+  auto barrier = sync::make_barrier(m, kind);
+  double total = 0;
+  m.run([&](machine::Cpu& cpu) {
+    // One warm-up episode outside the timed region.
+    barrier->arrive(cpu);
+    const double t0 = cpu.seconds();
+    for (int e = 0; e < episodes; ++e) {
+      cpu.work(cpu.rng().below(500));
+      barrier->arrive(cpu);
+    }
+    const double dt = cpu.seconds() - t0;
+    if (dt > total) total = dt;
+  });
+  return total / episodes;
+}
+
+}  // namespace ksr::bench

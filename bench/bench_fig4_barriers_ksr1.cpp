@@ -1,0 +1,53 @@
+// Reproduces Fig. 4 ("Performance of the barriers on 32-node KSR-1"):
+// mean barrier episode time for the nine algorithms, P = 2..32.
+#include "bench_common.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ksr;         // NOLINT
+  using namespace ksr::bench;  // NOLINT
+
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  const int episodes = opt.quick ? 5 : 20;
+  print_header("Barrier performance on the 32-node KSR-1",
+               "Fig. 4, Section 3.2.2");
+
+  const std::vector<unsigned> procs =
+      opt.quick ? std::vector<unsigned>{4, 16, 32}
+                : std::vector<unsigned>{2, 4, 8, 12, 16, 20, 24, 28, 32};
+
+  std::vector<std::string> headers{"barrier \\ procs"};
+  for (unsigned p : procs) headers.push_back(std::to_string(p));
+  TextTable t(headers);
+
+  double counter32 = 0, tournament_m32 = 0;
+  for (sync::BarrierKind kind : sync::all_barrier_kinds()) {
+    std::vector<std::string> row{std::string(to_string(kind))};
+    for (unsigned p : procs) {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p));
+      const double s = barrier_episode_seconds(m, kind, episodes);
+      if (p == 32 && kind == sync::BarrierKind::kCounter) counter32 = s;
+      if (p == 32 && kind == sync::BarrierKind::kTournamentM) {
+        tournament_m32 = s;
+      }
+      row.push_back(TextTable::num(s * 1e6, 1));  // microseconds
+    }
+    t.add_row(row);
+  }
+
+  if (opt.csv) {
+    t.print_csv();
+  } else {
+    t.print();
+    std::cout << "\n(all entries in microseconds per barrier episode)\n"
+              << "\nPaper expectations (Fig. 4): counter worst and growing"
+                 " steeply;\ntree > dissemination > tournament ~ MCS; the"
+                 " global-wakeup-flag (M)\nvariants much flatter, with"
+                 " tournament(M) best overall.\n";
+    if (counter32 > 0 && tournament_m32 > 0) {
+      std::cout << "Measured at P=32: counter/tournament(M) ratio = "
+                << TextTable::num(counter32 / tournament_m32, 1) << "x\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 5 ("Performance of the barriers on 64-node KSR-2"):
+// the same nine barriers, on the two-level ring (two 32-cell leaf rings
+// joined through ARDs by the level-1 ring), 2x CPU clock.
+#include "bench_common.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ksr;         // NOLINT
+  using namespace ksr::bench;  // NOLINT
+
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  const int episodes = opt.quick ? 5 : 20;
+  print_header("Barrier performance on the 64-node KSR-2 (two-level ring)",
+               "Fig. 5, Sections 3.2.4 and 4");
+
+  const std::vector<unsigned> procs =
+      opt.quick ? std::vector<unsigned>{16, 32, 48, 64}
+                : std::vector<unsigned>{16, 20, 24, 28, 32, 36, 40, 48, 56, 64};
+
+  std::vector<std::string> headers{"barrier \\ procs"};
+  for (unsigned p : procs) headers.push_back(std::to_string(p));
+  TextTable t(headers);
+
+  for (sync::BarrierKind kind : sync::all_barrier_kinds()) {
+    std::vector<std::string> row{std::string(to_string(kind))};
+    for (unsigned p : procs) {
+      machine::KsrMachine m(machine::MachineConfig::ksr2(p));
+      row.push_back(
+          TextTable::num(barrier_episode_seconds(m, kind, episodes) * 1e6, 1));
+    }
+    t.add_row(row);
+  }
+
+  if (opt.csv) {
+    t.print_csv();
+  } else {
+    t.print();
+    std::cout
+        << "\n(all entries in microseconds per barrier episode)\n"
+        << "\nPaper expectations (Fig. 5 / Section 3.2.4): the same trends as"
+           " the\n32-node KSR-1 carry over to the two-level ring, with a"
+           " jump in\nexecution time once the barrier spans more than 32"
+           " processors\n(communication crosses the ARDs);"
+           " tournament(M) remains best,\nclosely followed by system and"
+           " tree(M).\n";
+  }
+  return 0;
+}

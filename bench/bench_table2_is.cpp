@@ -1,0 +1,95 @@
+// Reproduces Table 2 + the IS curve of Fig. 8: Integer Sort time, speedup,
+// efficiency and serial fraction vs processors (including the paper's P=30
+// row), with the pmon-confirmed ring-saturation kink from 30 to 32.
+#include "bench_common.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/nas/is.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ksr;         // NOLINT
+  using namespace ksr::bench;  // NOLINT
+
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  print_header("Integer Sort scalability",
+               "Table 2 and Figs. 8 & 9, Section 3.3.2");
+
+  nas::IsConfig cfg;
+  cfg.log2_keys = opt.quick ? 14 : 17;  // paper: 2^23; scaled with the caches
+  cfg.log2_buckets = opt.quick ? 9 : 11;
+  const unsigned scale = 64;
+
+  const std::vector<unsigned> procs =
+      opt.quick ? std::vector<unsigned>{1, 2, 8}
+                : std::vector<unsigned>{1, 2, 4, 8, 16, 30, 32};
+
+  std::vector<std::pair<unsigned, double>> measured;
+  std::vector<double> inject_wait_per_req;
+  bool all_valid = true;
+  for (unsigned p : procs) {
+    machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+    const nas::IsResult r = run_is(m, cfg);
+    all_valid = all_valid && r.ranks_valid;
+    measured.emplace_back(p, r.seconds);
+    // Mean slot wait per ring transaction: the saturation indicator the
+    // authors read off the hardware monitor.
+    cache::PerfMonitor total;
+    for (unsigned i = 0; i < p; ++i) total.add(m.cell_pmon(i));
+    inject_wait_per_req.push_back(
+        total.ring_requests
+            ? static_cast<double>(total.inject_wait_ns) /
+                  static_cast<double>(total.ring_requests)
+            : 0.0);
+  }
+
+  TextTable t({"Processors", "Time (s)", "Speedup", "Efficiency",
+               "Serial Fraction", "ring wait/req (ns)"});
+  const auto rows = study::scaling_rows(measured);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    t.add_row({std::to_string(row.p), TextTable::num(row.seconds, 5),
+               TextTable::num(row.speedup, 5),
+               row.p == 1 ? "-" : TextTable::num(row.efficiency, 3),
+               row.p == 1 ? "-" : TextTable::num(row.serial_fraction, 6),
+               TextTable::num(inject_wait_per_req[i], 0)});
+  }
+  std::cout << "Number of input keys = 2^" << cfg.log2_keys
+            << ", buckets = 2^" << cfg.log2_buckets
+            << ", machine caches scaled by 1/" << scale
+            << ", ranks valid = " << (all_valid ? "yes" : "NO") << "\n";
+  if (opt.csv) {
+    t.print_csv();
+  } else {
+    t.print();
+    std::cout
+        << "\nPaper expectations (Table 2): near-linear speedup to 8\n"
+           "processors (caching effects dominate), efficiency decaying and\n"
+           "the serial fraction *increasing* with P (phases 4 and 6 of the\n"
+           "algorithm), with a sharper serial-fraction step from 30 to 32 as\n"
+           "simultaneous accesses push the ring toward saturation — visible\n"
+           "here in the per-request slot-wait column.\n";
+  }
+
+  // ---- Prefetch ablation: phase 2 pulls the other processors' local
+  // counts ahead of the all-to-all reduction ("prefetch ... used quite
+  // extensively", §4).
+  std::cout << "\n--- prefetch ablation (phase 2) ---\n";
+  TextTable ft({"Processors", "prefetch (s)", "no prefetch (s)", "gain"});
+  for (unsigned p : opt.quick ? std::vector<unsigned>{8}
+                              : std::vector<unsigned>{8, 16, 32}) {
+    machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
+    const double with_pf = run_is(m1, cfg).seconds;
+    nas::IsConfig c2 = cfg;
+    c2.use_prefetch = false;
+    machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
+    const double without = run_is(m2, c2).seconds;
+    ft.add_row({std::to_string(p), TextTable::num(with_pf, 5),
+                TextTable::num(without, 5),
+                TextTable::num((1.0 - with_pf / without) * 100.0, 2) + "%"});
+  }
+  if (opt.csv) {
+    ft.print_csv();
+  } else {
+    ft.print();
+  }
+  return 0;
+}

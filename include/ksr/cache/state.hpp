@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+// Coherence states of a sub-page in a local cache (paper §2): the ALLCACHE
+// invalidation protocol keeps each 128-byte sub-page in one of four states.
+// Atomic is Exclusive plus a lock bit: a get_subpage request succeeds only if
+// no cache currently holds the sub-page Atomic.
+namespace ksr::cache {
+
+enum class LineState : std::uint8_t {
+  kInvalid,    // placeholder: page frame allocated, data not valid
+  kShared,     // one of possibly many read copies
+  kExclusive,  // only copy, writable
+  kAtomic,     // exclusive + locked by get_subpage
+};
+
+[[nodiscard]] constexpr bool readable(LineState s) noexcept {
+  return s != LineState::kInvalid;
+}
+[[nodiscard]] constexpr bool writable(LineState s) noexcept {
+  return s == LineState::kExclusive || s == LineState::kAtomic;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(LineState s) noexcept {
+  switch (s) {
+    case LineState::kInvalid: return "Invalid";
+    case LineState::kShared: return "Shared";
+    case LineState::kExclusive: return "Exclusive";
+    case LineState::kAtomic: return "Atomic";
+  }
+  return "?";
+}
+
+}  // namespace ksr::cache

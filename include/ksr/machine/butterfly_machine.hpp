@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ksr/machine/machine.hpp"
+#include "ksr/net/butterfly.hpp"
+
+// The BBN-Butterfly-like machine of §3.2.3: processors reach interleaved
+// memory modules through a multistage network with parallel paths, but there
+// are *no coherent caches* — every reference to shared data is a network
+// round trip to the address's home module (references into the local module
+// are cheap). Spinning on one global flag therefore hammers one module
+// (tree saturation), which is why dissemination — whose flags live in each
+// spinner's own module — wins on this machine.
+namespace ksr::machine {
+
+class ButterflyMachine final : public Machine {
+ public:
+  explicit ButterflyMachine(const MachineConfig& cfg);
+  ~ButterflyMachine() override;
+
+  [[nodiscard]] cache::PerfMonitor& cell_pmon(unsigned cell) override {
+    return cells_[cell].pmon;
+  }
+
+  [[nodiscard]] net::Butterfly& network() noexcept { return *net_; }
+
+  /// Home memory module of an address: honoring Placement::kBlocked regions,
+  /// otherwise page-interleaved across modules.
+  [[nodiscard]] unsigned home_of(mem::Sva a) const noexcept;
+
+ protected:
+  std::unique_ptr<Cpu> make_cpu(unsigned cell) override;
+  void register_region(const mem::Region& region, const Placement& p) override;
+
+ private:
+  friend class ButterflyCpu;
+
+  struct Cell {
+    cache::PerfMonitor pmon;
+    sim::Rng prog_rng;
+    explicit Cell(std::uint64_t seed) : prog_rng(seed) {}
+  };
+
+  struct PlacedRegion {
+    mem::Sva base = 0;
+    mem::Sva end = 0;
+    Placement placement;
+  };
+
+  std::unique_ptr<net::Butterfly> net_;
+  std::vector<Cell> cells_;
+  std::vector<PlacedRegion> blocked_regions_;
+  // Home-module lock words for get_subpage emulation (atomic ops are
+  // performed at the memory module on the Butterfly).
+  std::unordered_map<mem::SubPageId, std::uint8_t> locked_;
+};
+
+}  // namespace ksr::machine

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ksr/cache/local_cache.hpp"
+#include "ksr/cache/perf_monitor.hpp"
+#include "ksr/cache/state.hpp"
+#include "ksr/cache/subcache.hpp"
+#include "ksr/machine/machine.hpp"
+
+// Shared core of the cache-coherent machines (KSR ring hierarchy, Symmetry
+// bus): per-cell two-level caches, a machine-wide coherence directory, and
+// the protocol commit logic. What differs between machines — how a
+// transaction physically travels and what it costs — is expressed through
+// two virtual hooks (transport / transaction_overhead_ns).
+//
+// The directory is *functional* bookkeeping (who holds what, in which
+// state); all *timing* flows from the transport model plus the fixed
+// latencies in MachineConfig. State changes commit when the transaction
+// completes, so overlapping transactions interleave realistically.
+namespace ksr::machine {
+
+class CoherentMachine : public Machine {
+ public:
+  explicit CoherentMachine(const MachineConfig& cfg);
+  ~CoherentMachine() override;
+
+  [[nodiscard]] cache::PerfMonitor& cell_pmon(unsigned cell) override {
+    return cells_[cell].pmon;
+  }
+
+  /// Drop all cached state (cold start between experiments).
+  virtual void reset_memory_system();
+
+  /// Directory introspection for tests.
+  struct DirView {
+    std::uint64_t holders = 0;
+    std::uint64_t placeholders = 0;
+    int owner = -1;
+    bool atomic = false;
+  };
+  [[nodiscard]] DirView dir_view(mem::SubPageId sp) const;
+
+  /// Coherence state of `sp` in one cell's local cache (test introspection).
+  [[nodiscard]] cache::LineState cell_line_state(unsigned cell,
+                                                 mem::SubPageId sp) const {
+    return cells_[cell].local.state(sp);
+  }
+
+  /// Leaf-ring index of a cell (always 0 on single-network machines).
+  [[nodiscard]] virtual unsigned leaf_of(unsigned cell) const noexcept {
+    (void)cell;
+    return 0;
+  }
+  [[nodiscard]] virtual unsigned leaf_count() const noexcept { return 1; }
+
+ protected:
+  friend class CoherentCpu;
+
+  struct Cell {
+    cache::SubCache sub;
+    cache::LocalCache local;
+    cache::PerfMonitor pmon;
+    sim::Rng rng;       // replacement decisions
+    sim::Rng prog_rng;  // program-visible randomness (kept separate so that
+                        // workload draws do not perturb replacement)
+    // Sub-pages with an in-flight asynchronous fetch (prefetch), mapping to
+    // fibers blocked waiting for that fetch.
+    std::unordered_map<mem::SubPageId, std::vector<sim::FiberId>> inflight;
+    unsigned inflight_count = 0;
+    Cell(const cache::SubCache::Config& sc, const cache::LocalCache::Config& lc,
+         std::uint64_t seed)
+        : sub(sc), local(lc), rng(seed), prog_rng(~seed) {}
+  };
+
+  struct DirEntry {
+    std::uint64_t holders = 0;       // cells with a readable copy
+    std::uint64_t placeholders = 0;  // cells with an Invalid placeholder
+    std::int16_t owner = -1;         // holder when Exclusive/Atomic
+    bool atomic = false;
+    std::uint8_t resident_leaf = 0;  // last leaf the data lived on (used when
+                                     // every copy has been evicted)
+  };
+
+  enum class Acquire : std::uint8_t { kShared, kExclusive, kAtomic };
+
+  struct CommitResult {
+    bool ok = false;          // false: NACK (sub-page Atomic elsewhere)
+    bool page_alloc = false;  // requester had to allocate a page frame
+  };
+
+  std::unique_ptr<Cpu> make_cpu(unsigned cell) override;
+
+  // ---- Machine-specific hooks ----
+
+  /// Carry one coherence transaction from `cell` toward `target_leaf`;
+  /// `done(total_queue_or_slot_wait)` fires at completion time.
+  virtual void transport(unsigned cell, mem::SubPageId sp, unsigned target_leaf,
+                         std::function<void(sim::Duration)> done) = 0;
+
+  /// Fixed per-transaction protocol overhead charged to the requester on a
+  /// successful commit (beyond the transport time itself).
+  [[nodiscard]] virtual sim::Duration transaction_overhead_ns(
+      Acquire kind, bool crossed_leaf) const = 0;
+
+  // ---- Shared protocol machinery ----
+
+  /// Mask of cell ids attached to `leaf`.
+  [[nodiscard]] std::uint64_t leaf_mask(unsigned leaf) const noexcept;
+
+  /// Leaf holding a responder for `sp` from `cell`'s point of view.
+  [[nodiscard]] unsigned responder_leaf(unsigned cell, const DirEntry& e) const;
+
+  /// Protocol commits (state changes at transaction completion time).
+  CommitResult commit_shared(unsigned cell, mem::SubPageId sp);
+  CommitResult commit_exclusive(unsigned cell, mem::SubPageId sp, bool atomic);
+  void commit_poststore(unsigned cell, mem::SubPageId sp);
+
+  /// Insert/refresh the line in `cell`'s local cache; handles page
+  /// allocation and eviction fix-ups. Returns true if a page was allocated.
+  bool insert_line(unsigned cell, mem::SubPageId sp, cache::LineState st);
+
+  void on_page_evicted(unsigned cell, mem::PageId page);
+  void invalidate_at(unsigned cell, mem::SubPageId sp);
+
+  std::vector<Cell> cells_;
+  std::unordered_map<mem::SubPageId, DirEntry> dir_;
+};
+
+}  // namespace ksr::machine

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "ksr/cache/local_cache.hpp"
+#include "ksr/cache/subcache.hpp"
+#include "ksr/sim/time.hpp"
+
+// Machine configuration and presets.
+//
+// Latency philosophy (paper §2 and §3.2.4): the KSR-2 differs from the KSR-1
+// only in CPU clock (40 vs 20 MHz); ring and memory are identical. We
+// therefore express *processor-coupled* costs in CPU cycles (instruction
+// work, sub-cache hits) and *memory-system* costs in absolute nanoseconds
+// (local-cache access, ring hops, protocol overheads), so a KSR-2 preset is
+// literally "halve the cycle time".
+namespace ksr::machine {
+
+enum class MachineKind : std::uint8_t {
+  kKsr1,       // COMA + slotted ring hierarchy
+  kKsr2,       // same, 2x CPU clock
+  kSymmetry,   // snooping caches on a serializing bus
+  kButterfly,  // multistage network, no coherent caches
+};
+
+[[nodiscard]] constexpr const char* to_string(MachineKind k) noexcept {
+  switch (k) {
+    case MachineKind::kKsr1: return "KSR-1";
+    case MachineKind::kKsr2: return "KSR-2";
+    case MachineKind::kSymmetry: return "Symmetry";
+    case MachineKind::kButterfly: return "Butterfly";
+  }
+  return "?";
+}
+
+struct MachineConfig {
+  MachineKind kind = MachineKind::kKsr1;
+  unsigned nproc = 32;
+
+  // --- Processor ---
+  sim::Duration cycle_ns = 50;        // 20 MHz KSR-1; 25 ns on KSR-2
+  unsigned subcache_hit_cycles = 2;   // published first-level latency
+
+  // --- Local cache (absolute time; published 18 cycles @ 50 ns) ---
+  sim::Duration localcache_read_ns = 900;
+  sim::Duration localcache_write_ns = 1000;  // writes slightly dearer (Fig. 2)
+  sim::Duration block_alloc_ns = 450;   // 2 KB sub-cache block allocation (+~50%)
+  sim::Duration page_alloc_ns = 5200;   // 16 KB local-cache page allocation (+~60%)
+
+  // --- Leaf ring (published remote access ≈ 175 cycles = 8.75 us) ---
+  unsigned cells_per_leaf = 32;
+  unsigned ring_slots_per_subring = 12;
+  sim::Duration ring_hop_ns = 100;       // 32 positions -> 3.2 us circulation
+  sim::Duration ring_fixed_ns = 5400;    // protocol/lookup overhead per transaction
+
+  // --- Level-1 ring (the "sudden jump" beyond one leaf, §3.2.4) ---
+  unsigned ring1_slots_per_subring = 48;  // "rings of higher bandwidth"
+  sim::Duration ring1_hop_ns = 50;
+  sim::Duration ard_crossing_ns = 2500;   // per direction through the ARD pair
+
+  // --- Caches ---
+  cache::SubCache::Config subcache{};
+  cache::LocalCache::Config localcache{};
+
+  // --- Protocol features ---
+  bool read_snarfing = true;
+  bool has_prefetch = true;   // KSR prefetch instruction available
+  bool has_poststore = true;  // KSR poststore instruction available
+  unsigned prefetch_depth = 4;              // outstanding prefetches per cell
+  sim::Duration atomic_backoff_ns = 2000;   // base retry delay after a NACK
+  sim::Duration local_atomic_ns = 300;      // get/release on an Exclusive-held line
+
+  // --- Symmetry / Butterfly substrate parameters (§3.2.3) ---
+  sim::Duration bus_transaction_ns = 1000;
+  sim::Duration bus_overhead_ns = 200;  // requester-side protocol overhead
+  sim::Duration butterfly_link_ns = 300;
+  sim::Duration butterfly_memory_ns = 600;
+  sim::Duration butterfly_local_ns = 600;  // reference into the local module
+
+  // -------- Presets --------
+
+  static MachineConfig ksr1(unsigned nproc = 32) {
+    MachineConfig c;
+    c.kind = MachineKind::kKsr1;
+    c.nproc = nproc;
+    return c;
+  }
+
+  static MachineConfig ksr2(unsigned nproc = 64) {
+    MachineConfig c = ksr1(nproc);
+    c.kind = MachineKind::kKsr2;
+    c.cycle_ns = 25;  // 40 MHz cells; memory system unchanged
+    return c;
+  }
+
+  static MachineConfig symmetry(unsigned nproc = 16) {
+    MachineConfig c;
+    c.kind = MachineKind::kSymmetry;
+    c.nproc = nproc;
+    // The bus is a broadcast medium: a response passing on the bus can be
+    // snooped by every cache holding an invalid copy. This "free broadcast"
+    // is why the naive counter barrier is competitive on the Symmetry.
+    c.read_snarfing = true;
+    c.has_prefetch = false;
+    c.has_poststore = false;
+    c.bus_transaction_ns = 600;   // snoopy cache-to-cache line transfer
+    c.atomic_backoff_ns = 500;    // bus retries are cheap
+    return c;
+  }
+
+  static MachineConfig butterfly(unsigned nproc = 32) {
+    MachineConfig c;
+    c.kind = MachineKind::kButterfly;
+    c.nproc = nproc;
+    c.read_snarfing = false;
+    c.has_prefetch = false;
+    c.has_poststore = false;
+    return c;
+  }
+
+  /// Shrink both cache capacities by `k` (problem sizes are scaled by the
+  /// same factor in the NAS harnesses, preserving working-set/cache ratios —
+  /// the quantity the paper's capacity effects depend on).
+  [[nodiscard]] MachineConfig scaled_by(unsigned k) const {
+    if (k == 0) throw std::invalid_argument("scaled_by(0)");
+    MachineConfig c = *this;
+    c.subcache.capacity_bytes = std::max<std::size_t>(
+        c.subcache.capacity_bytes / k, c.subcache.ways * mem::kBlockBytes);
+    c.localcache.capacity_bytes = std::max<std::size_t>(
+        c.localcache.capacity_bytes / k, c.localcache.ways * mem::kPageBytes);
+    return c;
+  }
+
+  /// Number of leaf rings needed for nproc cells.
+  [[nodiscard]] unsigned leaf_rings() const noexcept {
+    return (nproc + cells_per_leaf - 1) / cells_per_leaf;
+  }
+
+  [[nodiscard]] sim::Duration cycles(std::uint64_t n) const noexcept {
+    return n * cycle_ns;
+  }
+
+  void validate() const {
+    if (nproc == 0) throw std::invalid_argument("MachineConfig: nproc == 0");
+    if (nproc > 64) {
+      throw std::invalid_argument("MachineConfig: at most 64 cells supported");
+    }
+    if (cycle_ns == 0 || ring_hop_ns == 0) {
+      throw std::invalid_argument("MachineConfig: zero clock period");
+    }
+  }
+};
+
+}  // namespace ksr::machine

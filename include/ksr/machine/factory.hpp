@@ -1,0 +1,26 @@
+#pragma once
+
+#include <memory>
+
+#include "ksr/machine/bus_machine.hpp"
+#include "ksr/machine/butterfly_machine.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+
+namespace ksr::machine {
+
+/// Build the machine matching `cfg.kind`.
+[[nodiscard]] inline std::unique_ptr<Machine> make_machine(
+    const MachineConfig& cfg) {
+  switch (cfg.kind) {
+    case MachineKind::kKsr1:
+    case MachineKind::kKsr2:
+      return std::make_unique<KsrMachine>(cfg);
+    case MachineKind::kSymmetry:
+      return std::make_unique<BusMachine>(cfg);
+    case MachineKind::kButterfly:
+      return std::make_unique<ButterflyMachine>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace ksr::machine

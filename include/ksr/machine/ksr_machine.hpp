@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ksr/machine/coherent_machine.hpp"
+#include "ksr/net/ring.hpp"
+
+// The KSR-1/KSR-2 machine: COMA ALLCACHE memory over a hierarchy of slotted
+// rings.
+//
+// Timing comes from the slot-accurate ring model; coherence from the shared
+// CoherentMachine core. Behaviours that fall out of the combination:
+//
+//  * a remote access costs one full ring circulation no matter where the
+//    responder sits (unidirectional ring, paper footnote 3);
+//  * an access crossing to another leaf ring additionally circulates the
+//    level-1 ring and the remote leaf ring through the ARDs (§3.2.4);
+//  * get_subpage is refused (NACK) while any cell holds the sub-page Atomic,
+//    so contended locks retry over the ring — the serialization of Fig. 3;
+//  * read-snarfing refreshes every invalid placeholder when data passes;
+//  * poststore pushes an updated sub-page into placeholders, downgrading the
+//    writer to Shared (the §3.3.3 poststore pitfall falls out of this).
+namespace ksr::machine {
+
+class KsrMachine final : public CoherentMachine {
+ public:
+  explicit KsrMachine(const MachineConfig& cfg);
+  ~KsrMachine() override;
+
+  // --- Topology ---
+  [[nodiscard]] unsigned leaf_of(unsigned cell) const noexcept override {
+    return cell / cfg_.cells_per_leaf;
+  }
+  [[nodiscard]] unsigned leaf_count() const noexcept override {
+    return static_cast<unsigned>(leaf_rings_.size());
+  }
+  [[nodiscard]] unsigned pos_of(unsigned cell) const noexcept {
+    return cell % cfg_.cells_per_leaf;
+  }
+  [[nodiscard]] net::SlottedRing& leaf_ring(unsigned leaf) {
+    return *leaf_rings_[leaf];
+  }
+  [[nodiscard]] net::SlottedRing* level1_ring() noexcept { return ring1_.get(); }
+
+  void attach_tracer(sim::Tracer* tracer) override {
+    Machine::attach_tracer(tracer);
+    for (auto& r : leaf_rings_) r->set_tracer(tracer);
+    if (ring1_) ring1_->set_tracer(tracer);
+  }
+
+ protected:
+  void transport(unsigned cell, mem::SubPageId sp, unsigned target_leaf,
+                 std::function<void(sim::Duration)> done) override;
+  [[nodiscard]] sim::Duration transaction_overhead_ns(
+      Acquire kind, bool crossed_leaf) const override;
+
+ private:
+  std::vector<std::unique_ptr<net::SlottedRing>> leaf_rings_;
+  std::unique_ptr<net::SlottedRing> ring1_;
+};
+
+}  // namespace ksr::machine

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ksr/cache/perf_monitor.hpp"
+#include "ksr/machine/config.hpp"
+#include "ksr/machine/cpu.hpp"
+#include "ksr/mem/heap.hpp"
+#include "ksr/sim/engine.hpp"
+#include "ksr/sim/trace.hpp"
+
+// The whole-machine abstraction.
+//
+// A Machine owns the event engine, the data heap, and the machine-specific
+// memory system (caches + interconnect + coherence). Programs are launched
+// with run(): one fiber per cell, each receiving a Cpu bound to that cell.
+// Machine state (cache contents, coherence state) persists across run()
+// calls on the same instance, so multi-phase experiments can control warmth.
+namespace ksr::machine {
+
+/// Data placement policy. The KSR (COMA) and Symmetry (caches) ignore it —
+/// data migrates to where it is used. The Butterfly has no caches, so the
+/// home memory module of an address matters: kBlocked homes consecutive
+/// chunks of `bytes_per_cell` on consecutive cells (the "allocate my flags
+/// in my own memory" idiom every Butterfly barrier depends on).
+struct Placement {
+  enum class Kind : std::uint8_t { kInterleaved, kBlocked };
+  Kind kind = Kind::kInterleaved;
+  std::size_t bytes_per_cell = 0;  // for kBlocked
+
+  static Placement blocked(std::size_t bytes_per_cell) {
+    return Placement{Kind::kBlocked, bytes_per_cell};
+  }
+};
+
+/// Everything measured during one run() call.
+struct RunResult {
+  double seconds = 0.0;              // completion time of the slowest cell
+  std::vector<double> cell_seconds;  // per-cell completion times
+  cache::PerfMonitor pmon;           // machine-wide counter deltas
+  std::vector<cache::PerfMonitor> cell_pmon;  // per-cell counter deltas
+};
+
+class Machine {
+ public:
+  using Program = std::function<void(Cpu&)>;
+
+  explicit Machine(const MachineConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+  virtual ~Machine() = default;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] unsigned nproc() const noexcept { return cfg_.nproc; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] mem::Heap& heap() noexcept { return heap_; }
+
+  /// Allocate a shared array of `n` elements of T (page-aligned, zeroed).
+  template <typename T>
+  mem::SharedArray<T> alloc(std::string_view name, std::size_t n,
+                            const Placement& p = {}) {
+    const mem::Region& r = heap_.alloc(n * sizeof(T), name);
+    register_region(r, p);
+    return mem::SharedArray<T>(r, n);
+  }
+
+  /// Run `program` on every cell; returns when all cells complete.
+  RunResult run(const Program& program);
+
+  /// Run a distinct program per cell (size must equal nproc()).
+  RunResult run(const std::vector<Program>& programs);
+
+  /// Per-cell perf-monitor access (hardware monitor equivalent).
+  [[nodiscard]] virtual cache::PerfMonitor& cell_pmon(unsigned cell) = 0;
+
+  /// Attach (or detach with nullptr) a structured event tracer. The
+  /// coherence engine and interconnects log to it; hot paths pay only a
+  /// null test when no tracer is attached.
+  virtual void attach_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+ protected:
+  /// Construct the machine-specific Cpu for `cell`.
+  virtual std::unique_ptr<Cpu> make_cpu(unsigned cell) = 0;
+
+  /// Hook for machines that care about placement (Butterfly).
+  virtual void register_region(const mem::Region& region, const Placement& p) {
+    (void)region;
+    (void)p;
+  }
+
+  MachineConfig cfg_;
+  sim::Engine engine_;
+  mem::Heap heap_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace ksr::machine

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// Address geometry of the KSR-1 ALLCACHE memory system.
+//
+// The System Virtual Address (SVA) space is global to the machine; there is
+// no fixed home location for any address (COMA). Four granularities matter:
+//
+//   sub-page  128 B  — unit of coherence and of transfer on the ring
+//   page     16 KB  — unit of allocation in the 32 MB local cache
+//   sub-block  64 B  — unit of transfer between local cache and sub-cache
+//   block      2 KB  — unit of allocation in the 256 KB data sub-cache
+//
+// (KSR1 Principles of Operations, 1992; paper §2.)
+namespace ksr::mem {
+
+/// A byte address in the System Virtual Address space.
+using Sva = std::uint64_t;
+
+inline constexpr std::size_t kSubPageBytes = 128;
+inline constexpr std::size_t kPageBytes = 16 * 1024;
+inline constexpr std::size_t kSubBlockBytes = 64;
+inline constexpr std::size_t kBlockBytes = 2 * 1024;
+
+inline constexpr std::size_t kSubPagesPerPage = kPageBytes / kSubPageBytes;    // 128
+inline constexpr std::size_t kSubBlocksPerBlock = kBlockBytes / kSubBlockBytes;  // 32
+
+/// Identifier types: an Id is the address shifted down by the unit size.
+using SubPageId = std::uint64_t;
+using PageId = std::uint64_t;
+using SubBlockId = std::uint64_t;
+using BlockId = std::uint64_t;
+
+[[nodiscard]] constexpr SubPageId subpage_of(Sva a) noexcept { return a / kSubPageBytes; }
+[[nodiscard]] constexpr PageId page_of(Sva a) noexcept { return a / kPageBytes; }
+[[nodiscard]] constexpr SubBlockId subblock_of(Sva a) noexcept { return a / kSubBlockBytes; }
+[[nodiscard]] constexpr BlockId block_of(Sva a) noexcept { return a / kBlockBytes; }
+
+[[nodiscard]] constexpr PageId page_of_subpage(SubPageId sp) noexcept {
+  return sp / kSubPagesPerPage;
+}
+[[nodiscard]] constexpr Sva subpage_base(SubPageId sp) noexcept {
+  return sp * kSubPageBytes;
+}
+
+/// The ring has two address-interleaved sub-rings; a sub-page travels on the
+/// sub-ring selected by the low bit of its sub-page id (paper §2: "two
+/// address interleaved sub-rings of 12 slots each").
+[[nodiscard]] constexpr unsigned subring_of(SubPageId sp) noexcept {
+  return static_cast<unsigned>(sp & 1u);
+}
+
+}  // namespace ksr::mem

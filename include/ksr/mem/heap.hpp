@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ksr/mem/geometry.hpp"
+
+// The simulated machine's data heap.
+//
+// The timing model (caches, ring) only reasons about addresses; actual data
+// values live here so that programs running on the simulator compute real
+// results (the sort sorts, CG converges). Allocation is bump-pointer and
+// page-aligned: distinct regions never share a sub-page, so there is no
+// accidental false sharing between unrelated data structures — exactly the
+// "aligned on separate cache lines" discipline the paper describes, with
+// intentional false sharing still expressible inside one region.
+namespace ksr::mem {
+
+/// One allocated SVA range with its backing bytes.
+struct Region {
+  Sva base = 0;
+  std::size_t bytes = 0;
+  std::string name;
+  std::unique_ptr<std::byte[]> data;
+};
+
+class Heap {
+ public:
+  /// Start allocating above page 1 so address 0 stays invalid.
+  Heap() = default;
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  /// Allocate `bytes` (rounded up to a whole number of pages), zero-filled.
+  /// Returns a stable reference to the region record.
+  const Region& alloc(std::size_t bytes, std::string_view name) {
+    const std::size_t rounded = ((bytes + kPageBytes - 1) / kPageBytes) * kPageBytes;
+    auto region = std::make_unique<Region>();
+    region->base = next_;
+    region->bytes = rounded;
+    region->name = std::string(name);
+    region->data = std::make_unique<std::byte[]>(rounded);
+    std::memset(region->data.get(), 0, rounded);
+    next_ += rounded;
+    regions_.push_back(std::move(region));
+    return *regions_.back();
+  }
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept { return next_ - kPageBytes; }
+
+  /// Region containing `a`, for diagnostics. Throws if unmapped.
+  [[nodiscard]] const Region& region_of(Sva a) const {
+    for (const auto& r : regions_) {
+      if (a >= r->base && a < r->base + r->bytes) return *r;
+    }
+    throw std::out_of_range("Heap::region_of: unmapped SVA " + std::to_string(a));
+  }
+
+ private:
+  Sva next_ = kPageBytes;
+  std::vector<std::unique_ptr<Region>> regions_;
+};
+
+/// Typed view over a heap region. Trivially copyable handle; elements are
+/// accessed *functionally* here (value/set_value) — all *timing* goes through
+/// the Cpu API, which charges the cache/ring model and then touches values
+/// through this view.
+template <typename T>
+class SharedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SharedArray elements must be trivially copyable");
+
+ public:
+  SharedArray() = default;
+  SharedArray(const Region& region, std::size_t count)
+      : base_(region.base), count_(count), data_(region.data.get()) {
+    if (count * sizeof(T) > region.bytes) {
+      throw std::length_error("SharedArray: region too small");
+    }
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] Sva base() const noexcept { return base_; }
+
+  /// SVA of element i.
+  [[nodiscard]] Sva addr(std::size_t i) const noexcept { return base_ + i * sizeof(T); }
+
+  [[nodiscard]] T value(std::size_t i) const noexcept {
+    T v;
+    std::memcpy(&v, data_ + i * sizeof(T), sizeof(T));
+    return v;
+  }
+
+  void set_value(std::size_t i, T v) noexcept {
+    std::memcpy(data_ + i * sizeof(T), &v, sizeof(T));
+  }
+
+ private:
+  Sva base_ = 0;
+  std::size_t count_ = 0;
+  std::byte* data_ = nullptr;
+};
+
+}  // namespace ksr::mem

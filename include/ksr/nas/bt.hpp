@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS Block Tridiagonal (BT) application — extension.
+//
+// The paper's KSR implementation report (reference [6], "Implementation of
+// EP, SP and BT on the KSR-1") covers BT alongside the kernels the paper
+// analyses; we include it as the natural extension of the SP study. BT has
+// the same ADI structure as SP — three phases of line solves per iteration —
+// but each grid point carries a 5-component state vector and the line
+// systems are *block* tridiagonal: each elimination step applies 5x5 block
+// operations, so BT is far more compute-dense per point than SP
+// (correspondingly less sensitive to memory-system effects — which the
+// scaling results show).
+namespace ksr::nas {
+
+struct BtConfig {
+  unsigned n = 12;          // grid edge (paper-scale BT runs 64^3)
+  unsigned iterations = 2;  // timed iterations
+  bool use_prefetch = false;
+  std::uint64_t work_per_block_op = 150;  // ~5x5 block multiply/solve cycles
+};
+
+struct BtResult {
+  double seconds_per_iteration = 0.0;
+  double total_seconds = 0.0;
+  double checksum = 0.0;  // invariant across processor counts
+};
+
+/// Run BT on the machine; all cells participate.
+BtResult run_bt(machine::Machine& m, const BtConfig& cfg);
+
+}  // namespace ksr::nas

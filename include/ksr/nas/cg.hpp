@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS Conjugate Gradient (CG) kernel (paper §3.3.1, Table 1, Fig. 8).
+//
+// The paper profiles the NAS CG code, finds >90% of time in the sparse
+// matrix-vector product y = Ax, and parallelises exactly that routine. Two
+// sparse formats are implemented:
+//
+//   kColumnMajor — the original column-start / row-index format, whose
+//                  parallelisation-by-columns scatters into y and needs a
+//                  lock per update (the paper rejects it);
+//   kRowMajor    — the row-start / column-index format the authors convert
+//                  to: each processor owns contiguous rows of A and produces
+//                  its slice of y with no synchronization (Fig. 7).
+//
+// Everything else (dot products, vector updates) stays serial on cell 0,
+// exactly as in the paper — this is what makes the measured serial fraction
+// meaningful and produces the 16→32 processor speedup drop.
+namespace ksr::nas {
+
+enum class SparseFormat { kRowMajor, kColumnMajor };
+
+struct CgConfig {
+  std::size_t n = 1400;            // paper: 14000 (machine scaled 1/10..1/64)
+  std::size_t nnz_per_row = 15;    // paper: ~145 avg; scaled with cache size
+  unsigned iterations = 8;         // CG steps in the timed region
+  std::uint64_t seed = 314159;
+  SparseFormat format = SparseFormat::kRowMajor;
+  bool use_poststore = false;      // propagate q-slices as they are produced
+  bool use_prefetch = true;        // pull the p vector before each mat-vec
+  std::uint64_t work_per_nnz = 4;  // multiply-add + loop cycles
+};
+
+struct CgResult {
+  double seconds = 0.0;        // timed region (slowest cell)
+  double final_residual = 0.0; // ||r|| after the CG iterations
+  double initial_residual = 0.0;
+  std::uint64_t nnz = 0;
+};
+
+/// Run CG on the machine; all cells participate (cell 0 runs serial parts).
+CgResult run_cg(machine::Machine& m, const CgConfig& cfg);
+
+/// Host-side reference CG on the same generated system (for verification).
+CgResult cg_reference(const CgConfig& cfg);
+
+/// The generated sparse SPD system, exposed for tests.
+struct SparseSystem {
+  std::size_t n = 0;
+  std::vector<std::size_t> row_start;  // CSR
+  std::vector<std::uint32_t> col_index;
+  std::vector<double> values;
+  std::vector<double> b;
+};
+[[nodiscard]] SparseSystem make_sparse_system(const CgConfig& cfg);
+
+}  // namespace ksr::nas

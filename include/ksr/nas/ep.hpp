@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS Embarrassingly Parallel (EP) kernel (paper §3.3).
+//
+// Generates pairs of uniform pseudorandom numbers with the NAS linear
+// congruential generator (a = 5^13, mod 2^46), applies the Marsaglia polar
+// acceptance test, and tallies the accepted Gaussian deviates into ten
+// annular bins. Parallelisation is by pair index with LCG skip-ahead, so the
+// result is bit-identical for any processor count — which the tests verify.
+// There is essentially no communication: the paper measured linear speedup.
+namespace ksr::nas {
+
+struct EpConfig {
+  unsigned log2_pairs = 14;      // paper/NAS class sizes are 2^28+; scaled
+  std::uint64_t seed = 271828183;
+  std::uint64_t work_per_pair = 180;  // CPU cycles of FP work per pair
+};
+
+struct EpResult {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  std::array<std::uint64_t, 10> annulus_counts{};
+  std::uint64_t accepted = 0;
+  double seconds = 0.0;  // timed region (slowest cell)
+};
+
+/// Run EP on the machine; all cells participate.
+EpResult run_ep(machine::Machine& m, const EpConfig& cfg);
+
+/// Reference: serial host-side computation of the same figures (no timing).
+EpResult ep_reference(const EpConfig& cfg);
+
+}  // namespace ksr::nas

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS 3-D FFT (FT) kernel — extension.
+//
+// With MG this completes the five NAS kernels (the paper implemented EP, CG
+// and IS). FT forward-transforms an N^3 complex array, applies the
+// time-evolution phase factors, and inverse-transforms. The x and y line
+// FFTs run on a z-slab partition; the z-direction FFTs repartition by
+// y-planes — the transpose-style, all-to-all communication that makes FT
+// the classic network stress test: every iteration moves the entire array
+// across the partition boundary, so this kernel drives the ring far harder
+// per flop than CG or SP.
+namespace ksr::nas {
+
+struct FtConfig {
+  unsigned log2_n = 4;      // grid edge 2^log2_n (paper-scale FT is 256^3)
+  unsigned iterations = 1;  // evolve+inverse steps after the forward FFT
+  std::uint64_t work_per_butterfly = 10;  // complex mul/add FP work
+  std::uint64_t seed = 424243;
+};
+
+struct FtResult {
+  double seconds = 0.0;          // timed region (slowest cell)
+  double checksum = 0.0;         // sum |X|^2 after forward FFT (Parseval)
+  double roundtrip_error = 0.0;  // max |ifft(fft(u)) - u| (must be ~0)
+};
+
+/// Run FT on the machine; all cells participate.
+FtResult run_ft(machine::Machine& m, const FtConfig& cfg);
+
+}  // namespace ksr::nas

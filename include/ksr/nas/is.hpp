@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS Integer Sort (IS) kernel (paper §3.3.2, Table 2, Figs. 8 & 9).
+//
+// Bucket-sort ranking: count keys per bucket, prefix-sum the counts, assign
+// each key its rank. The parallel algorithm is exactly the seven phases of
+// the paper's Fig. 9:
+//
+//  1. each processor counts its key chunk into a *replicated* local bucket
+//     array (keyden_t) — no synchronization;
+//  2. each processor accumulates its portion of the global bucket counts
+//     (keyden) from all processors' local counts — the all-to-all that
+//     loads the ring;
+//  3. each processor prefix-sums its portion of keyden;
+//  4. processor P1 serially combines the per-processor partial maxima
+//     (tmp_sum) — the serial section that grows with P;
+//  5. each processor adds tmp_sum[i-1] into its portion;
+//  6. each processor atomically copies keyden into its local keyden_t and
+//     decrements it — one sub-page locked at a time, so access pipelines;
+//  7. each processor ranks its keys from its local keyden_t.
+namespace ksr::nas {
+
+struct IsConfig {
+  unsigned log2_keys = 15;     // paper: 2^23 (machine scaled accordingly)
+  unsigned log2_buckets = 9;   // paper: ~2^19
+  std::uint64_t seed = 1618033;
+  std::uint64_t work_per_key = 6;  // index arithmetic per key visit
+  // The paper's implementation "used [prefetch] quite extensively": pull the
+  // other processors' local counts ahead of phase 2's all-to-all reduction.
+  bool use_prefetch = true;
+};
+
+struct IsResult {
+  double seconds = 0.0;      // timed region (slowest cell)
+  bool ranks_valid = false;  // ranks form a permutation that sorts the keys
+  double serial_phase_seconds = 0.0;  // phase 4 on cell 0
+};
+
+/// Run IS on the machine; all cells participate.
+IsResult run_is(machine::Machine& m, const IsConfig& cfg);
+
+/// The key sequence the kernel sorts (exposed for tests).
+[[nodiscard]] std::vector<std::uint32_t> make_keys(const IsConfig& cfg);
+
+}  // namespace ksr::nas

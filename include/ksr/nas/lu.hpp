@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS LU application — extension.
+//
+// LU (SSOR) completes the trio of NAS applications (SP and BT being the
+// other two). Its parallel structure is unlike anything else in the suite:
+// the lower-triangular sweep updates point (x,y,z) using the *already
+// updated* values at (x−1,y,z), (x,y−1,z) and (x,y,z−1) — a Gauss-Seidel
+// dependence — so processors cannot simply split the grid and meet at
+// barriers. The classic shared-memory parallelisation is a 2-D software
+// pipeline: partition by y-slabs; a processor may process its rows of
+// z-plane k only after its lower neighbour has finished that plane, so
+// computation flows as a diagonal wavefront with one flag hand-off per
+// (processor, plane). The upper-triangular sweep runs the mirrored
+// pipeline. Fine-grain producer/consumer synchronization at this rate is
+// exactly the traffic pattern the paper's barrier study reasons about.
+namespace ksr::nas {
+
+struct LuConfig {
+  unsigned n = 12;          // grid edge (paper-scale LU runs 64^3)
+  unsigned iterations = 2;  // SSOR iterations (one lower+upper pair each)
+  std::uint64_t work_per_point = 60;  // 5x5 block arithmetic per point
+  bool use_poststore = true;          // push pipeline flags to the waiter
+};
+
+struct LuResult {
+  double seconds_per_iteration = 0.0;
+  double total_seconds = 0.0;
+  double checksum = 0.0;  // invariant across processor counts
+};
+
+/// Run LU on the machine; all cells participate.
+LuResult run_lu(machine::Machine& m, const LuConfig& cfg);
+
+}  // namespace ksr::nas

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS Multigrid (MG) kernel — extension.
+//
+// The paper implemented three of the five NAS kernels (EP, CG, IS); MG and
+// FT complete the set. MG approximately solves the discrete Poisson problem
+// with V-cycles: smooth, compute the residual, restrict it to a coarser
+// grid, recurse, prolongate the correction back and smooth again. On a
+// shared-memory machine the natural partition is by z-planes at *every*
+// level; each smoothing/restriction step reads one halo plane from each
+// neighbouring slab. The interesting scalability property is the coarse
+// levels: at 2^3 or 4^3 points there is less work than processors, so the
+// communication/synchronization floor shows up exactly as COMA remote
+// latencies — a good stress of the ring at fine grain.
+namespace ksr::nas {
+
+struct MgConfig {
+  unsigned log2_n = 5;      // grid edge 2^log2_n (paper-scale MG is 256^3)
+  unsigned v_cycles = 2;    // timed V-cycles
+  unsigned smooth_steps = 2;
+  std::uint64_t work_per_point = 8;  // stencil FP work
+  std::uint64_t seed = 7001;
+};
+
+struct MgResult {
+  double seconds = 0.0;           // timed region (slowest cell)
+  double initial_residual = 0.0;  // ||r|| before the V-cycles
+  double final_residual = 0.0;    // ||r|| after (must shrink)
+  double checksum = 0.0;          // invariant across processor counts
+};
+
+/// Run MG on the machine; all cells participate.
+MgResult run_mg(machine::Machine& m, const MgConfig& cfg);
+
+/// Host-side reference with identical arithmetic (for verification).
+MgResult mg_reference(const MgConfig& cfg);
+
+}  // namespace ksr::nas

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ksr/machine/machine.hpp"
+
+// NAS Scalar Pentadiagonal (SP) application (paper §3.3.3, Tables 3 & 4).
+//
+// An ADI-style iterative PDE solver: each iteration performs three phases of
+// line solves (x, y and z sweeps) over an N^3 grid. The x and y sweeps use a
+// z-plane partition; the z sweep repartitions by y-planes, so data changes
+// hands at phase boundaries — "communication between processors occurs at
+// the beginning of each phase" (§3.3.3). The paper's optimization story is
+// reproduced:
+//
+//   kBase    — the five grid arrays are laid out back to back; at the scaled
+//              sizes their bases are congruent modulo the sub-cache way
+//              span, so the five streams of every sweep iteration collide in
+//              the 2-way random-replacement sub-cache and thrash;
+//   kPadded  — each array is offset by one extra 2 KB block ("data padding
+//              and alignment"), staggering the set mapping;
+//   prefetch — at the start of the phases whose partition changed, each
+//              processor prefetches the remote sub-pages it is about to
+//              consume ("prefetching appropriate data");
+//   poststore— each processor broadcasts its phase results; this *hurts*
+//              (Table 4 discussion): the next phase writes the same data, so
+//              the writer pays a ring latency to re-invalidate the copies.
+namespace ksr::nas {
+
+struct SpConfig {
+  unsigned n = 16;         // grid edge (paper: 64)
+  unsigned iterations = 2; // timed iterations (paper runs 400)
+  bool padded_layout = false;
+  bool use_prefetch = false;
+  bool use_poststore = false;
+  std::uint64_t work_per_point = 12;  // FP work per grid point per sweep
+};
+
+struct SpResult {
+  double seconds_per_iteration = 0.0;
+  double total_seconds = 0.0;
+  double checksum = 0.0;  // layout-invariant result digest
+};
+
+/// Run SP on the machine; all cells participate.
+SpResult run_sp(machine::Machine& m, const SpConfig& cfg);
+
+}  // namespace ksr::nas

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "ksr/sim/engine.hpp"
+#include "ksr/sim/time.hpp"
+
+// Single shared split-transaction bus — the Sequent Symmetry model (§3.2.3).
+//
+// Exactly one transaction occupies the bus at a time; requests are served in
+// FCFS order. Snooping and invalidation piggy-back on the occupying
+// transaction at no extra cost. Because the bus serializes *everything*,
+// algorithms that exploit parallel communication paths (dissemination,
+// tournament, MCS) gain nothing here, which is why the naive counter barrier
+// wins on the Symmetry — the qualitative claim this model exists to check.
+namespace ksr::net {
+
+class Bus {
+ public:
+  struct Config {
+    sim::Duration transaction_ns = 1000;  // one coherence transaction + line transfer
+  };
+
+  using Done = std::function<void(sim::Duration queue_wait)>;
+
+  Bus(sim::Engine& engine, const Config& cfg) : engine_(engine), cfg_(cfg) {}
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  /// Queue a transaction; `done(wait)` fires at completion. FCFS is exact:
+  /// the analytic free-at pointer advances in submission order, which equals
+  /// simulated-time order because the engine dispatches events in order.
+  void transact(Done done) {
+    const sim::Time start = std::max(engine_.now(), free_at_);
+    const sim::Duration wait = start - engine_.now();
+    free_at_ = start + cfg_.transaction_ns;
+    ++stats_.transactions;
+    stats_.total_wait_ns += wait;
+    stats_.busy_ns += cfg_.transaction_ns;
+    engine_.at(free_at_, [done = std::move(done), wait] { done(wait); });
+  }
+
+  struct Stats {
+    std::uint64_t transactions = 0;
+    sim::Duration total_wait_ns = 0;
+    sim::Duration busy_ns = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  sim::Engine& engine_;
+  Config cfg_;
+  sim::Time free_at_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ksr::net

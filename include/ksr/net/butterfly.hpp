@@ -1,0 +1,117 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ksr/sim/engine.hpp"
+#include "ksr/sim/time.hpp"
+
+// Multistage interconnection network — the BBN Butterfly model (§3.2.3).
+//
+// P processors reach P memory modules through ceil(log4 P) stages of 4x4
+// switches. Distinct source/destination pairs use mostly disjoint links, so
+// the network offers parallel communication paths; but the machine has *no
+// coherent caches*, so every reference to a shared location is a network
+// round trip to the location's home module. Hot spots (everyone referencing
+// one flag) serialize on the links into the home module — which is why the
+// global-wakeup-flag trick is unusable on this machine and dissemination
+// wins (paper §3.2.3).
+//
+// Contention model: each directed link keeps a free-at calendar; a packet
+// crossing a link at time t departs at max(t, free_at) + link_ns.
+namespace ksr::net {
+
+class Butterfly {
+ public:
+  struct Config {
+    unsigned ports = 64;              // processors == memory modules
+    sim::Duration link_ns = 300;      // per-stage switch + wire time
+    sim::Duration memory_ns = 600;    // home module service time
+  };
+
+  using Done = std::function<void(sim::Duration queue_wait)>;
+
+  Butterfly(sim::Engine& engine, const Config& cfg)
+      : engine_(engine), cfg_(cfg), stages_(stages_for(cfg.ports)) {
+    request_links_.assign(stages_, std::vector<sim::Time>(cfg_.ports, 0));
+    response_links_.assign(stages_, std::vector<sim::Time>(cfg_.ports, 0));
+  }
+
+  Butterfly(const Butterfly&) = delete;
+  Butterfly& operator=(const Butterfly&) = delete;
+
+  /// A memory round trip from processor `src` to the module of `dst`.
+  void transact(unsigned src, unsigned dst, Done done) {
+    src %= cfg_.ports;
+    dst %= cfg_.ports;
+    const sim::Time begin = engine_.now();
+    sim::Time t = begin;
+    // Request path: switch stages toward the home module.
+    for (unsigned s = 0; s < stages_; ++s) {
+      t = cross(request_links_[s], link_of(src, dst, s), t);
+    }
+    t += cfg_.memory_ns;
+    // Response path back (reverse network, mirrored link ids).
+    for (unsigned s = 0; s < stages_; ++s) {
+      t = cross(response_links_[s], link_of(dst, src, s), t);
+    }
+    ++stats_.transactions;
+    const sim::Duration nominal =
+        2 * stages_ * cfg_.link_ns + cfg_.memory_ns;
+    const sim::Duration wait = (t - begin) - std::min(t - begin, nominal);
+    stats_.total_wait_ns += wait;
+    engine_.at(t, [done = std::move(done), wait] { done(wait); });
+  }
+
+  [[nodiscard]] unsigned stages() const noexcept { return stages_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Uncontended round-trip time.
+  [[nodiscard]] sim::Duration base_round_trip() const noexcept {
+    return 2 * stages_ * cfg_.link_ns + cfg_.memory_ns;
+  }
+
+  struct Stats {
+    std::uint64_t transactions = 0;
+    sim::Duration total_wait_ns = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] static unsigned stages_for(unsigned ports) noexcept {
+    unsigned s = 0;
+    unsigned span = 1;
+    while (span < ports) {
+      span *= 4;
+      ++s;
+    }
+    return std::max(s, 1u);
+  }
+
+  /// Omega-style link id after stage `s`: the route address has the top
+  /// 2*(s+1) bits from dst and the rest from src.
+  [[nodiscard]] unsigned link_of(unsigned src, unsigned dst, unsigned s) const noexcept {
+    const unsigned bits = 2 * stages_;
+    const unsigned taken = std::min(2 * (s + 1), bits);
+    const unsigned mask = taken >= bits ? ~0u : ~((1u << (bits - taken)) - 1u);
+    return ((dst & mask) | (src & ~mask)) % cfg_.ports;
+  }
+
+  sim::Time cross(std::vector<sim::Time>& calendar, unsigned link, sim::Time t) {
+    sim::Time& free_at = calendar[link];
+    const sim::Time start = std::max(t, free_at);
+    free_at = start + cfg_.link_ns;
+    return free_at;
+  }
+
+  sim::Engine& engine_;
+  Config cfg_;
+  unsigned stages_;
+  std::vector<std::vector<sim::Time>> request_links_;
+  std::vector<std::vector<sim::Time>> response_links_;
+  Stats stats_;
+};
+
+}  // namespace ksr::net

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ksr/sim/engine.hpp"
+#include "ksr/sim/time.hpp"
+#include "ksr/sim/trace.hpp"
+
+// Slotted, pipelined, unidirectional ring (paper §2).
+//
+// The KSR-1 leaf ring has 24 slots organised as two address-interleaved
+// sub-rings of 12 slots each; slots circulate past the ring interfaces, and a
+// node injects a packet by claiming an *empty slot as it passes*. Because a
+// response must travel the rest of the way around to reach the requester, a
+// transaction occupies its slot for exactly one full circulation regardless
+// of where the responder sits (paper footnote 3: any remote access costs the
+// same as accessing the neighbour). The protocol guarantees round-robin
+// fairness and forward progress; pipelining means many transactions can be
+// in flight at once — the property that makes tournament-style barriers win.
+//
+// Model: time is divided into hop periods. S equally spaced slots circulate
+// over N interface positions. In the rotating frame a slot is a fixed
+// coordinate, so injection at position s at tick T succeeds iff coordinate
+// (s - T) mod N is a slot and it is free; the packet is delivered (and the
+// slot freed) N ticks later, back at the source. Waiting injectors at a
+// position form a FIFO; the head re-tries at each slot-passing tick, which
+// reproduces round-robin fairness and saturation behaviour.
+namespace ksr::net {
+
+class SlottedRing {
+ public:
+  struct Config {
+    unsigned positions = 32;        // ring interface positions (cells + ARDs)
+    unsigned slots_per_subring = 12;
+    unsigned subrings = 2;          // address-interleaved by sub-page id bit
+    sim::Duration hop_ns = 100;     // 2 KSR-1 cycles per hop
+  };
+
+  /// Completion callback: `inject_wait` is the time spent waiting for an
+  /// empty slot (the contention component the paper's Fig. 2 measures as the
+  /// ~8% rise at 32 processors, and the saturation component for IS).
+  using Done = std::function<void(sim::Duration inject_wait)>;
+
+  SlottedRing(sim::Engine& engine, const Config& cfg, std::string name);
+
+  SlottedRing(const SlottedRing&) = delete;
+  SlottedRing& operator=(const SlottedRing&) = delete;
+
+  /// Submit a packet at `src_pos` on `subring`; `done` fires one full
+  /// circulation after the packet wins a slot.
+  void inject(unsigned src_pos, unsigned subring, Done done);
+
+  /// Time for one full circulation (N hops).
+  [[nodiscard]] sim::Duration circulation_ns() const noexcept {
+    return cfg_.positions * cfg_.hop_ns;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    sim::Duration total_inject_wait_ns = 0;
+    std::uint64_t retries = 0;       // failed slot-grab attempts
+    std::uint64_t max_in_flight = 0;
+    std::uint64_t in_flight = 0;
+    [[nodiscard]] double mean_wait_ns() const noexcept {
+      return packets ? static_cast<double>(total_inject_wait_ns) /
+                           static_cast<double>(packets)
+                     : 0.0;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  /// Attach a tracer ("ring" category: inject with its slot wait, deliver).
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+ private:
+  struct Pending {
+    Done done;
+    sim::Time enqueued = 0;
+    bool polling = false;  // a retry event is scheduled for this entry
+  };
+
+  struct SubRing {
+    std::vector<std::int32_t> coord_to_slot;  // N entries; -1 = not a slot
+    std::vector<std::uint8_t> occupied;       // S entries
+    std::vector<std::deque<Pending>> waiting;  // per position FIFO
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(sim::Time t) const noexcept {
+    return (t + cfg_.hop_ns - 1) / cfg_.hop_ns;  // next tick boundary >= t
+  }
+
+  /// Attempt to inject the head of `sr.waiting[pos]` at tick `tick`; on
+  /// failure schedule a retry at the next slot-passing tick.
+  void try_head(unsigned subring, unsigned pos);
+
+  /// Smallest tick > `tick` at which some slot coordinate passes `pos`.
+  [[nodiscard]] std::uint64_t next_passing_tick(const SubRing& sr, unsigned pos,
+                                                std::uint64_t tick) const noexcept;
+
+  sim::Engine& engine_;
+  Config cfg_;
+  std::string name_;
+  std::vector<SubRing> subrings_;
+  Stats stats_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace ksr::net

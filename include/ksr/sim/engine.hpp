@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ksr/sim/time.hpp"
+
+#include <ucontext.h>
+
+// Deterministic discrete-event engine with cooperative fibers.
+//
+// Simulated processors run their programs on ucontext fibers. The engine owns
+// a single event queue ordered by (time, insertion sequence); ties broken by
+// sequence make every run bit-reproducible. Exactly one fiber runs at a time
+// (the whole simulator is single-threaded), so simulated programs need no
+// host-level synchronization.
+//
+// A fiber interacts with simulated time through three verbs:
+//   * wait_until(t) — park until simulated time t (local compute, fixed-cost
+//     cache access, backoff).
+//   * block()       — park indefinitely; some component completes the fiber's
+//     transaction later and calls wake().
+//   * the engine-level at()/in() — schedule an arbitrary callback (used by
+//     the interconnect models for slot ticks and packet delivery).
+namespace ksr::sim {
+
+/// Identifies a fiber spawned on an Engine. Stable for the engine's lifetime.
+using FiberId = std::uint32_t;
+
+class Engine {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time: the timestamp of the event being dispatched.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (>= now()).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after duration `d`.
+  void in(Duration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+
+  /// Create a fiber that starts running at time `start`.
+  FiberId spawn(std::function<void()> body, Time start = 0,
+                std::size_t stack_bytes = kDefaultStackBytes);
+
+  /// Dispatch events until the queue drains. Throws if fibers are still
+  /// blocked when the queue empties (simulated deadlock), or rethrows the
+  /// first exception escaping a fiber body.
+  void run();
+
+  /// --- Fiber-side API (must be called from inside a running fiber). ---
+
+  /// Park the current fiber until simulated time `t`.
+  void wait_until(Time t);
+
+  /// Park the current fiber until some component calls wake() on it.
+  void block();
+
+  /// Wake a blocked fiber at time `t` (>= now()).
+  void wake(FiberId id, Time t);
+
+  /// True when called from inside a fiber body.
+  [[nodiscard]] bool in_fiber() const noexcept { return current_ != nullptr; }
+
+  /// Id of the currently running fiber. Only valid when in_fiber().
+  [[nodiscard]] FiberId current_fiber() const noexcept;
+
+  /// Earliest pending event time, or the sentinel Time maximum when idle.
+  [[nodiscard]] Time next_event_time() const noexcept;
+
+  /// Number of spawned fibers whose bodies have not yet returned.
+  [[nodiscard]] std::size_t live_fibers() const noexcept { return live_fibers_; }
+
+  /// Total events dispatched so far (host-side instrumentation).
+  [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
+ private:
+  struct Fiber {
+    std::function<void()> body;
+    std::unique_ptr<std::byte[]> stack;
+    std::size_t stack_bytes = 0;
+    ucontext_t ctx{};
+    bool started = false;
+    bool done = false;
+    Engine* engine = nullptr;
+    FiberId id = 0;
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void resume(Fiber& f);
+  void switch_to_scheduler();
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::size_t live_fibers_ = 0;
+  Fiber* current_ = nullptr;
+  ucontext_t sched_ctx_{};
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace ksr::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+// Small statistics helpers used by the experiment harnesses.
+namespace ksr::sim {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with quantile queries; used where a distribution shape
+/// matters (e.g. per-episode barrier times).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (xs_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs_) sum += x;
+    return sum / static_cast<double>(xs_.size());
+  }
+
+  /// Quantile in [0,1] with linear interpolation on a sorted copy.
+  [[nodiscard]] double quantile(double q) const {
+    if (xs_.empty()) return 0.0;
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace ksr::sim

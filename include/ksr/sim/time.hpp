@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+// Simulated-time base types.
+//
+// All simulated time is kept in integer nanoseconds. The KSR-1 cell clock is
+// 20 MHz (50 ns/cycle) and the KSR-2 cell clock 40 MHz (25 ns/cycle); the ring
+// runs at the same absolute speed on both machines, so nanoseconds are the
+// common denominator that keeps every latency an exact integer.
+namespace ksr::sim {
+
+/// Absolute simulated time in nanoseconds since the start of the run.
+using Time = std::uint64_t;
+
+/// A duration in nanoseconds.
+using Duration = std::uint64_t;
+
+/// Convert simulated time to seconds for reporting (the unit used by every
+/// figure and table in the paper).
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+/// Convert a duration in microseconds to nanoseconds.
+[[nodiscard]] constexpr Duration usec(std::uint64_t us) noexcept { return us * 1000; }
+
+/// Convert a duration in milliseconds to nanoseconds.
+[[nodiscard]] constexpr Duration msec(std::uint64_t ms) noexcept { return ms * 1'000'000; }
+
+}  // namespace ksr::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+// Scalability metrics used throughout the paper's tables.
+namespace ksr::study {
+
+/// Speedup S(p) = T(1) / T(p).
+[[nodiscard]] constexpr double speedup(double t1, double tp) noexcept {
+  return tp > 0 ? t1 / tp : 0.0;
+}
+
+/// Efficiency E(p) = S(p) / p.
+[[nodiscard]] constexpr double efficiency(double t1, double tp,
+                                          unsigned p) noexcept {
+  return p > 0 ? speedup(t1, tp) / static_cast<double>(p) : 0.0;
+}
+
+/// Karp–Flatt experimentally determined serial fraction [12]:
+///   f = (1/S - 1/p) / (1 - 1/p)
+/// The paper reports this as "Serial Fraction" in Tables 1 and 2; a serial
+/// fraction that *grows* with p exposes overheads the speedup curve hides.
+[[nodiscard]] constexpr double karp_flatt(double s, unsigned p) noexcept {
+  if (p <= 1 || s <= 0) return 0.0;
+  const double inv_p = 1.0 / static_cast<double>(p);
+  return (1.0 / s - inv_p) / (1.0 - inv_p);
+}
+
+/// One row of a paper-style scaling table.
+struct ScalingRow {
+  unsigned p = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+  double serial_fraction = 0.0;
+};
+
+/// Build the derived columns from (p, seconds) measurements. The first
+/// entry's time is the serial baseline.
+[[nodiscard]] inline std::vector<ScalingRow> scaling_rows(
+    const std::vector<std::pair<unsigned, double>>& measured) {
+  std::vector<ScalingRow> rows;
+  if (measured.empty()) return rows;
+  const double t1 = measured.front().second;
+  rows.reserve(measured.size());
+  for (const auto& [p, t] : measured) {
+    ScalingRow r;
+    r.p = p;
+    r.seconds = t;
+    r.speedup = speedup(t1, t);
+    r.efficiency = efficiency(t1, t, p);
+    r.serial_fraction = karp_flatt(r.speedup, p);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+/// Superunitary-speedup test of Helmbold/McDowell [9]: between two points
+/// the incremental speedup exceeds the processor ratio.
+[[nodiscard]] constexpr bool superunitary_step(double s_lo, unsigned p_lo,
+                                               double s_hi,
+                                               unsigned p_hi) noexcept {
+  if (p_lo == 0 || s_lo <= 0) return false;
+  return (s_hi / s_lo) >
+         (static_cast<double>(p_hi) / static_cast<double>(p_lo));
+}
+
+}  // namespace ksr::study

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "ksr/machine/config.hpp"
+
+// Closed-form performance model of the slotted ring, used to cross-validate
+// the simulator (tests compare simulated latencies/waits against these
+// formulas) and to reason about the saturation point the paper observes.
+//
+// Model: S slots per sub-ring circulate over N positions with hop time h.
+// A transaction occupies a slot for one full circulation T = N*h. With R
+// independent requesters each issuing one blocking transaction every
+// (T + overhead + think) seconds, per-sub-ring utilisation is
+//
+//   rho = (in-flight transactions * T) / (S * T) = in-flight / S
+//
+// and the expected injection wait is the empty-slot spacing plus an M/D/1-
+// style queueing term that diverges as rho -> 1.
+namespace ksr::study {
+
+struct RingModel {
+  unsigned positions = 32;
+  unsigned slots_per_subring = 12;
+  double hop_ns = 100.0;
+  double fixed_overhead_ns = 5400.0;
+
+  /// One full circulation.
+  [[nodiscard]] double circulation_ns() const {
+    return positions * hop_ns;
+  }
+
+  /// Uncontended remote-access latency: mean slot-passing wait + one
+  /// circulation + protocol overhead. With S equally spaced slots a slot
+  /// coordinate passes a given position every N/S hops, so the mean wait
+  /// for the next (empty) slot is half that spacing.
+  [[nodiscard]] double uncontended_latency_ns() const {
+    const double spacing_hops =
+        static_cast<double>(positions) / slots_per_subring;
+    return 0.5 * spacing_hops * hop_ns + circulation_ns() +
+           fixed_overhead_ns;
+  }
+
+  /// Peak data bandwidth in bytes/ns (both sub-rings, 128 B per slot per
+  /// circulation) — the paper quotes "1 GByte/sec" for the full ring.
+  [[nodiscard]] double peak_bandwidth_bytes_per_ns() const {
+    return 2.0 * slots_per_subring * 128.0 / circulation_ns();
+  }
+
+  /// Sub-ring utilisation for `requesters` blocking cells with the given
+  /// per-transaction think time (ns) between completions and next issues.
+  [[nodiscard]] double utilization(unsigned requesters, double think_ns) const {
+    const double period = uncontended_latency_ns() + think_ns;
+    const double in_flight_per_subring =
+        0.5 * requesters * circulation_ns() / period;
+    return std::min(1.0, in_flight_per_subring / slots_per_subring);
+  }
+
+  /// Expected injection wait (ns) under utilisation rho: the empty-slot
+  /// spacing inflated by an M/D/1-like factor rho/(2(1-rho)).
+  [[nodiscard]] double expected_wait_ns(double rho) const {
+    const double spacing =
+        static_cast<double>(positions) / slots_per_subring * hop_ns;
+    const double safe = std::min(rho, 0.999);
+    return 0.5 * spacing + circulation_ns() * safe / (2.0 * (1.0 - safe));
+  }
+
+  /// Offered transactions per ns at which the ring saturates (both
+  /// sub-rings): one slot serves one transaction per circulation.
+  [[nodiscard]] double saturation_rate_per_ns() const {
+    return 2.0 * slots_per_subring / circulation_ns();
+  }
+
+  /// Build from a machine config (leaf-ring parameters).
+  static RingModel from_config(const machine::MachineConfig& cfg) {
+    RingModel m;
+    m.positions = cfg.cells_per_leaf + (cfg.leaf_rings() > 1 ? 1 : 0);
+    m.slots_per_subring = cfg.ring_slots_per_subring;
+    m.hop_ns = static_cast<double>(cfg.ring_hop_ns);
+    m.fixed_overhead_ns = static_cast<double>(cfg.ring_fixed_ns);
+    return m;
+  }
+};
+
+}  // namespace ksr::study

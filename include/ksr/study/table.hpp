@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+// Plain-text / CSV table rendering for the bench harnesses. Every bench
+// binary prints the same rows the paper's table or figure reports, plus an
+// optional CSV block for replotting.
+namespace ksr::study {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Format a double with `prec` significant decimals.
+  [[nodiscard]] static std::string num(double v, int prec = 5) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+  [[nodiscard]] static std::string sci(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&] {
+      os << '+';
+      for (auto w : width) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string{};
+        os << ' ' << s << std::string(width[c] - s.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& row : rows_) emit(row);
+    line();
+  }
+
+  void print_csv(std::ostream& os = std::cout) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) os << ',';
+        os << cells[c];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shared bench-binary CLI: `--csv` switches the output format and
+/// `--quick`/`--full` pick a scale.
+struct BenchOptions {
+  bool csv = false;
+  bool quick = false;  // reduced sizes for smoke runs
+  bool full = false;   // paper-like sizes (slow)
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--csv") o.csv = true;
+      if (a == "--quick") o.quick = true;
+      if (a == "--full") o.full = true;
+    }
+    return o;
+  }
+};
+
+}  // namespace ksr::study

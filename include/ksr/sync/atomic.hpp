@@ -1,0 +1,40 @@
+#pragma once
+
+#include "ksr/machine/cpu.hpp"
+#include "ksr/mem/heap.hpp"
+#include "ksr/sync/padded.hpp"
+
+// Atomic read-modify-write built from the KSR primitive, exactly as the
+// paper does: "Both these algorithms assume an atomic fetch_and_<op>
+// instruction, which is implemented using the get_subpage primitive"
+// (§3.2.2).
+namespace ksr::sync {
+
+/// Atomically add `delta` to element `i`; returns the *previous* value.
+template <typename T>
+T fetch_add(machine::Cpu& cpu, mem::SharedArray<T>& a, std::size_t i, T delta) {
+  cpu.get_subpage(a.addr(i));
+  const T old = cpu.read(a, i);
+  cpu.write(a, i, static_cast<T>(old + delta));
+  cpu.release_subpage(a.addr(i));
+  return old;
+}
+
+template <typename T>
+T fetch_add(machine::Cpu& cpu, Padded<T>& a, std::size_t i, T delta) {
+  cpu.get_subpage(a.addr(i));
+  const T old = a.read(cpu, i);
+  a.write(cpu, i, static_cast<T>(old + delta));
+  cpu.release_subpage(a.addr(i));
+  return old;
+}
+
+/// Spin until `cond()` holds; `cond` should read shared state through the
+/// Cpu so the polls are simulated. A couple of cycles of loop overhead are
+/// charged per poll.
+template <typename Cond>
+void spin_until(machine::Cpu& cpu, Cond cond) {
+  while (!cond()) cpu.work(2);
+}
+
+}  // namespace ksr::sync

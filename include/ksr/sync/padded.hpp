@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "ksr/machine/machine.hpp"
+
+// Sub-page-padded shared arrays.
+//
+// The paper aligns "mutually exclusive parts of shared data structures on
+// separate cache lines so that there is no false sharing" (§3.2.2). Padded<T>
+// provides exactly that: logical element i lives at the start of its own
+// 128-byte sub-page. MCS's intentionally packed flag word is the one place
+// that bypasses this helper on purpose.
+namespace ksr::sync {
+
+template <typename T>
+class Padded {
+ public:
+  Padded() = default;
+
+  /// `per_cell` elements belong to each cell (affects only the Butterfly,
+  /// which homes each cell's elements in its own memory module).
+  Padded(machine::Machine& m, std::string_view name, std::size_t count,
+         std::size_t per_cell = 1)
+      : stride_(mem::kSubPageBytes / sizeof(T)),
+        arr_(m.alloc<T>(name, count * stride_,
+                        machine::Placement::blocked(per_cell *
+                                                    mem::kSubPageBytes))) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return arr_.size() / stride_;
+  }
+  [[nodiscard]] mem::Sva addr(std::size_t i) const noexcept {
+    return arr_.addr(i * stride_);
+  }
+
+  [[nodiscard]] T read(machine::Cpu& cpu, std::size_t i) const {
+    return cpu.read(arr_, i * stride_);
+  }
+  void write(machine::Cpu& cpu, std::size_t i, std::type_identity_t<T> v) {
+    cpu.write(arr_, i * stride_, v);
+  }
+  /// Write followed by poststore when `post` (used for wake-up flags).
+  void write_post(machine::Cpu& cpu, std::size_t i, std::type_identity_t<T> v,
+                  bool post) {
+    cpu.write(arr_, i * stride_, v);
+    if (post) cpu.post_store(arr_.addr(i * stride_));
+  }
+
+  [[nodiscard]] T value(std::size_t i) const noexcept {
+    return arr_.value(i * stride_);
+  }
+  void set_value(std::size_t i, T v) noexcept { arr_.set_value(i * stride_, v); }
+
+ private:
+  std::size_t stride_ = 1;
+  mem::SharedArray<T> arr_;
+};
+
+}  // namespace ksr::sync

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ksr/machine/machine.hpp"
+#include "ksr/sync/padded.hpp"
+
+// The classic spin-lock alternatives of Anderson [1] and
+// Mellor-Crummey/Scott [13], ported to the simulated machines.
+//
+// The paper builds its read-write lock from Anderson's ticket lock and cites
+// both studies; this header provides the full family so the trade-offs those
+// papers measured can be replayed on the KSR's ring, the Symmetry's bus and
+// the Butterfly:
+//
+//   test&set            — one hot sub-page, hardware Atomic state per try;
+//   test&set w/ backoff — same, with bounded exponential backoff;
+//   ticket              — FCFS; spins on a hot "now serving" counter
+//                         (read-snarfing makes the refresh cheap on KSR);
+//   Anderson array      — FCFS; each waiter spins on its OWN slot
+//                         (one sub-page per slot: no hot spot);
+//   MCS queue           — FCFS; waiters form a linked queue, each spinning
+//                         on a flag in its own sub-page; O(1) traffic per
+//                         hand-off even without coherent broadcast.
+namespace ksr::sync {
+
+enum class SpinLockKind {
+  kTestAndSet,
+  kTestAndSetBackoff,
+  kTicket,
+  kAnderson,
+  kMcsQueue,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SpinLockKind k) noexcept {
+  switch (k) {
+    case SpinLockKind::kTestAndSet: return "test&set";
+    case SpinLockKind::kTestAndSetBackoff: return "test&set+backoff";
+    case SpinLockKind::kTicket: return "ticket";
+    case SpinLockKind::kAnderson: return "anderson";
+    case SpinLockKind::kMcsQueue: return "mcs-queue";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::vector<SpinLockKind> all_spinlock_kinds();
+
+class SpinLock {
+ public:
+  virtual ~SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  virtual void acquire(machine::Cpu& cpu) = 0;
+  virtual void release(machine::Cpu& cpu) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+ protected:
+  SpinLock() = default;
+};
+
+/// Build a spin lock of `kind` sized for all cells of `m`.
+[[nodiscard]] std::unique_ptr<SpinLock> make_spinlock(machine::Machine& m,
+                                                      SpinLockKind kind);
+
+}  // namespace ksr::sync

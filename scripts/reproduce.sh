@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, and regenerate every
+# paper table/figure, capturing outputs at the repository root.
+#
+#   scripts/reproduce.sh [--quick|--full]
+#
+# The flag is forwarded to every bench binary (see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLAG="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $b $FLAG =====" | tee -a bench_output.txt
+  "$b" $FLAG 2>&1 | tee -a bench_output.txt
+done
+
+echo "Done: test_output.txt, bench_output.txt"

@@ -1,0 +1,572 @@
+#include "ksr/machine/coherent_machine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ksr::machine {
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t bit(unsigned cell) noexcept {
+  return 1ull << cell;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CoherentCpu: the per-cell timing front end shared by KSR and Symmetry.
+// ---------------------------------------------------------------------------
+
+class CoherentCpu final : public Cpu {
+ public:
+  CoherentCpu(CoherentMachine& m, unsigned cell)
+      : Cpu(m, cell, m.cells_[cell].pmon, m.cells_[cell].prog_rng), cm_(m) {}
+
+ protected:
+  void access(mem::Sva a, std::size_t bytes, Op op) override {
+    const mem::Sva end = a + (bytes == 0 ? 1 : bytes);
+    mem::Sva p = a;
+    while (p < end) {
+      access_one(p, op);
+      p = (p / mem::kSubBlockBytes + 1) * mem::kSubBlockBytes;
+    }
+  }
+
+  void do_get_subpage(mem::Sva a) override;
+  void do_release_subpage(mem::Sva a) override;
+  void do_prefetch(mem::Sva a, bool exclusive) override;
+  void do_post_store(mem::Sva a) override;
+
+ private:
+  using Acquire = CoherentMachine::Acquire;
+
+  [[nodiscard]] CoherentMachine::Cell& cell() noexcept {
+    return cm_.cells_[id_];
+  }
+  [[nodiscard]] const MachineConfig& cfg() const noexcept {
+    return machine_.config();
+  }
+
+  void access_one(mem::Sva a, Op op);
+  void load_line(mem::SubPageId sp, bool need_write);
+  void remote_acquire(mem::SubPageId sp, Acquire kind);
+  sim::Duration transport_round_trip(mem::SubPageId sp, unsigned target_leaf);
+  void fill_subcache(mem::Sva a);
+
+  CoherentMachine& cm_;
+};
+
+void CoherentCpu::fill_subcache(mem::Sva a) {
+  auto& c = cell();
+  const auto acc = c.sub.access(a, c.rng);
+  if (acc.block_allocated) {
+    ++c.pmon.subcache_block_allocs;
+    tick_ns(cfg().block_alloc_ns);
+  }
+}
+
+void CoherentCpu::access_one(mem::Sva a, Op op) {
+  lazy_sync();
+  auto& c = cell();
+  const mem::SubPageId sp = mem::subpage_of(a);
+
+  if (op == Op::kRead) {
+    if (c.sub.contains(a)) {
+      ++c.pmon.subcache_hits;
+      tick_cycles(cfg().subcache_hit_cycles);
+      return;
+    }
+    ++c.pmon.subcache_misses;
+    load_line(sp, /*need_write=*/false);
+    fill_subcache(a);
+    return;
+  }
+
+  // Write: exclusivity is required at the local-cache level even when the
+  // data bytes sit in the sub-cache.
+  const bool writable_here = cache::writable(c.local.state(sp));
+  if (writable_here && c.sub.contains(a)) {
+    ++c.pmon.subcache_hits;
+    tick_cycles(cfg().subcache_hit_cycles);
+    return;
+  }
+  ++c.pmon.subcache_misses;
+  load_line(sp, /*need_write=*/true);
+  fill_subcache(a);
+}
+
+void CoherentCpu::load_line(mem::SubPageId sp, bool need_write) {
+  auto& c = cell();
+  for (;;) {
+    const cache::LineState st = c.local.state(sp);
+    const bool sufficient =
+        need_write ? cache::writable(st) : cache::readable(st);
+    if (sufficient) {
+      ++c.pmon.localcache_hits;
+      tick_ns(need_write ? cfg().localcache_write_ns
+                         : cfg().localcache_read_ns);
+      return;
+    }
+
+    // An asynchronous fetch for this sub-page may already be in flight
+    // (prefetch): wait for it and re-check. hard_sync() can yield — the
+    // fetch may complete (erasing its entry) during the wait, so the map
+    // entry must be re-resolved afterwards.
+    if (c.inflight.contains(sp)) {
+      hard_sync();
+      const auto it = c.inflight.find(sp);
+      if (it == c.inflight.end()) continue;  // landed while we synced
+      it->second.push_back(fiber_);
+      block_until_woken();
+      continue;
+    }
+
+    ++c.pmon.localcache_misses;
+    if (!cm_.dir_.contains(sp)) {
+      // First touch machine-wide: the sub-page materialises in this cell's
+      // cache with no network traffic (COMA first-touch ownership).
+      auto& e = cm_.dir_[sp];
+      e.holders = bit(id_);
+      e.owner = static_cast<std::int16_t>(id_);
+      e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
+      if (cm_.insert_line(id_, sp, cache::LineState::kExclusive)) {
+        tick_ns(cfg().page_alloc_ns);
+      }
+      tick_ns(need_write ? cfg().localcache_write_ns
+                         : cfg().localcache_read_ns);
+      return;
+    }
+    remote_acquire(sp, need_write ? Acquire::kExclusive : Acquire::kShared);
+    return;
+  }
+}
+
+sim::Duration CoherentCpu::transport_round_trip(mem::SubPageId sp,
+                                                unsigned target_leaf) {
+  sim::Duration wait = 0;
+  cm_.transport(id_, sp, target_leaf, [this, &wait](sim::Duration w) {
+    wait = w;
+    wake_at(machine_.engine().now());
+  });
+  block_until_woken();
+  return wait;
+}
+
+void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
+  auto& c = cell();
+  constexpr unsigned kMaxRetries = 1'000'000;
+  unsigned consecutive_nacks = 0;
+  for (unsigned attempt = 0;; ++attempt) {
+    if (attempt > kMaxRetries) {
+      throw std::runtime_error(
+          "remote_acquire: 1e6 NACK retries on sub-page " + std::to_string(sp) +
+          " — atomic line never released (simulated livelock)");
+    }
+    hard_sync();
+    const sim::Time t0 = local_now_;
+
+    unsigned target_leaf = 0;
+    {
+      const auto it = cm_.dir_.find(sp);
+      const CoherentMachine::DirEntry snapshot =
+          it != cm_.dir_.end() ? it->second : CoherentMachine::DirEntry{};
+      target_leaf = cm_.responder_leaf(id_, snapshot);
+    }
+    const bool crossed = target_leaf != cm_.leaf_of(id_);
+
+    const sim::Duration wait = transport_round_trip(sp, target_leaf);
+    ++c.pmon.ring_requests;
+    c.pmon.inject_wait_ns += wait;
+
+    CoherentMachine::CommitResult res{};
+    switch (kind) {
+      case Acquire::kShared:
+        res = cm_.commit_shared(id_, sp);
+        break;
+      case Acquire::kExclusive:
+        res = cm_.commit_exclusive(id_, sp, /*atomic=*/false);
+        break;
+      case Acquire::kAtomic:
+        res = cm_.commit_exclusive(id_, sp, /*atomic=*/true);
+        break;
+    }
+
+    if (res.ok) {
+      tick_ns(cm_.transaction_overhead_ns(kind, crossed));
+      if (res.page_alloc) tick_ns(cfg().page_alloc_ns);
+      c.pmon.ring_time_ns += local_now_ - t0;
+      return;
+    }
+
+    // NACK: the sub-page is held Atomic somewhere. Back off (bounded
+    // exponential, randomized) and retry.
+    ++c.pmon.ring_nacks;
+    ++c.pmon.atomic_retries;
+    c.pmon.ring_time_ns += local_now_ - t0;
+    consecutive_nacks = std::min(consecutive_nacks + 1, 6u);
+    const sim::Duration base = cfg().atomic_backoff_ns
+                               << (consecutive_nacks - 1);
+    tick_ns(base + cell().rng.below(base));
+  }
+}
+
+void CoherentCpu::do_get_subpage(mem::Sva a) {
+  lazy_sync();
+  auto& c = cell();
+  const mem::SubPageId sp = mem::subpage_of(a);
+
+  if (auto it = cm_.dir_.find(sp); it != cm_.dir_.end()) {
+    auto& e = it->second;
+    if (e.owner == static_cast<std::int16_t>(id_) &&
+        cache::writable(c.local.state(sp))) {
+      // We already hold the only copy: lock it locally.
+      e.atomic = true;
+      c.local.set_state(sp, cache::LineState::kAtomic);
+      tick_ns(cfg().local_atomic_ns);
+      return;
+    }
+    remote_acquire(sp, Acquire::kAtomic);
+    return;
+  }
+
+  // First touch machine-wide, directly into Atomic state.
+  auto& e = cm_.dir_[sp];
+  e.holders = bit(id_);
+  e.owner = static_cast<std::int16_t>(id_);
+  e.atomic = true;
+  e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
+  if (cm_.insert_line(id_, sp, cache::LineState::kAtomic)) {
+    tick_ns(cfg().page_alloc_ns);
+  }
+  tick_ns(cfg().local_atomic_ns);
+}
+
+void CoherentCpu::do_release_subpage(mem::Sva a) {
+  lazy_sync();
+  const mem::SubPageId sp = mem::subpage_of(a);
+  const auto it = cm_.dir_.find(sp);
+  if (it == cm_.dir_.end() || !it->second.atomic ||
+      it->second.owner != static_cast<std::int16_t>(id_)) {
+    throw std::logic_error(
+        "release_subpage: cell " + std::to_string(id_) +
+        " does not hold sub-page " + std::to_string(sp) + " atomically");
+  }
+  it->second.atomic = false;
+  cell().local.set_state(sp, cache::LineState::kExclusive);
+  tick_ns(cfg().local_atomic_ns);
+}
+
+void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
+  lazy_sync();
+  if (!cfg().has_prefetch) {
+    tick_cycles(1);
+    return;
+  }
+  auto& c = cell();
+  const mem::SubPageId sp = mem::subpage_of(a);
+
+  const cache::LineState st = c.local.state(sp);
+  const bool sufficient =
+      exclusive ? cache::writable(st) : cache::readable(st);
+  if (sufficient || c.inflight.contains(sp) ||
+      c.inflight_count >= cfg().prefetch_depth) {
+    tick_cycles(1);  // issue slot only; dropped or unnecessary
+    return;
+  }
+
+  if (!cm_.dir_.contains(sp)) {
+    // Prefetching untouched memory: first-touch ownership, no ring traffic.
+    auto& e = cm_.dir_[sp];
+    e.holders = bit(id_);
+    e.owner = static_cast<std::int16_t>(id_);
+    e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
+    cm_.insert_line(id_, sp, cache::LineState::kExclusive);
+    tick_cycles(1);
+    return;
+  }
+
+  ++c.pmon.prefetches_issued;
+  ++c.inflight_count;
+  c.inflight.emplace(sp, std::vector<sim::FiberId>{});
+  hard_sync();
+
+  unsigned target_leaf = 0;
+  {
+    const auto it = cm_.dir_.find(sp);
+    target_leaf = cm_.responder_leaf(
+        id_, it != cm_.dir_.end() ? it->second : CoherentMachine::DirEntry{});
+  }
+  CoherentMachine* cm = &cm_;
+  const unsigned me = id_;
+  cm_.transport(me, sp, target_leaf, [cm, me, sp, exclusive](sim::Duration w) {
+    auto& c2 = cm->cells_[me];
+    ++c2.pmon.ring_requests;
+    c2.pmon.inject_wait_ns += w;
+    // If the sub-page is Atomic elsewhere the prefetch is simply dropped
+    // (no retry — it is only a hint).
+    if (exclusive) {
+      (void)cm->commit_exclusive(me, sp, /*atomic=*/false);
+    } else {
+      (void)cm->commit_shared(me, sp);
+    }
+    auto it = c2.inflight.find(sp);
+    if (it != c2.inflight.end()) {
+      auto waiters = std::move(it->second);
+      c2.inflight.erase(it);
+      --c2.inflight_count;
+      for (sim::FiberId f : waiters) {
+        cm->engine().wake(f, cm->engine().now());
+      }
+    }
+  });
+  tick_cycles(2);  // issue cost; the fetch itself is asynchronous
+}
+
+void CoherentCpu::do_post_store(mem::Sva a) {
+  lazy_sync();
+  if (!cfg().has_poststore) {
+    tick_cycles(1);
+    return;
+  }
+  auto& c = cell();
+  const mem::SubPageId sp = mem::subpage_of(a);
+  if (!cache::writable(c.local.state(sp))) {
+    tick_cycles(1);  // nothing to broadcast: we do not own the line
+    return;
+  }
+  ++c.pmon.poststores_issued;
+  // The issuing processor stalls until the data is written out to the
+  // second-level cache (§3.3.3); the packet then rides asynchronously.
+  tick_ns(cfg().localcache_write_ns);
+  hard_sync();
+
+  unsigned target_leaf = cm_.leaf_of(id_);
+  if (const auto it = cm_.dir_.find(sp); it != cm_.dir_.end()) {
+    for (unsigned l = 0; l < cm_.leaf_count(); ++l) {
+      if (l != target_leaf && (it->second.placeholders & cm_.leaf_mask(l))) {
+        target_leaf = l;
+        break;
+      }
+    }
+  }
+  CoherentMachine* cm = &cm_;
+  const unsigned me = id_;
+  cm_.transport(me, sp, target_leaf, [cm, me, sp](sim::Duration w) {
+    auto& c2 = cm->cells_[me];
+    c2.pmon.inject_wait_ns += w;
+    ++c2.pmon.ring_requests;
+    cm->commit_poststore(me, sp);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CoherentMachine
+// ---------------------------------------------------------------------------
+
+CoherentMachine::CoherentMachine(const MachineConfig& cfg) : Machine(cfg) {
+  cells_.reserve(cfg_.nproc);
+  std::uint64_t seed =
+      0xA11CAC8Eull ^ (static_cast<std::uint64_t>(cfg_.nproc) << 32);
+  for (unsigned i = 0; i < cfg_.nproc; ++i) {
+    cells_.emplace_back(cfg_.subcache, cfg_.localcache, sim::splitmix64(seed));
+  }
+}
+
+CoherentMachine::~CoherentMachine() = default;
+
+std::unique_ptr<Cpu> CoherentMachine::make_cpu(unsigned cell) {
+  return std::make_unique<CoherentCpu>(*this, cell);
+}
+
+void CoherentMachine::reset_memory_system() {
+  for (auto& c : cells_) {
+    c.sub.clear();
+    c.local.clear();
+    c.inflight.clear();
+    c.inflight_count = 0;
+  }
+  dir_.clear();
+}
+
+CoherentMachine::DirView CoherentMachine::dir_view(mem::SubPageId sp) const {
+  const auto it = dir_.find(sp);
+  if (it == dir_.end()) return {};
+  return {it->second.holders, it->second.placeholders, it->second.owner,
+          it->second.atomic};
+}
+
+std::uint64_t CoherentMachine::leaf_mask(unsigned leaf) const noexcept {
+  std::uint64_t m = 0;
+  for (unsigned i = 0; i < cfg_.nproc; ++i) {
+    if (leaf_of(i) == leaf) m |= bit(i);
+  }
+  return m;
+}
+
+unsigned CoherentMachine::responder_leaf(unsigned cell,
+                                         const DirEntry& e) const {
+  const unsigned my = leaf_of(cell);
+  const std::uint64_t others = e.holders & ~bit(cell);
+  if (others == 0) {
+    return e.holders != 0 ? my : e.resident_leaf;  // we (or nobody) hold it
+  }
+  // If any copy lives on a remote leaf the transaction must reach it.
+  for (unsigned l = 0; l < leaf_count(); ++l) {
+    if (l != my && (others & leaf_mask(l)) != 0) return l;
+  }
+  return my;
+}
+
+bool CoherentMachine::insert_line(unsigned cell, mem::SubPageId sp,
+                                  cache::LineState st) {
+  Cell& c = cells_[cell];
+  const auto pa = c.local.touch(sp, st, c.rng);
+  if (pa.allocated) ++c.pmon.page_allocs;
+  if (pa.evicted) {
+    ++c.pmon.pages_evicted;
+    on_page_evicted(cell, pa.evicted_page);
+    // Inclusion: the sub-cache may hold blocks of the evicted page.
+    const mem::BlockId first_block =
+        pa.evicted_page * (mem::kPageBytes / mem::kBlockBytes);
+    for (std::size_t b = 0; b < mem::kPageBytes / mem::kBlockBytes; ++b) {
+      c.sub.invalidate_block(first_block + b);
+    }
+  }
+  return pa.allocated;
+}
+
+void CoherentMachine::on_page_evicted(unsigned cell, mem::PageId page) {
+  for (std::size_t idx = 0; idx < mem::kSubPagesPerPage; ++idx) {
+    const mem::SubPageId sp = page * mem::kSubPagesPerPage + idx;
+    const auto it = dir_.find(sp);
+    if (it == dir_.end()) continue;
+    DirEntry& e = it->second;
+    e.holders &= ~bit(cell);
+    e.placeholders &= ~bit(cell);
+    if (e.owner == static_cast<std::int16_t>(cell)) {
+      e.owner = -1;
+      e.atomic = false;  // evicting a locked line would be a program bug
+    }
+    if (e.holders == 0) {
+      e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+    }
+  }
+}
+
+void CoherentMachine::invalidate_at(unsigned cell, mem::SubPageId sp) {
+  Cell& c = cells_[cell];
+  c.local.set_state(sp, cache::LineState::kInvalid);
+  c.sub.invalidate_subpage(sp);
+  ++c.pmon.invalidations_received;
+  if (tracer_ != nullptr) {
+    tracer_->log(engine_.now(), "coherence", "invalidate", sp, cell);
+  }
+}
+
+CoherentMachine::CommitResult CoherentMachine::commit_shared(
+    unsigned cell, mem::SubPageId sp) {
+  DirEntry& e = dir_[sp];
+  if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
+    if (tracer_ != nullptr) {
+      tracer_->log(engine_.now(), "coherence", "nack", sp, cell);
+    }
+    return {false, false};
+  }
+  if (tracer_ != nullptr) {
+    tracer_->log(engine_.now(), "coherence", "grant-shared", sp, cell,
+                 static_cast<std::int64_t>(e.holders));
+  }
+  // Downgrade a previous exclusive owner.
+  if (e.owner >= 0 && e.owner != static_cast<std::int16_t>(cell)) {
+    cells_[static_cast<unsigned>(e.owner)].local.set_state(
+        sp, cache::LineState::kShared);
+  }
+  e.owner = -1;
+  e.atomic = false;
+
+  // Read-snarfing: the data passing on the ring refreshes every invalid
+  // placeholder (paper §2, §3.2.2).
+  if (cfg_.read_snarfing) {
+    std::uint64_t ph = e.placeholders & ~bit(cell);
+    while (ph != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(ph));
+      ph &= ph - 1;
+      cells_[b].local.set_state(sp, cache::LineState::kShared);
+      ++cells_[b].pmon.snarfs;
+      e.holders |= bit(b);
+    }
+    e.placeholders &= bit(cell);
+  }
+
+  e.placeholders &= ~bit(cell);
+  const bool sole = (e.holders & ~bit(cell)) == 0;
+  e.holders |= bit(cell);
+  const cache::LineState st =
+      sole ? cache::LineState::kExclusive : cache::LineState::kShared;
+  if (sole) {
+    e.owner = static_cast<std::int16_t>(cell);
+    e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+  }
+  const bool pa = insert_line(cell, sp, st);
+  return {true, pa};
+}
+
+CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
+    unsigned cell, mem::SubPageId sp, bool atomic) {
+  DirEntry& e = dir_[sp];
+  if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
+    if (tracer_ != nullptr) {
+      tracer_->log(engine_.now(), "coherence", "nack", sp, cell);
+    }
+    return {false, false};
+  }
+  if (tracer_ != nullptr) {
+    tracer_->log(engine_.now(), "coherence",
+                 atomic ? "grant-atomic" : "grant-exclusive", sp, cell,
+                 static_cast<std::int64_t>(e.holders));
+  }
+  std::uint64_t others = e.holders & ~bit(cell);
+  while (others != 0) {
+    const unsigned b = static_cast<unsigned>(std::countr_zero(others));
+    others &= others - 1;
+    invalidate_at(b, sp);
+    e.placeholders |= bit(b);
+  }
+  e.placeholders &= ~bit(cell);
+  e.holders = bit(cell);
+  e.owner = static_cast<std::int16_t>(cell);
+  e.atomic = atomic;
+  e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+  const bool pa = insert_line(
+      cell, sp,
+      atomic ? cache::LineState::kAtomic : cache::LineState::kExclusive);
+  return {true, pa};
+}
+
+void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
+  DirEntry& e = dir_[sp];
+  std::uint64_t ph = e.placeholders & ~bit(cell);
+  if (tracer_ != nullptr) {
+    tracer_->log(engine_.now(), "coherence", "poststore", sp, cell,
+                 static_cast<std::int64_t>(ph));
+  }
+  if (ph == 0) return;  // pure bandwidth waste: nobody was listening
+  while (ph != 0) {
+    const unsigned b = static_cast<unsigned>(std::countr_zero(ph));
+    ph &= ph - 1;
+    cells_[b].local.set_state(sp, cache::LineState::kShared);
+    ++cells_[b].pmon.snarfs;
+    e.holders |= bit(b);
+  }
+  e.placeholders &= bit(cell);
+  // Multiple copies now exist: the writer loses exclusivity — the §3.3.3
+  // poststore pitfall (next-phase writers must re-invalidate).
+  if (e.owner >= 0 && !e.atomic) {
+    cells_[static_cast<unsigned>(e.owner)].local.set_state(
+        sp, cache::LineState::kShared);
+    e.owner = -1;
+  }
+}
+
+}  // namespace ksr::machine

@@ -1,0 +1,73 @@
+#include "ksr/machine/ksr_machine.hpp"
+
+#include <string>
+#include <utility>
+
+namespace ksr::machine {
+
+KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
+  const unsigned leaves = cfg_.leaf_rings();
+  const bool multi = leaves > 1;
+  leaf_rings_.reserve(leaves);
+  for (unsigned l = 0; l < leaves; ++l) {
+    net::SlottedRing::Config rc;
+    rc.positions = cfg_.cells_per_leaf + (multi ? 1u : 0u);  // + ARD interface
+    rc.slots_per_subring = cfg_.ring_slots_per_subring;
+    rc.subrings = 2;
+    rc.hop_ns = cfg_.ring_hop_ns;
+    leaf_rings_.push_back(std::make_unique<net::SlottedRing>(
+        engine_, rc, "ring0." + std::to_string(l)));
+  }
+  if (multi) {
+    net::SlottedRing::Config rc;
+    rc.positions = 34;  // level-1 ring: up to 34 ARD attachment points
+    rc.slots_per_subring = cfg_.ring1_slots_per_subring;
+    rc.subrings = 2;
+    rc.hop_ns = cfg_.ring1_hop_ns;
+    ring1_ = std::make_unique<net::SlottedRing>(engine_, rc, "ring1");
+  }
+}
+
+KsrMachine::~KsrMachine() = default;
+
+void KsrMachine::transport(unsigned cell, mem::SubPageId sp,
+                           unsigned target_leaf,
+                           std::function<void(sim::Duration)> done) {
+  const unsigned my_leaf = leaf_of(cell);
+  const unsigned sr = mem::subring_of(sp);
+  if (target_leaf == my_leaf || ring1_ == nullptr) {
+    leaf_rings_[my_leaf]->inject(pos_of(cell), sr, std::move(done));
+    return;
+  }
+  // Three legs: my leaf ring (to our ARD), the level-1 ring, the remote
+  // leaf ring — each a full circulation with its own slot acquisition.
+  const unsigned ard_pos = cfg_.cells_per_leaf;  // ARD interface index
+  leaf_rings_[my_leaf]->inject(
+      pos_of(cell), sr,
+      [this, sr, my_leaf, target_leaf, ard_pos,
+       done = std::move(done)](sim::Duration w1) mutable {
+        ring1_->inject(
+            my_leaf, sr,
+            [this, sr, target_leaf, ard_pos, w1,
+             done = std::move(done)](sim::Duration w2) mutable {
+              leaf_rings_[target_leaf]->inject(
+                  ard_pos, sr,
+                  [w1, w2, done = std::move(done)](sim::Duration w3) {
+                    done(w1 + w2 + w3);
+                  });
+            });
+      });
+}
+
+sim::Duration KsrMachine::transaction_overhead_ns(Acquire kind,
+                                                  bool crossed_leaf) const {
+  sim::Duration t = cfg_.ring_fixed_ns;
+  if (kind != Acquire::kShared) {
+    // Fig. 2: network writes are slightly dearer than network reads.
+    t += cfg_.localcache_write_ns - cfg_.localcache_read_ns;
+  }
+  if (crossed_leaf) t += 2 * cfg_.ard_crossing_ns;
+  return t;
+}
+
+}  // namespace ksr::machine

@@ -1,0 +1,90 @@
+#include "ksr/machine/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ksr::machine {
+
+unsigned Cpu::nproc() const noexcept { return machine_.nproc(); }
+
+void Cpu::work(std::uint64_t n) { tick_cycles(n); }
+
+void Cpu::tick_cycles(std::uint64_t n) {
+  local_now_ += machine_.config().cycles(n);
+}
+
+void Cpu::lazy_sync() {
+  sim::Engine& eng = machine_.engine();
+  if (eng.next_event_time() < local_now_) eng.wait_until(local_now_);
+}
+
+void Cpu::hard_sync() {
+  sim::Engine& eng = machine_.engine();
+  if (eng.now() < local_now_ || eng.next_event_time() < local_now_) {
+    eng.wait_until(local_now_);
+  }
+}
+
+void Cpu::block_until_woken() {
+  sim::Engine& eng = machine_.engine();
+  eng.block();
+  local_now_ = std::max(local_now_, eng.now());
+}
+
+void Cpu::wake_at(sim::Time t) { machine_.engine().wake(fiber_, t); }
+
+void Cpu::range(mem::Sva base, std::size_t bytes, Op op) {
+  if (bytes == 0) return;
+  const mem::Sva end = base + bytes;
+  mem::Sva a = base;
+  while (a < end) {
+    access(a, 1, op);
+    // Advance to the next sub-block boundary.
+    a = (a / mem::kSubBlockBytes + 1) * mem::kSubBlockBytes;
+  }
+}
+
+RunResult Machine::run(const Program& program) {
+  std::vector<Program> programs(nproc(), program);
+  return run(programs);
+}
+
+RunResult Machine::run(const std::vector<Program>& programs) {
+  if (programs.size() != nproc()) {
+    throw std::invalid_argument("Machine::run: one program per cell required");
+  }
+  const sim::Time epoch = engine_.now();
+
+  std::vector<cache::PerfMonitor> pmon_before(nproc());
+  for (unsigned i = 0; i < nproc(); ++i) pmon_before[i] = cell_pmon(i);
+
+  std::vector<std::unique_ptr<Cpu>> cpus;
+  cpus.reserve(nproc());
+  for (unsigned i = 0; i < nproc(); ++i) cpus.push_back(make_cpu(i));
+
+  for (unsigned i = 0; i < nproc(); ++i) {
+    Cpu* cpu = cpus[i].get();
+    const Program* body = &programs[i];
+    const sim::FiberId fid = engine_.spawn(
+        [cpu, body] { (*body)(*cpu); }, epoch);
+    cpu->begin_run(epoch, fid);
+  }
+  engine_.run();
+
+  RunResult res;
+  res.cell_seconds.resize(nproc());
+  res.cell_pmon.resize(nproc());
+  for (unsigned i = 0; i < nproc(); ++i) {
+    res.cell_seconds[i] = sim::to_seconds(cpus[i]->now() - epoch);
+    res.seconds = std::max(res.seconds, res.cell_seconds[i]);
+
+    // Counter deltas for this run.
+    cache::PerfMonitor delta = cell_pmon(i);
+    delta.sub(pmon_before[i]);
+    res.cell_pmon[i] = delta;
+    res.pmon.add(delta);
+  }
+  return res;
+}
+
+}  // namespace ksr::machine

@@ -1,0 +1,106 @@
+#include "ksr/net/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ksr::net {
+
+SlottedRing::SlottedRing(sim::Engine& engine, const Config& cfg, std::string name)
+    : engine_(engine), cfg_(cfg), name_(std::move(name)) {
+  if (cfg_.positions == 0 || cfg_.subrings == 0 || cfg_.hop_ns == 0) {
+    throw std::invalid_argument("SlottedRing: bad config");
+  }
+  const unsigned n = cfg_.positions;
+  const unsigned s = std::min(cfg_.slots_per_subring, n);
+  subrings_.resize(cfg_.subrings);
+  for (auto& sr : subrings_) {
+    sr.coord_to_slot.assign(n, -1);
+    // Equally spaced slot coordinates around the ring.
+    for (unsigned i = 0; i < s; ++i) {
+      const unsigned coord = static_cast<unsigned>(
+          (static_cast<std::uint64_t>(i) * n) / s);
+      if (sr.coord_to_slot[coord] < 0) {
+        sr.coord_to_slot[coord] = static_cast<std::int32_t>(i);
+      }
+    }
+    sr.occupied.assign(s, 0);
+    sr.waiting.resize(n);
+  }
+}
+
+void SlottedRing::inject(unsigned src_pos, unsigned subring, Done done) {
+  if (src_pos >= cfg_.positions || subring >= cfg_.subrings) {
+    throw std::out_of_range("SlottedRing::inject: bad position/subring");
+  }
+  auto& sr = subrings_[subring];
+  sr.waiting[src_pos].push_back(Pending{std::move(done), engine_.now(), false});
+  Pending& head = sr.waiting[src_pos].front();
+  if (!head.polling) {
+    head.polling = true;
+    const std::uint64_t tick = tick_of(engine_.now());
+    engine_.at(tick * cfg_.hop_ns,
+               [this, subring, src_pos] { try_head(subring, src_pos); });
+  }
+}
+
+std::uint64_t SlottedRing::next_passing_tick(const SubRing& sr, unsigned pos,
+                                             std::uint64_t tick) const noexcept {
+  const unsigned n = cfg_.positions;
+  for (std::uint64_t d = 1; d <= n; ++d) {
+    const unsigned coord =
+        (pos + n - static_cast<unsigned>((tick + d) % n)) % n;
+    if (sr.coord_to_slot[coord] >= 0) return tick + d;
+  }
+  return tick + 1;  // unreachable: at least one slot exists
+}
+
+void SlottedRing::try_head(unsigned subring, unsigned pos) {
+  auto& sr = subrings_[subring];
+  auto& queue = sr.waiting[pos];
+  if (queue.empty()) return;
+  queue.front().polling = false;
+
+  const unsigned n = cfg_.positions;
+  const std::uint64_t tick = engine_.now() / cfg_.hop_ns;
+  const unsigned coord = (pos + n - static_cast<unsigned>(tick % n)) % n;
+  const std::int32_t slot = sr.coord_to_slot[coord];
+
+  if (slot >= 0 && sr.occupied[static_cast<std::size_t>(slot)] == 0) {
+    sr.occupied[static_cast<std::size_t>(slot)] = 1;
+    Pending claimed = std::move(queue.front());
+    queue.pop_front();
+    const sim::Duration wait = engine_.now() - claimed.enqueued;
+    ++stats_.packets;
+    stats_.total_inject_wait_ns += wait;
+    ++stats_.in_flight;
+    stats_.max_in_flight = std::max(stats_.max_in_flight, stats_.in_flight);
+    if (tracer_ != nullptr) {
+      tracer_->log(engine_.now(), "ring", "inject",
+                   static_cast<std::uint64_t>(slot), pos,
+                   static_cast<std::int64_t>(wait));
+    }
+    engine_.in(circulation_ns(),
+               [this, subring, slot, pos, done = std::move(claimed.done),
+                wait] {
+                 subrings_[subring].occupied[static_cast<std::size_t>(slot)] = 0;
+                 --stats_.in_flight;
+                 if (tracer_ != nullptr) {
+                   tracer_->log(engine_.now(), "ring", "deliver",
+                                static_cast<std::uint64_t>(slot), pos);
+                 }
+                 done(wait);
+               });
+  } else {
+    ++stats_.retries;
+  }
+
+  if (!queue.empty() && !queue.front().polling) {
+    queue.front().polling = true;
+    const std::uint64_t next = next_passing_tick(sr, pos, tick);
+    engine_.at(next * cfg_.hop_ns,
+               [this, subring, pos] { try_head(subring, pos); });
+  }
+}
+
+}  // namespace ksr::net

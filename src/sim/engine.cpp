@@ -1,0 +1,119 @@
+#include "ksr/sim/engine.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ksr::sim {
+
+Engine::~Engine() = default;
+
+void Engine::at(Time t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::at: scheduling into the past");
+  }
+  events_.push(Event{t, seq_++, std::move(fn)});
+}
+
+FiberId Engine::spawn(std::function<void()> body, Time start, std::size_t stack_bytes) {
+  auto fiber = std::make_unique<Fiber>();
+  fiber->body = std::move(body);
+  fiber->stack_bytes = stack_bytes;
+  fiber->stack = std::make_unique<std::byte[]>(stack_bytes);
+  fiber->engine = this;
+  fiber->id = static_cast<FiberId>(fibers_.size());
+  Fiber* raw = fiber.get();
+  fibers_.push_back(std::move(fiber));
+  ++live_fibers_;
+  at(start, [this, raw] { resume(*raw); });
+  return raw->id;
+}
+
+void Engine::trampoline(unsigned hi, unsigned lo) {
+  const auto bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* f = reinterpret_cast<Fiber*>(bits);  // NOLINT: makecontext ABI
+  try {
+    f->body();
+  } catch (...) {
+    if (!f->engine->pending_exception_) {
+      f->engine->pending_exception_ = std::current_exception();
+    }
+  }
+  f->done = true;
+  // Returning transfers control to uc_link (the scheduler context).
+}
+
+void Engine::resume(Fiber& f) {
+  if (f.done) return;
+  if (!f.started) {
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = f.stack_bytes;
+    f.ctx.uc_link = &sched_ctx_;
+    const auto bits = reinterpret_cast<std::uintptr_t>(&f);  // NOLINT
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Engine::trampoline), 2,
+                static_cast<unsigned>(bits >> 32),
+                static_cast<unsigned>(bits & 0xffffffffu));
+    f.started = true;
+  }
+  Fiber* prev = current_;
+  current_ = &f;
+  swapcontext(&sched_ctx_, &f.ctx);
+  current_ = prev;
+  if (f.done && f.stack) {
+    f.stack.reset();  // release the stack eagerly; the Fiber record remains
+    --live_fibers_;
+  }
+}
+
+void Engine::switch_to_scheduler() {
+  Fiber* f = current_;
+  swapcontext(&f->ctx, &sched_ctx_);
+}
+
+void Engine::wait_until(Time t) {
+  if (!in_fiber()) throw std::logic_error("wait_until outside fiber");
+  if (t < now_) t = now_;
+  Fiber* raw = current_;
+  at(t, [this, raw] { resume(*raw); });
+  switch_to_scheduler();
+}
+
+void Engine::block() {
+  if (!in_fiber()) throw std::logic_error("block outside fiber");
+  switch_to_scheduler();
+}
+
+void Engine::wake(FiberId id, Time t) {
+  Fiber* raw = fibers_.at(id).get();
+  at(t, [this, raw] { resume(*raw); });
+}
+
+FiberId Engine::current_fiber() const noexcept { return current_->id; }
+
+Time Engine::next_event_time() const noexcept {
+  return events_.empty() ? std::numeric_limits<Time>::max() : events_.top().t;
+}
+
+void Engine::run() {
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.t;
+    ++dispatched_;
+    ev.fn();
+    if (pending_exception_) {
+      auto ex = pending_exception_;
+      pending_exception_ = nullptr;
+      std::rethrow_exception(ex);
+    }
+  }
+  if (live_fibers_ != 0) {
+    throw std::runtime_error(
+        "Engine::run: simulated deadlock — event queue drained with " +
+        std::to_string(live_fibers_) + " fiber(s) still blocked");
+  }
+}
+
+}  // namespace ksr::sim

@@ -1,0 +1,101 @@
+#include "ksr/sync/locks.hpp"
+
+#include "ksr/sync/atomic.hpp"
+
+namespace ksr::sync {
+
+// Ticket-queue invariant: at most one ticket per processor is outstanding,
+// so ticket % kBatchSlots never collides while a batch is pending.
+
+TicketRwLock::TicketRwLock(machine::Machine& m, std::string_view name,
+                           bool use_poststore)
+    : meta_(m.alloc<std::uint32_t>(std::string(name) + ".meta", kFieldCount)),
+      batch_readers_(
+          m.alloc<std::uint32_t>(std::string(name) + ".batches", kBatchSlots)),
+      serving_pub_(m, std::string(name) + ".serving", 1),
+      use_poststore_(use_poststore && m.config().has_poststore) {}
+
+void TicketRwLock::lock_meta(machine::Cpu& cpu) {
+  cpu.get_subpage(meta_.addr(0));
+}
+
+void TicketRwLock::unlock_meta(machine::Cpu& cpu) {
+  cpu.release_subpage(meta_.addr(0));
+}
+
+void TicketRwLock::advance(machine::Cpu& cpu) {
+  const std::uint32_t serving = cpu.read(meta_, kServing) + 1;
+  cpu.write(meta_, kServing, serving);
+  serving_pub_.write_post(cpu, 0, serving, use_poststore_);
+  // If the newly served ticket is a pending read batch, activate it.
+  const std::uint32_t cnt = cpu.read(batch_readers_, serving % kBatchSlots);
+  if (cnt > 0) {
+    cpu.write(meta_, kActiveReaders, cnt);
+    cpu.write(batch_readers_, serving % kBatchSlots, 0);
+  }
+}
+
+void TicketRwLock::acquire_read(machine::Cpu& cpu) {
+  lock_meta(cpu);
+  const std::uint32_t serving = cpu.read(meta_, kServing);
+  std::uint32_t my_ticket;
+  if (cpu.read(meta_, kTailIsRead) != 0 &&
+      cpu.read(meta_, kTailTicket) >= serving) {
+    // Combine with the tail read batch.
+    my_ticket = cpu.read(meta_, kTailTicket);
+    if (my_ticket == serving) {
+      // The batch already holds the lock: join immediately.
+      cpu.write(meta_, kActiveReaders, cpu.read(meta_, kActiveReaders) + 1);
+      unlock_meta(cpu);
+      return;
+    }
+    cpu.write(batch_readers_, my_ticket % kBatchSlots,
+              cpu.read(batch_readers_, my_ticket % kBatchSlots) + 1);
+  } else {
+    my_ticket = cpu.read(meta_, kNextTicket);
+    cpu.write(meta_, kNextTicket, my_ticket + 1);
+    cpu.write(meta_, kTailIsRead, 1);
+    cpu.write(meta_, kTailTicket, my_ticket);
+    if (my_ticket == serving) {
+      // Lock is free: the batch starts right now.
+      cpu.write(meta_, kActiveReaders, 1);
+      unlock_meta(cpu);
+      return;
+    }
+    cpu.write(batch_readers_, my_ticket % kBatchSlots, 1);
+  }
+  unlock_meta(cpu);
+  spin_until(cpu, [&] { return serving_pub_.read(cpu, 0) >= my_ticket; });
+}
+
+void TicketRwLock::release_read(machine::Cpu& cpu) {
+  lock_meta(cpu);
+  const std::uint32_t active = cpu.read(meta_, kActiveReaders) - 1;
+  cpu.write(meta_, kActiveReaders, active);
+  if (active == 0) {
+    // Close the batch so later readers start a fresh ticket, then hand on.
+    if (cpu.read(meta_, kTailIsRead) != 0 &&
+        cpu.read(meta_, kTailTicket) == cpu.read(meta_, kServing)) {
+      cpu.write(meta_, kTailIsRead, 0);
+    }
+    advance(cpu);
+  }
+  unlock_meta(cpu);
+}
+
+void TicketRwLock::acquire_write(machine::Cpu& cpu) {
+  lock_meta(cpu);
+  const std::uint32_t my_ticket = cpu.read(meta_, kNextTicket);
+  cpu.write(meta_, kNextTicket, my_ticket + 1);
+  cpu.write(meta_, kTailIsRead, 0);
+  unlock_meta(cpu);
+  spin_until(cpu, [&] { return serving_pub_.read(cpu, 0) >= my_ticket; });
+}
+
+void TicketRwLock::release_write(machine::Cpu& cpu) {
+  lock_meta(cpu);
+  advance(cpu);
+  unlock_meta(cpu);
+}
+
+}  // namespace ksr::sync

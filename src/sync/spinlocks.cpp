@@ -1,0 +1,199 @@
+#include "ksr/sync/spinlocks.hpp"
+
+#include "ksr/sync/atomic.hpp"
+
+namespace ksr::sync {
+
+namespace {
+
+using machine::Cpu;
+using machine::Machine;
+
+constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+// ---------------------------------------------------------------------------
+// test&set (optionally with bounded exponential backoff). Every attempt is a
+// hardware Atomic acquisition of one hot sub-page.
+// ---------------------------------------------------------------------------
+class TasLock final : public SpinLock {
+ public:
+  TasLock(Machine& m, bool backoff)
+      : backoff_(backoff), word_(m, backoff ? "tasb" : "tas", 1) {}
+
+  void acquire(Cpu& cpu) override {
+    std::uint64_t delay = 200;  // cycles
+    for (;;) {
+      cpu.get_subpage(word_.addr(0));
+      const std::uint32_t v = word_.read(cpu, 0);
+      if (v == 0) {
+        word_.write(cpu, 0, 1);
+        cpu.release_subpage(word_.addr(0));
+        return;
+      }
+      cpu.release_subpage(word_.addr(0));
+      if (backoff_) {
+        cpu.work(delay + cpu.rng().below(delay));
+        delay = std::min<std::uint64_t>(delay * 2, 12800);
+      } else {
+        // Naive: spin-read until it looks free, then try again.
+        spin_until(cpu, [&] { return word_.read(cpu, 0) == 0; });
+      }
+    }
+  }
+
+  void release(Cpu& cpu) override { word_.write(cpu, 0, 0); }
+
+  [[nodiscard]] std::string_view name() const override {
+    return backoff_ ? "test&set+backoff" : "test&set";
+  }
+
+ private:
+  bool backoff_;
+  Padded<std::uint32_t> word_;
+};
+
+// ---------------------------------------------------------------------------
+// Ticket lock with proportional backoff (Anderson [1] / MCS [13] style):
+// FCFS; all waiters spin on one "now serving" counter — read-snarfing turns
+// the refresh after each hand-off into a single ring transaction.
+// ---------------------------------------------------------------------------
+class TicketLock final : public SpinLock {
+ public:
+  explicit TicketLock(Machine& m)
+      : next_(m, "ticket.next", 1), serving_(m, "ticket.serving", 1) {}
+
+  void acquire(Cpu& cpu) override {
+    const std::uint32_t me = fetch_add(cpu, next_, 0, 1u);
+    for (;;) {
+      const std::uint32_t s = serving_.read(cpu, 0);
+      if (s == me) return;
+      // Proportional backoff: the further back in line, the longer the nap.
+      cpu.work(50 * (me - s));
+    }
+  }
+
+  void release(Cpu& cpu) override {
+    serving_.write(cpu, 0, serving_.read(cpu, 0) + 1);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "ticket"; }
+
+ private:
+  Padded<std::uint32_t> next_;
+  Padded<std::uint32_t> serving_;
+};
+
+// ---------------------------------------------------------------------------
+// Anderson's array lock: FCFS, each waiter spins on its own sub-page slot,
+// so a hand-off invalidates exactly one spinner.
+// ---------------------------------------------------------------------------
+class AndersonLock final : public SpinLock {
+ public:
+  explicit AndersonLock(Machine& m)
+      : nslots_(m.nproc()),
+        tail_(m, "anderson.tail", 1),
+        flags_(m, "anderson.flags", m.nproc(), 1),
+        my_slot_(m.nproc(), 0) {
+    flags_.set_value(0, 1);  // slot 0 starts granted
+  }
+
+  void acquire(Cpu& cpu) override {
+    const std::uint32_t slot = fetch_add(cpu, tail_, 0, 1u) % nslots_;
+    my_slot_[cpu.id()] = slot;
+    spin_until(cpu, [&] { return flags_.read(cpu, slot) != 0; });
+    flags_.write(cpu, slot, 0);  // consume the grant
+  }
+
+  void release(Cpu& cpu) override {
+    const std::uint32_t next = (my_slot_[cpu.id()] + 1) % nslots_;
+    flags_.write(cpu, next, 1);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "anderson"; }
+
+ private:
+  std::uint32_t nslots_;
+  Padded<std::uint32_t> tail_;
+  Padded<std::uint32_t> flags_;
+  std::vector<std::uint32_t> my_slot_;  // register state, host-side
+};
+
+// ---------------------------------------------------------------------------
+// MCS queue lock: waiters form a linked queue; each spins on a flag in its
+// own sub-page; O(1) remote traffic per hand-off. The atomic swap/CAS on the
+// tail pointer is built from get_subpage, as all KSR atomics are.
+// ---------------------------------------------------------------------------
+class McsQueueLock final : public SpinLock {
+ public:
+  explicit McsQueueLock(Machine& m)
+      : tail_(m, "mcsq.tail", 1),
+        next_(m, "mcsq.next", m.nproc(), 1),
+        locked_(m, "mcsq.locked", m.nproc(), 1) {
+    tail_.set_value(0, kNil);
+  }
+
+  void acquire(Cpu& cpu) override {
+    const std::uint32_t me = cpu.id();
+    next_.write(cpu, me, kNil);
+    locked_.write(cpu, me, 1);
+    // swap(tail, me)
+    cpu.get_subpage(tail_.addr(0));
+    const std::uint32_t prev = tail_.read(cpu, 0);
+    tail_.write(cpu, 0, me);
+    cpu.release_subpage(tail_.addr(0));
+    if (prev == kNil) return;  // lock was free
+    next_.write(cpu, prev, me);
+    spin_until(cpu, [&] { return locked_.read(cpu, me) == 0; });
+  }
+
+  void release(Cpu& cpu) override {
+    const std::uint32_t me = cpu.id();
+    if (next_.read(cpu, me) == kNil) {
+      // compare&swap(tail, me -> nil)
+      cpu.get_subpage(tail_.addr(0));
+      if (tail_.read(cpu, 0) == me) {
+        tail_.write(cpu, 0, kNil);
+        cpu.release_subpage(tail_.addr(0));
+        return;
+      }
+      cpu.release_subpage(tail_.addr(0));
+      // A successor is in the middle of linking in: wait for it.
+      spin_until(cpu, [&] { return next_.read(cpu, me) != kNil; });
+    }
+    locked_.write(cpu, next_.read(cpu, me), 0);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "mcs-queue"; }
+
+ private:
+  Padded<std::uint32_t> tail_;
+  Padded<std::uint32_t> next_;
+  Padded<std::uint32_t> locked_;
+};
+
+}  // namespace
+
+std::vector<SpinLockKind> all_spinlock_kinds() {
+  return {SpinLockKind::kTestAndSet, SpinLockKind::kTestAndSetBackoff,
+          SpinLockKind::kTicket, SpinLockKind::kAnderson,
+          SpinLockKind::kMcsQueue};
+}
+
+std::unique_ptr<SpinLock> make_spinlock(machine::Machine& m,
+                                        SpinLockKind kind) {
+  switch (kind) {
+    case SpinLockKind::kTestAndSet:
+      return std::make_unique<TasLock>(m, false);
+    case SpinLockKind::kTestAndSetBackoff:
+      return std::make_unique<TasLock>(m, true);
+    case SpinLockKind::kTicket:
+      return std::make_unique<TicketLock>(m);
+    case SpinLockKind::kAnderson:
+      return std::make_unique<AndersonLock>(m);
+    case SpinLockKind::kMcsQueue:
+      return std::make_unique<McsQueueLock>(m);
+  }
+  return nullptr;
+}
+
+}  // namespace ksr::sync

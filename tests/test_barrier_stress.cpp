@@ -1,0 +1,84 @@
+// Stress and longevity tests for the barrier implementations: hundreds of
+// episodes (exercising epoch wrap-around, e.g. MCS's one-byte arrival
+// markers past 256 episodes), heavily skewed arrivals, and reuse across
+// multiple run() calls on one machine.
+#include <gtest/gtest.h>
+
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/sync/barrier.hpp"
+
+namespace ksr::sync {
+namespace {
+
+using machine::Cpu;
+using machine::KsrMachine;
+using machine::MachineConfig;
+
+class BarrierStress : public testing::TestWithParam<BarrierKind> {};
+
+std::string kind_name(const testing::TestParamInfo<BarrierKind>& info) {
+  std::string n{to_string(info.param)};
+  for (auto& c : n) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
+
+// 300 episodes > 256: catches any epoch state narrower than the episode
+// count (the MCS arrival bytes wrap and must keep working).
+TEST_P(BarrierStress, SurvivesEpochWraparound) {
+  KsrMachine m(MachineConfig::ksr1(5));
+  auto barrier = make_barrier(m, GetParam());
+  auto progress = m.alloc<std::uint32_t>(
+      "progress", 5 * 32, machine::Placement::blocked(128));
+  bool violated = false;
+  m.run([&](Cpu& cpu) {
+    for (std::uint32_t ep = 1; ep <= 300; ++ep) {
+      cpu.write(progress, static_cast<std::size_t>(cpu.id()) * 32, ep);
+      barrier->arrive(cpu);
+      for (unsigned j = 0; j < cpu.nproc(); ++j) {
+        if (cpu.read(progress, static_cast<std::size_t>(j) * 32) < ep) {
+          violated = true;
+        }
+      }
+    }
+  });
+  EXPECT_FALSE(violated);
+}
+
+// Extreme skew: one cell arrives milliseconds after everyone else, twice in
+// alternating directions.
+TEST_P(BarrierStress, ExtremeArrivalSkew) {
+  KsrMachine m(MachineConfig::ksr1(6));
+  auto barrier = make_barrier(m, GetParam());
+  auto flag = m.alloc<std::uint32_t>("flag", 2);
+  m.run([&](Cpu& cpu) {
+    if (cpu.id() == 0) cpu.work(100000);  // 5 ms late
+    barrier->arrive(cpu);
+    if (cpu.id() == 0) cpu.write(flag, 0, 1);
+    if (cpu.id() == 5) cpu.work(100000);
+    barrier->arrive(cpu);
+    EXPECT_EQ(cpu.read(flag, 0), 1u);  // everyone sees the first episode
+  });
+}
+
+// One barrier object reused across separate run() calls on one machine.
+TEST_P(BarrierStress, ReusableAcrossRuns) {
+  KsrMachine m(MachineConfig::ksr1(4));
+  auto barrier = make_barrier(m, GetParam());
+  for (int r = 0; r < 3; ++r) {
+    m.run([&](Cpu& cpu) {
+      for (int e = 0; e < 5; ++e) {
+        cpu.work(cpu.rng().below(300));
+        barrier->arrive(cpu);
+      }
+    });
+  }
+  SUCCEED();  // completion (no deadlock/throw) is the assertion
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BarrierStress,
+                         testing::ValuesIn(all_barrier_kinds()), kind_name);
+
+}  // namespace
+}  // namespace ksr::sync

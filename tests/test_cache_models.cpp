@@ -1,0 +1,214 @@
+// Unit and property tests for the two cache models: geometry, allocation
+// units, presence tracking, invalidation, eviction bookkeeping, and the
+// random-replacement behaviour the SP experiments depend on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ksr/cache/local_cache.hpp"
+#include "ksr/cache/subcache.hpp"
+#include "ksr/sim/rng.hpp"
+
+namespace ksr::cache {
+namespace {
+
+// ------------------------------------------------------------ SubCache ----
+
+TEST(SubCache, GeometryMatchesTheRealMachine) {
+  SubCache sc;  // 256 KB, 2-way, 2 KB blocks
+  EXPECT_EQ(sc.sets(), 64u);
+  EXPECT_EQ(sc.ways(), 2u);
+}
+
+TEST(SubCache, FirstAccessAllocatesBlockAndFillsSubBlock) {
+  SubCache sc;
+  sim::Rng rng(1);
+  const auto r = sc.access(0x10000, rng);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.block_allocated);
+  EXPECT_FALSE(r.block_evicted);
+  EXPECT_TRUE(sc.contains(0x10000));
+}
+
+TEST(SubCache, SecondAccessSameSubBlockHits) {
+  SubCache sc;
+  sim::Rng rng(1);
+  (void)sc.access(0x10000, rng);
+  const auto r = sc.access(0x10000 + 8, rng);  // same 64 B sub-block
+  EXPECT_TRUE(r.hit);
+  EXPECT_FALSE(r.block_allocated);
+}
+
+TEST(SubCache, DifferentSubBlockSameBlockMissesWithoutAllocation) {
+  SubCache sc;
+  sim::Rng rng(1);
+  (void)sc.access(0x10000, rng);
+  const auto r = sc.access(0x10000 + mem::kSubBlockBytes, rng);
+  EXPECT_FALSE(r.hit);
+  EXPECT_FALSE(r.block_allocated);  // block frame already allocated
+}
+
+TEST(SubCache, ConflictingBlocksEvictWithinTheSet) {
+  SubCache sc;  // 64 sets: blocks 2 KB apart by 128 KB conflict
+  sim::Rng rng(7);
+  const mem::Sva way_span = 64 * mem::kBlockBytes;  // 128 KB
+  (void)sc.access(0 * way_span, rng);
+  (void)sc.access(1 * way_span, rng);
+  const auto r = sc.access(2 * way_span, rng);  // third block, 2 ways
+  EXPECT_TRUE(r.block_allocated);
+  EXPECT_TRUE(r.block_evicted);
+  // Exactly one of the first two is gone (random victim).
+  const int present = (sc.contains(0) ? 1 : 0) + (sc.contains(way_span) ? 1 : 0);
+  EXPECT_EQ(present, 1);
+}
+
+TEST(SubCache, InvalidateSubpageDropsItsTwoSubBlocks) {
+  SubCache sc;
+  sim::Rng rng(1);
+  (void)sc.access(0x2000, rng);
+  (void)sc.access(0x2000 + 64, rng);
+  (void)sc.access(0x2000 + 128, rng);  // next sub-page, same block
+  sc.invalidate_subpage(mem::subpage_of(0x2000));
+  EXPECT_FALSE(sc.contains(0x2000));
+  EXPECT_FALSE(sc.contains(0x2000 + 64));
+  EXPECT_TRUE(sc.contains(0x2000 + 128));  // other sub-page untouched
+}
+
+TEST(SubCache, InvalidateBlockDropsWholeBlock) {
+  SubCache sc;
+  sim::Rng rng(1);
+  (void)sc.access(0x4000, rng);
+  (void)sc.access(0x4000 + 1024, rng);
+  sc.invalidate_block(mem::block_of(0x4000));
+  EXPECT_FALSE(sc.contains(0x4000));
+  EXPECT_FALSE(sc.contains(0x4000 + 1024));
+}
+
+TEST(SubCache, ScaledConfigShrinksSets) {
+  SubCache sc(SubCache::Config{16 * 1024, 2});
+  EXPECT_EQ(sc.sets(), 4u);
+}
+
+// Property: presence is always a subset of what was accessed.
+TEST(SubCache, NeverContainsWhatWasNeverAccessed) {
+  SubCache sc;
+  sim::Rng rng(3);
+  std::set<mem::SubBlockId> touched;
+  sim::Rng addr_rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const mem::Sva a = addr_rng.below(1u << 22) & ~7ull;
+    (void)sc.access(a, rng);
+    touched.insert(mem::subblock_of(a));
+  }
+  sim::Rng probe_rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const mem::Sva a = probe_rng.below(1u << 22) & ~7ull;
+    if (sc.contains(a)) {
+      EXPECT_TRUE(touched.count(mem::subblock_of(a)) == 1);
+    }
+  }
+}
+
+// --------------------------------------------------------- LocalCache ----
+
+TEST(LocalCache, GeometryMatchesTheRealMachine) {
+  LocalCache lc;  // 32 MB, 16-way, 16 KB pages
+  EXPECT_EQ(lc.sets(), 128u);
+  EXPECT_EQ(lc.ways(), 16u);
+}
+
+TEST(LocalCache, TouchAllocatesPageWithInvalidSiblings) {
+  LocalCache lc;
+  sim::Rng rng(1);
+  const mem::SubPageId sp = 1000;
+  const auto pa = lc.touch(sp, LineState::kShared, rng);
+  EXPECT_TRUE(pa.allocated);
+  EXPECT_FALSE(pa.evicted);
+  EXPECT_EQ(lc.state(sp), LineState::kShared);
+  // Sibling sub-pages of the same page are placeholders (frame present,
+  // state Invalid).
+  const mem::SubPageId sibling = sp + 1;
+  ASSERT_EQ(mem::page_of_subpage(sibling), mem::page_of_subpage(sp));
+  const auto lk = lc.lookup(sibling);
+  EXPECT_TRUE(lk.page_present);
+  EXPECT_EQ(lk.state, LineState::kInvalid);
+}
+
+TEST(LocalCache, SecondTouchSamePageDoesNotAllocate) {
+  LocalCache lc;
+  sim::Rng rng(1);
+  (void)lc.touch(1000, LineState::kShared, rng);
+  const auto pa = lc.touch(1001, LineState::kExclusive, rng);
+  EXPECT_FALSE(pa.allocated);
+  EXPECT_EQ(lc.state(1001), LineState::kExclusive);
+}
+
+TEST(LocalCache, EvictionReportsAllSubpageStates) {
+  LocalCache lc(LocalCache::Config{2 * mem::kPageBytes, 1});  // 2 sets, direct
+  sim::Rng rng(1);
+  const mem::SubPageId base = 0;  // page 0 -> set 0
+  (void)lc.touch(base, LineState::kExclusive, rng);
+  (void)lc.touch(base + 1, LineState::kShared, rng);
+  // Page 2 maps to set 0 as well (2 sets): evicts page 0.
+  const auto pa =
+      lc.touch(2 * mem::kSubPagesPerPage, LineState::kShared, rng);
+  EXPECT_TRUE(pa.evicted);
+  EXPECT_EQ(pa.evicted_page, 0u);
+  EXPECT_EQ(pa.evicted_states[0], LineState::kExclusive);
+  EXPECT_EQ(pa.evicted_states[1], LineState::kShared);
+  EXPECT_EQ(pa.evicted_states[2], LineState::kInvalid);
+  EXPECT_EQ(lc.state(base), LineState::kInvalid);
+}
+
+TEST(LocalCache, SetStateOnAbsentPageIsNoOp) {
+  LocalCache lc;
+  lc.set_state(424242, LineState::kShared);
+  EXPECT_EQ(lc.state(424242), LineState::kInvalid);
+}
+
+TEST(LocalCache, StateTransitionsStick) {
+  LocalCache lc;
+  sim::Rng rng(1);
+  (void)lc.touch(5, LineState::kShared, rng);
+  lc.set_state(5, LineState::kAtomic);
+  EXPECT_EQ(lc.state(5), LineState::kAtomic);
+  EXPECT_TRUE(writable(lc.state(5)));
+  lc.set_state(5, LineState::kInvalid);
+  EXPECT_FALSE(readable(lc.state(5)));
+  EXPECT_TRUE(lc.lookup(5).page_present);  // placeholder remains
+}
+
+TEST(LocalCache, ClearDropsEverything) {
+  LocalCache lc;
+  sim::Rng rng(1);
+  (void)lc.touch(5, LineState::kExclusive, rng);
+  lc.clear();
+  EXPECT_FALSE(lc.lookup(5).page_present);
+}
+
+// Property: with W ways per set, at most W pages of one set are resident.
+TEST(LocalCache, AssociativityBound) {
+  LocalCache lc(LocalCache::Config{64 * mem::kPageBytes, 4});  // 16 sets
+  sim::Rng rng(11);
+  // 40 pages all mapping to set 0 (page ids multiples of 16).
+  for (mem::PageId pg = 0; pg < 40; ++pg) {
+    (void)lc.touch(pg * 16 * mem::kSubPagesPerPage, LineState::kShared, rng);
+  }
+  int resident = 0;
+  for (mem::PageId pg = 0; pg < 40; ++pg) {
+    if (lc.lookup(pg * 16 * mem::kSubPagesPerPage).page_present) ++resident;
+  }
+  EXPECT_EQ(resident, 4);
+}
+
+TEST(LineState, PredicatesAndNames) {
+  EXPECT_FALSE(readable(LineState::kInvalid));
+  EXPECT_TRUE(readable(LineState::kShared));
+  EXPECT_FALSE(writable(LineState::kShared));
+  EXPECT_TRUE(writable(LineState::kExclusive));
+  EXPECT_TRUE(writable(LineState::kAtomic));
+  EXPECT_EQ(to_string(LineState::kAtomic), "Atomic");
+}
+
+}  // namespace
+}  // namespace ksr::cache

@@ -1,0 +1,171 @@
+// Latency calibration against the published KSR-1 numbers (paper Fig. 1):
+// sub-cache 2 cycles, local cache 18 cycles, same-ring remote ~175 cycles.
+#include <gtest/gtest.h>
+
+#include "ksr/machine/ksr_machine.hpp"
+
+namespace ksr::machine {
+namespace {
+
+constexpr double kCycle = 50e-9;  // KSR-1: 20 MHz
+
+TEST(Latency, SubcacheHitIsTwoCycles) {
+  KsrMachine m(MachineConfig::ksr1(1));
+  auto arr = m.alloc<double>("a", 8);
+  double per_access = 0;
+  m.run([&](Cpu& cpu) {
+    (void)cpu.read(arr, 0);  // warm everything
+    const double t0 = cpu.seconds();
+    for (int i = 0; i < 1000; ++i) (void)cpu.read(arr, 0);
+    per_access = (cpu.seconds() - t0) / 1000.0;
+  });
+  EXPECT_NEAR(per_access, 2 * kCycle, 1e-12);
+}
+
+TEST(Latency, LocalCacheReadIsEighteenCycles) {
+  KsrMachine m(MachineConfig::ksr1(1));
+  // Arrays too large for the sub-cache (256 KB): stride one sub-block so
+  // every access misses the (previously evicted) sub-cache but hits the
+  // local cache. Mirrors the paper's A/B experiment.
+  constexpr std::size_t kDoubles = (1u << 20) / sizeof(double);  // 1 MB
+  auto a = m.alloc<double>("A", kDoubles);
+  auto b = m.alloc<double>("B", kDoubles);
+  double per_access = 0;
+  m.run([&](Cpu& cpu) {
+    constexpr std::size_t kStride = mem::kSubBlockBytes / sizeof(double);
+    // Touch all of A once (now resident in local cache).
+    for (std::size_t i = 0; i < kDoubles; i += kStride) (void)cpu.read(a, i);
+    // Fill the sub-cache with B, repeatedly (random replacement!).
+    for (int rep = 0; rep < 4; ++rep) {
+      for (std::size_t i = 0; i < kDoubles; i += kStride) (void)cpu.read(b, i);
+    }
+    // Now measure A again: sub-cache misses, local-cache hits.
+    const std::uint64_t misses0 = cpu.pmon().localcache_misses;
+    const double t0 = cpu.seconds();
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kDoubles; i += kStride, ++n) {
+      (void)cpu.read(a, i);
+    }
+    per_access = (cpu.seconds() - t0) / static_cast<double>(n);
+    // A stayed resident: no ring traffic in the measured loop.
+    EXPECT_EQ(cpu.pmon().localcache_misses, misses0);
+  });
+  // 18 cycles = 0.9 us, plus amortized 2 KB block-allocation overhead.
+  EXPECT_GT(per_access, 17 * kCycle);
+  EXPECT_LT(per_access, 22 * kCycle);
+}
+
+TEST(Latency, RemoteReadIsAbout175Cycles) {
+  KsrMachine m(MachineConfig::ksr1(2));
+  constexpr std::size_t kInts = 64 * 1024;
+  auto arr = m.alloc<int>("a", kInts);
+  auto flag = m.alloc<int>("flag", 1);
+  double per_access = 0;
+  m.run([&](Cpu& cpu) {
+    constexpr std::size_t kStride = mem::kSubPageBytes / sizeof(int);
+    if (cpu.id() == 0) {
+      for (std::size_t i = 0; i < kInts; i += kStride) cpu.write(arr, i, 1);
+      cpu.write(flag, 0, 1);
+    } else {
+      while (cpu.read(flag, 0) == 0) cpu.work(10);
+      // Touch one sub-page per page first so page allocation is done.
+      for (std::size_t i = 0; i < kInts;
+           i += mem::kPageBytes / sizeof(int)) {
+        (void)cpu.read(arr, i);
+      }
+      const double t0 = cpu.seconds();
+      std::size_t n = 0;
+      for (std::size_t i = kStride; i < kInts; i += kStride) {
+        if (i % (mem::kPageBytes / sizeof(int)) == 0) continue;  // warmed
+        (void)cpu.read(arr, i);
+        ++n;
+      }
+      per_access = (cpu.seconds() - t0) / static_cast<double>(n);
+    }
+  });
+  // Published: 175 cycles = 8.75 us. Allow the model's slot-wait spread.
+  EXPECT_GT(per_access, 165 * kCycle);
+  EXPECT_LT(per_access, 190 * kCycle);
+}
+
+TEST(Latency, LocalCacheWritesDearerThanReads) {
+  auto measure = [](bool write_pass) {
+    KsrMachine m(MachineConfig::ksr1(1));
+    constexpr std::size_t kDoubles = (1u << 20) / sizeof(double);
+    auto a = m.alloc<double>("A", kDoubles);
+    auto b = m.alloc<double>("B", kDoubles);
+    double per_access = 0;
+    m.run([&](Cpu& cpu) {
+      constexpr std::size_t kStride = mem::kSubBlockBytes / sizeof(double);
+      for (std::size_t i = 0; i < kDoubles; i += kStride) (void)cpu.read(a, i);
+      for (int rep = 0; rep < 4; ++rep) {
+        for (std::size_t i = 0; i < kDoubles; i += kStride) {
+          (void)cpu.read(b, i);
+        }
+      }
+      const double t0 = cpu.seconds();
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < kDoubles; i += kStride, ++n) {
+        if (write_pass) {
+          cpu.write(a, i, 1.0);
+        } else {
+          (void)cpu.read(a, i);
+        }
+      }
+      per_access = (cpu.seconds() - t0) / static_cast<double>(n);
+    });
+    return per_access;
+  };
+  const double rd = measure(false);
+  const double wr = measure(true);
+  EXPECT_GT(wr, rd);            // Fig. 2: writes slightly more expensive
+  EXPECT_LT(wr, rd * 1.3);      // ...but only slightly
+}
+
+TEST(Latency, BlockAllocationStrideCostsExtra) {
+  // Paper §3.1: striding so each access touches a new 2 KB block costs ~50%
+  // more at local-cache level than striding within allocated blocks.
+  KsrMachine m(MachineConfig::ksr1(1));
+  constexpr std::size_t kDoubles = (2u << 20) / sizeof(double);
+  auto a = m.alloc<double>("A", kDoubles);
+  double dense_cost = 0;
+  double block_stride_cost = 0;
+  m.run([&](Cpu& cpu) {
+    constexpr std::size_t kSub = mem::kSubBlockBytes / sizeof(double);
+    constexpr std::size_t kBlk = mem::kBlockBytes / sizeof(double);
+    // Warm the local cache with all of A.
+    for (std::size_t i = 0; i < kDoubles; i += kSub) (void)cpu.read(a, i);
+    // Dense pass: every sub-block in order (block alloc amortized over 32).
+    double t0 = cpu.seconds();
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kDoubles; i += kSub, ++n) (void)cpu.read(a, i);
+    dense_cost = (cpu.seconds() - t0) / static_cast<double>(n);
+    // Block-stride pass: one access per 2 KB block → every access allocates.
+    t0 = cpu.seconds();
+    n = 0;
+    for (std::size_t i = 0; i < kDoubles; i += kBlk, ++n) (void)cpu.read(a, i);
+    block_stride_cost = (cpu.seconds() - t0) / static_cast<double>(n);
+  });
+  const double ratio = block_stride_cost / dense_cost;
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 1.8);
+}
+
+TEST(Latency, Ksr2CellsRunTwiceAsFastLocally) {
+  auto compute_time = [](MachineConfig cfg) {
+    KsrMachine m(cfg);
+    double dt = 0;
+    m.run([&](Cpu& cpu) {
+      const double t0 = cpu.seconds();
+      cpu.work(100000);
+      dt = cpu.seconds() - t0;
+    });
+    return dt;
+  };
+  const double t1 = compute_time(MachineConfig::ksr1(1));
+  const double t2 = compute_time(MachineConfig::ksr2(1));
+  EXPECT_DOUBLE_EQ(t1, 2 * t2);
+}
+
+}  // namespace
+}  // namespace ksr::machine

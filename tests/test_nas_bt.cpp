@@ -1,0 +1,51 @@
+// BT application correctness: checksum invariance across processor counts
+// and prefetch settings; scaling sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/nas/bt.hpp"
+
+namespace ksr::nas {
+namespace {
+
+using machine::KsrMachine;
+using machine::MachineConfig;
+
+TEST(Bt, ChecksumInvariantAcrossProcsAndPrefetch) {
+  BtConfig cfg;
+  cfg.n = 6;
+  cfg.iterations = 2;
+  double expect = 0;
+  {
+    KsrMachine m(MachineConfig::ksr1(1).scaled_by(16));
+    expect = run_bt(m, cfg).checksum;
+  }
+  EXPECT_TRUE(std::isfinite(expect));
+  for (unsigned p : {2u, 3u, 6u}) {
+    for (bool pf : {false, true}) {
+      BtConfig c = cfg;
+      c.use_prefetch = pf;
+      KsrMachine m(MachineConfig::ksr1(p).scaled_by(16));
+      EXPECT_NEAR(run_bt(m, c).checksum, expect, 1e-9)
+          << "p=" << p << " prefetch=" << pf;
+    }
+  }
+}
+
+TEST(Bt, ScalesWithProcessors) {
+  BtConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 1;
+  auto t_at = [&](unsigned p) {
+    KsrMachine m(MachineConfig::ksr1(p).scaled_by(16));
+    return run_bt(m, cfg).seconds_per_iteration;
+  };
+  const double t1 = t_at(1);
+  const double t8 = t_at(8);
+  EXPECT_GT(t1 / t8, 4.0);  // compute-dense: should scale well
+}
+
+}  // namespace
+}  // namespace ksr::nas

@@ -1,0 +1,199 @@
+// Correctness of the NAS kernels on the simulated machine: EP matches the
+// serial reference bit-for-bit for every processor count; CG converges to
+// the reference residual; IS produces a valid sorted ranking; SP's checksum
+// is invariant across layouts, optimizations and processor counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/nas/cg.hpp"
+#include "ksr/nas/ep.hpp"
+#include "ksr/nas/is.hpp"
+#include "ksr/nas/sp.hpp"
+
+namespace ksr::nas {
+namespace {
+
+using machine::KsrMachine;
+using machine::MachineConfig;
+
+// ---------------------------------------------------------------- EP ----
+
+class EpAnyProcs : public testing::TestWithParam<unsigned> {};
+
+TEST_P(EpAnyProcs, MatchesSerialReference) {
+  EpConfig cfg;
+  cfg.log2_pairs = 10;
+  const EpResult ref = ep_reference(cfg);
+  KsrMachine m(MachineConfig::ksr1(GetParam()));
+  const EpResult got = run_ep(m, cfg);
+  // Integer tallies are exact; the sums differ only by the reduction's
+  // floating-point association across chunks.
+  EXPECT_NEAR(got.sum_x, ref.sum_x, 1e-12 * std::fabs(ref.sum_x) + 1e-12);
+  EXPECT_NEAR(got.sum_y, ref.sum_y, 1e-12 * std::fabs(ref.sum_y) + 1e-12);
+  EXPECT_EQ(got.accepted, ref.accepted);
+  EXPECT_EQ(got.annulus_counts, ref.annulus_counts);
+  EXPECT_GT(got.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, EpAnyProcs, testing::Values(1u, 2u, 3u, 8u));
+
+TEST(Ep, ScalesNearlyLinearly) {
+  EpConfig cfg;
+  cfg.log2_pairs = 12;
+  auto time_at = [&](unsigned p) {
+    KsrMachine m(MachineConfig::ksr1(p));
+    return run_ep(m, cfg).seconds;
+  };
+  const double t1 = time_at(1);
+  const double t8 = time_at(8);
+  const double s8 = t1 / t8;
+  EXPECT_GT(s8, 6.5);  // paper: linear speedup
+  EXPECT_LE(s8, 8.5);
+}
+
+// ---------------------------------------------------------------- CG ----
+
+TEST(Cg, GeneratorBuildsSymmetricDiagonallyDominantSystem) {
+  CgConfig cfg;
+  cfg.n = 200;
+  cfg.nnz_per_row = 9;
+  const SparseSystem s = make_sparse_system(cfg);
+  ASSERT_EQ(s.row_start.size(), cfg.n + 1);
+  // Column indices in range, rows sorted, diagonal present and dominant.
+  for (std::size_t i = 0; i < s.n; ++i) {
+    double diag = 0, off = 0;
+    for (std::size_t k = s.row_start[i]; k < s.row_start[i + 1]; ++k) {
+      ASSERT_LT(s.col_index[k], s.n);
+      if (k > s.row_start[i]) {
+        EXPECT_LT(s.col_index[k - 1], s.col_index[k]);
+      }
+      if (s.col_index[k] == i) {
+        diag = s.values[k];
+      } else {
+        off += std::fabs(s.values[k]);
+      }
+    }
+    EXPECT_GT(diag, off);  // strict dominance => SPD
+  }
+}
+
+TEST(Cg, ReferenceResidualDecreasesMonotonically) {
+  CgConfig cfg;
+  cfg.n = 300;
+  cfg.iterations = 6;
+  const CgResult r = cg_reference(cfg);
+  EXPECT_LT(r.final_residual, r.initial_residual * 1e-2);
+}
+
+class CgAnyProcs : public testing::TestWithParam<unsigned> {};
+
+TEST_P(CgAnyProcs, SimulatedRunMatchesReference) {
+  CgConfig cfg;
+  cfg.n = 300;
+  cfg.nnz_per_row = 7;
+  cfg.iterations = 4;
+  const CgResult ref = cg_reference(cfg);
+  KsrMachine m(MachineConfig::ksr1(GetParam()).scaled_by(64));
+  const CgResult got = run_cg(m, cfg);
+  // Same arithmetic in the same order: results agree to rounding.
+  EXPECT_NEAR(got.final_residual, ref.final_residual,
+              1e-9 * ref.initial_residual);
+  EXPECT_GT(got.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, CgAnyProcs, testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Cg, ColumnFormatNeedsLocksButGetsSameAnswer) {
+  CgConfig cfg;
+  cfg.n = 120;
+  cfg.nnz_per_row = 5;
+  cfg.iterations = 2;
+  const CgResult ref = cg_reference(cfg);
+  cfg.format = SparseFormat::kColumnMajor;
+  KsrMachine m(MachineConfig::ksr1(4).scaled_by(64));
+  const CgResult got = run_cg(m, cfg);
+  // Scatter order differs => only approximate agreement.
+  EXPECT_NEAR(got.final_residual, ref.final_residual,
+              1e-6 * ref.initial_residual);
+  EXPECT_GT(m.cell_pmon(1).atomic_retries + m.cell_pmon(1).ring_nacks +
+                m.cell_pmon(0).ring_requests,
+            0u);
+}
+
+// ---------------------------------------------------------------- IS ----
+
+class IsAnyProcs : public testing::TestWithParam<unsigned> {};
+
+TEST_P(IsAnyProcs, RanksFormASortedPermutation) {
+  IsConfig cfg;
+  cfg.log2_keys = 10;
+  cfg.log2_buckets = 6;
+  KsrMachine m(MachineConfig::ksr1(GetParam()).scaled_by(64));
+  const IsResult r = run_is(m, cfg);
+  EXPECT_TRUE(r.ranks_valid);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, IsAnyProcs, testing::Values(1u, 2u, 3u, 8u));
+
+TEST(Is, SerialPhaseGrowsWithProcessors) {
+  IsConfig cfg;
+  cfg.log2_keys = 11;
+  cfg.log2_buckets = 7;
+  auto serial_at = [&](unsigned p) {
+    KsrMachine m(MachineConfig::ksr1(p).scaled_by(64));
+    return run_is(m, cfg).serial_phase_seconds;
+  };
+  // Phase 4 accumulates one partial sum per processor, fetched remotely.
+  EXPECT_GT(serial_at(8), serial_at(2));
+}
+
+// ---------------------------------------------------------------- SP ----
+
+TEST(Sp, ChecksumInvariantAcrossLayoutAndProcs) {
+  SpConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 2;
+  double expect = 0;
+  {
+    KsrMachine m(MachineConfig::ksr1(1).scaled_by(16));
+    expect = run_sp(m, cfg).checksum;
+  }
+  for (unsigned p : {2u, 4u}) {
+    for (bool padded : {false, true}) {
+      for (bool pf : {false, true}) {
+        SpConfig c = cfg;
+        c.padded_layout = padded;
+        c.use_prefetch = pf;
+        KsrMachine m(MachineConfig::ksr1(p).scaled_by(16));
+        EXPECT_NEAR(run_sp(m, c).checksum, expect, 1e-9)
+            << "p=" << p << " padded=" << padded << " prefetch=" << pf;
+      }
+    }
+  }
+}
+
+TEST(Sp, PaddedLayoutAvoidsSubcacheThrash) {
+  SpConfig cfg;
+  cfg.n = 16;  // 16^3 doubles = 32 KB per array: way-span aligned when scaled
+  cfg.iterations = 1;
+  auto run_with = [&](bool padded) {
+    SpConfig c = cfg;
+    c.padded_layout = padded;
+    KsrMachine m(MachineConfig::ksr1(4).scaled_by(16));
+    run_sp(m, c);
+    std::uint64_t allocs = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      allocs += m.cell_pmon(i).subcache_block_allocs;
+    }
+    return allocs;
+  };
+  const auto base = run_with(false);
+  const auto padded = run_with(true);
+  EXPECT_LT(padded, base) << "padding should reduce sub-cache block churn";
+}
+
+}  // namespace
+}  // namespace ksr::nas

@@ -1,0 +1,208 @@
+// Unit and property tests for the three interconnect models: the slotted
+// pipelined ring (latency, capacity, fairness, saturation), the serializing
+// bus, and the butterfly network (parallel paths, hot-spot contention).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ksr/net/bus.hpp"
+#include "ksr/net/butterfly.hpp"
+#include "ksr/net/ring.hpp"
+#include "ksr/sim/engine.hpp"
+
+namespace ksr::net {
+namespace {
+
+TEST(SlottedRing, UncontendedTransactionTakesOneCirculation) {
+  sim::Engine eng;
+  SlottedRing ring(eng, {}, "t");
+  sim::Time done_at = 0;
+  sim::Duration wait = 0;
+  eng.at(0, [&] {
+    ring.inject(5, 0, [&](sim::Duration w) {
+      wait = w;
+      done_at = eng.now();
+    });
+  });
+  eng.run();
+  // Injection may wait a few hops for a slot coordinate to pass position 5.
+  EXPECT_EQ(done_at, wait + ring.circulation_ns());
+  EXPECT_LT(wait, 10 * ring.config().hop_ns);
+}
+
+TEST(SlottedRing, PipelinesManySimultaneousTransactions) {
+  sim::Engine eng;
+  SlottedRing ring(eng, {}, "t");
+  int done = 0;
+  sim::Time last = 0;
+  eng.at(0, [&] {
+    for (unsigned p = 0; p < 24; ++p) {
+      ring.inject(p, p % 2, [&](sim::Duration) {
+        ++done;
+        last = eng.now();
+      });
+    }
+  });
+  eng.run();
+  EXPECT_EQ(done, 24);
+  // 24 transactions across 24 slots: all pipelined, finishing within about
+  // one circulation + injection spread — far less than 24 serial rounds.
+  EXPECT_LT(last, 2 * ring.circulation_ns());
+}
+
+TEST(SlottedRing, CapacityBoundRespected) {
+  sim::Engine eng;
+  SlottedRing::Config cfg;
+  cfg.slots_per_subring = 2;  // tiny ring: 2 slots per sub-ring
+  SlottedRing ring(eng, cfg, "t");
+  int done = 0;
+  eng.at(0, [&] {
+    for (int k = 0; k < 10; ++k) {
+      ring.inject(0, 0, [&](sim::Duration) { ++done; });
+    }
+  });
+  eng.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_LE(ring.stats().max_in_flight, 2u);
+}
+
+TEST(SlottedRing, SamePositionRequestsServeFifo) {
+  sim::Engine eng;
+  SlottedRing ring(eng, {}, "t");
+  std::vector<int> order;
+  eng.at(0, [&] {
+    for (int k = 0; k < 5; ++k) {
+      ring.inject(3, 0, [&order, k](sim::Duration) { order.push_back(k); });
+    }
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SlottedRing, SaturationRaisesWaits) {
+  auto mean_wait = [](sim::Duration period) {
+    sim::Engine eng;
+    SlottedRing ring(eng, {}, "t");
+    for (unsigned p = 0; p < 32; ++p) {
+      for (int k = 0; k < 30; ++k) {
+        // Spread arrivals across the period (not a synchronized burst).
+        eng.at(static_cast<sim::Time>(k) * period + p * (period / 32),
+               [&ring, p, k] { ring.inject(p, static_cast<unsigned>(k) % 2,
+                                           [](sim::Duration) {}); });
+      }
+    }
+    eng.run();
+    return ring.stats().mean_wait_ns();
+  };
+  const double light = mean_wait(20000);  // well under capacity
+  const double heavy = mean_wait(1000);   // beyond capacity
+  EXPECT_LT(light, 500.0);
+  EXPECT_GT(heavy, 5 * light);
+}
+
+TEST(SlottedRing, SubringsAreIndependent) {
+  sim::Engine eng;
+  SlottedRing::Config cfg;
+  cfg.slots_per_subring = 1;
+  SlottedRing ring(eng, cfg, "t");
+  sim::Time done0 = 0, done1 = 0;
+  eng.at(0, [&] {
+    ring.inject(0, 0, [&](sim::Duration) { done0 = eng.now(); });
+    ring.inject(0, 1, [&](sim::Duration) { done1 = eng.now(); });
+  });
+  eng.run();
+  // One slot per sub-ring, but they do not contend with each other.
+  EXPECT_LT(done0, 2 * ring.circulation_ns());
+  EXPECT_LT(done1, 2 * ring.circulation_ns());
+}
+
+TEST(SlottedRing, InvalidInjectionRejected) {
+  sim::Engine eng;
+  SlottedRing ring(eng, {}, "t");
+  EXPECT_THROW(ring.inject(99, 0, [](sim::Duration) {}), std::out_of_range);
+  EXPECT_THROW(ring.inject(0, 7, [](sim::Duration) {}), std::out_of_range);
+}
+
+// ------------------------------------------------------------------ Bus ----
+
+TEST(Bus, SerializesFcfs) {
+  sim::Engine eng;
+  Bus bus(eng, Bus::Config{1000});
+  std::vector<sim::Time> completions;
+  eng.at(0, [&] {
+    for (int k = 0; k < 4; ++k) {
+      bus.transact([&](sim::Duration) { completions.push_back(eng.now()); });
+    }
+  });
+  eng.run();
+  ASSERT_EQ(completions.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(completions[static_cast<std::size_t>(k)],
+              static_cast<sim::Time>(k + 1) * 1000);
+  }
+  EXPECT_EQ(bus.stats().transactions, 4u);
+  EXPECT_EQ(bus.stats().busy_ns, 4000u);
+}
+
+TEST(Bus, IdleBusHasNoWait) {
+  sim::Engine eng;
+  Bus bus(eng, Bus::Config{1000});
+  sim::Duration wait = 42;
+  eng.at(5000, [&] { bus.transact([&](sim::Duration w) { wait = w; }); });
+  eng.run();
+  EXPECT_EQ(wait, 0u);
+}
+
+// ------------------------------------------------------------ Butterfly ----
+
+TEST(Butterfly, StagesGrowWithPorts) {
+  sim::Engine eng;
+  Butterfly n16(eng, {16, 300, 600});
+  EXPECT_EQ(n16.stages(), 2u);
+  Butterfly n64(eng, {64, 300, 600});
+  EXPECT_EQ(n64.stages(), 3u);
+}
+
+TEST(Butterfly, UncontendedRoundTripMatchesBase) {
+  sim::Engine eng;
+  Butterfly net(eng, {16, 300, 600});
+  sim::Time done = 0;
+  eng.at(0, [&] {
+    net.transact(0, 7, [&](sim::Duration) { done = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(done, net.base_round_trip());
+}
+
+TEST(Butterfly, DisjointPathsDoNotContend) {
+  sim::Engine eng;
+  Butterfly net(eng, {16, 300, 600});
+  std::vector<sim::Time> done;
+  eng.at(0, [&] {
+    // src i -> dst i: omega link ids differ at every stage.
+    for (unsigned i = 0; i < 4; ++i) {
+      net.transact(i, i + 4, [&](sim::Duration) { done.push_back(eng.now()); });
+    }
+  });
+  eng.run();
+  for (sim::Time t : done) EXPECT_LE(t, net.base_round_trip() + 300);
+}
+
+TEST(Butterfly, HotSpotSerializesAtTheHomeModule) {
+  sim::Engine eng;
+  Butterfly net(eng, {16, 300, 600});
+  std::vector<sim::Time> done;
+  eng.at(0, [&] {
+    for (unsigned i = 0; i < 8; ++i) {
+      net.transact(i, 3, [&](sim::Duration) { done.push_back(eng.now()); });
+    }
+  });
+  eng.run();
+  // All eight target module 3: the final-stage link serializes them.
+  sim::Time last = 0;
+  for (sim::Time t : done) last = std::max(last, t);
+  EXPECT_GT(last, net.base_round_trip() + 6 * 300);
+}
+
+}  // namespace
+}  // namespace ksr::net

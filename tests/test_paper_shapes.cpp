@@ -1,0 +1,152 @@
+// Regression locks for the paper's qualitative results: small, fast
+// versions of the headline shape claims. If a model change breaks one of
+// these, the corresponding figure/table reproduction has regressed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ksr/machine/bus_machine.hpp"
+#include "ksr/machine/butterfly_machine.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/nas/cg.hpp"
+#include "ksr/nas/is.hpp"
+#include "ksr/nas/sp.hpp"
+#include "ksr/study/metrics.hpp"
+#include "ksr/sync/barrier.hpp"
+
+namespace ksr {
+namespace {
+
+using machine::Cpu;
+using machine::KsrMachine;
+using machine::MachineConfig;
+
+template <typename MachineT>
+double episode_us(MachineT& m, sync::BarrierKind kind, int episodes = 8) {
+  auto barrier = sync::make_barrier(m, kind);
+  double t = 0;
+  m.run([&](Cpu& cpu) {
+    barrier->arrive(cpu);
+    const double t0 = cpu.seconds();
+    for (int e = 0; e < episodes; ++e) {
+      cpu.work(cpu.rng().below(500));
+      barrier->arrive(cpu);
+    }
+    if (cpu.seconds() - t0 > t) t = cpu.seconds() - t0;
+  });
+  return t / episodes * 1e6;
+}
+
+// Fig. 4: at 16+ processors the (M) variants beat their tree-notification
+// counterparts, and everything beats the counter.
+TEST(PaperShapes, GlobalFlagVariantsWinOnKsr1) {
+  std::map<sync::BarrierKind, double> t;
+  for (sync::BarrierKind k : sync::all_barrier_kinds()) {
+    KsrMachine m(MachineConfig::ksr1(16));
+    t[k] = episode_us(m, k);
+  }
+  EXPECT_LT(t[sync::BarrierKind::kTreeM], t[sync::BarrierKind::kTree]);
+  EXPECT_LT(t[sync::BarrierKind::kTournamentM],
+            t[sync::BarrierKind::kTournament]);
+  EXPECT_LT(t[sync::BarrierKind::kMcsM], t[sync::BarrierKind::kMcs]);
+  for (sync::BarrierKind k : sync::all_barrier_kinds()) {
+    if (k != sync::BarrierKind::kCounter) {
+      EXPECT_LT(t[k], t[sync::BarrierKind::kCounter]) << to_string(k);
+    }
+  }
+  // Plain tournament and MCS "have almost identical performance" (§3.2.2).
+  const double ratio =
+      t[sync::BarrierKind::kTournament] / t[sync::BarrierKind::kMcs];
+  EXPECT_GT(ratio, 0.66);
+  EXPECT_LT(ratio, 1.5);
+}
+
+// Fig. 5 / §3.2.4: crossing the 32-cell ring boundary costs a visible jump.
+TEST(PaperShapes, RingBoundaryJumpOnKsr2) {
+  KsrMachine m32(MachineConfig::ksr2(32));
+  KsrMachine m40(MachineConfig::ksr2(40));
+  const double at32 = episode_us(m32, sync::BarrierKind::kTournamentM);
+  const double at40 = episode_us(m40, sync::BarrierKind::kTournamentM);
+  EXPECT_GT(at40, at32 * 1.15);  // 8 more cells, far more than linear cost
+}
+
+// §3.2.3: dissemination wins on the Butterfly (parallel paths, no caches).
+TEST(PaperShapes, DisseminationWinsOnButterfly) {
+  std::map<sync::BarrierKind, double> t;
+  for (sync::BarrierKind k :
+       {sync::BarrierKind::kDissemination, sync::BarrierKind::kTournament,
+        sync::BarrierKind::kMcs, sync::BarrierKind::kCounter}) {
+    machine::ButterflyMachine m(MachineConfig::butterfly(16));
+    t[k] = episode_us(m, k);
+  }
+  EXPECT_LT(t[sync::BarrierKind::kDissemination],
+            t[sync::BarrierKind::kTournament]);
+  EXPECT_LT(t[sync::BarrierKind::kTournament], t[sync::BarrierKind::kCounter]);
+  EXPECT_LT(t[sync::BarrierKind::kMcs], t[sync::BarrierKind::kCounter]);
+}
+
+// §3.2.3: on the bus, MCS(M) beats tournament(M) (4-ary arrival halves the
+// critical path; serialization voids the parallel-path advantage).
+TEST(PaperShapes, McsMBeatsTournamentMOnSymmetry) {
+  machine::BusMachine m1(MachineConfig::symmetry(16));
+  const double mcs = episode_us(m1, sync::BarrierKind::kMcsM);
+  machine::BusMachine m2(MachineConfig::symmetry(16));
+  const double tourn = episode_us(m2, sync::BarrierKind::kTournamentM);
+  EXPECT_LT(mcs, tourn);
+}
+
+// Table 1: CG shows a superunitary region once partitions fit in cache.
+TEST(PaperShapes, CgSuperunitaryRegion) {
+  // The Table 1 configuration: working set ~3x one cell's scaled local
+  // cache, fitting once partitioned 4 ways.
+  nas::CgConfig cfg;
+  cfg.n = 1750;
+  cfg.nnz_per_row = 72;
+  cfg.iterations = 3;
+  auto t_at = [&](unsigned p) {
+    KsrMachine m(MachineConfig::ksr1(p).scaled_by(64));
+    return run_cg(m, cfg).seconds;
+  };
+  const double t1 = t_at(1);
+  const double t4 = t_at(4);
+  EXPECT_GT(t1 / t4, 4.0);  // efficiency > 1 somewhere below 8 procs
+}
+
+// Table 4: padding beats base; poststore does not beat padded+prefetch.
+TEST(PaperShapes, SpOptimizationDirections) {
+  auto run_with = [](bool padded, bool poststore) {
+    nas::SpConfig cfg;
+    cfg.n = 16;
+    cfg.iterations = 1;
+    cfg.padded_layout = padded;
+    cfg.use_prefetch = padded;  // ladder order
+    cfg.use_poststore = poststore;
+    KsrMachine m(MachineConfig::ksr1(8).scaled_by(16));
+    return run_sp(m, cfg).seconds_per_iteration;
+  };
+  const double base = run_with(false, false);
+  const double padded = run_with(true, false);
+  const double post = run_with(true, true);
+  EXPECT_LT(padded, base);
+  EXPECT_GE(post, padded * 0.999);  // poststore never a clear win here
+}
+
+// Table 2: IS serial fraction grows with processors.
+TEST(PaperShapes, IsSerialFractionGrows) {
+  nas::IsConfig cfg;
+  cfg.log2_keys = 13;
+  cfg.log2_buckets = 9;
+  auto t_at = [&](unsigned p) {
+    KsrMachine m(MachineConfig::ksr1(p).scaled_by(64));
+    return run_is(m, cfg).seconds;
+  };
+  const double t1 = t_at(1);
+  const double s8 = t1 / t_at(8);
+  const double s32 = t1 / t_at(32);
+  const double f8 = study::karp_flatt(s8, 8);
+  const double f32 = study::karp_flatt(s32, 32);
+  EXPECT_GT(f32, f8);
+}
+
+}  // namespace
+}  // namespace ksr

@@ -1,0 +1,84 @@
+// Cross-validation of the closed-form ring model against the slot-accurate
+// simulator: uncontended latency, bandwidth, and the shape of the
+// wait-vs-load curve.
+#include <gtest/gtest.h>
+
+#include "ksr/net/ring.hpp"
+#include "ksr/sim/engine.hpp"
+#include "ksr/sim/stats.hpp"
+#include "ksr/study/ring_model.hpp"
+
+namespace ksr::study {
+namespace {
+
+TEST(RingModel, PublishedNumbersFallOut) {
+  const RingModel m = RingModel::from_config(machine::MachineConfig::ksr1(32));
+  // ~175 cycles = 8750 ns uncontended remote access.
+  EXPECT_NEAR(m.uncontended_latency_ns(), 8750.0, 200.0);
+  // "The lowest level ring has a capacity of 1 GBytes/sec" ~ 0.96 GB/s.
+  EXPECT_NEAR(m.peak_bandwidth_bytes_per_ns(), 0.96, 0.05);
+}
+
+TEST(RingModel, MatchesSimulatorWhenUncontended) {
+  sim::Engine eng;
+  net::SlottedRing ring(eng, {}, "t");
+  sim::RunningStat lat;
+  // Sparse, spread-out injections: effectively zero load.
+  for (unsigned p = 0; p < 32; ++p) {
+    const sim::Time when = p * 50000;
+    eng.at(when, [&ring, &lat, &eng, p, when] {
+      ring.inject(p, p % 2, [&lat, &eng, when](sim::Duration) {
+        lat.add(static_cast<double>(eng.now() - when));
+      });
+    });
+  }
+  eng.run();
+  const RingModel m = RingModel::from_config(machine::MachineConfig::ksr1(32));
+  // Simulated = wait + circulation; model adds the protocol overhead which
+  // the raw ring does not include.
+  EXPECT_NEAR(lat.mean() + m.fixed_overhead_ns, m.uncontended_latency_ns(),
+              150.0);
+}
+
+TEST(RingModel, WaitCurveShapesMatchSimulator) {
+  // Sweep offered load; both the model and the simulator must agree that
+  // waits stay flat below ~60% utilisation and blow up near saturation.
+  const RingModel model = RingModel::from_config(machine::MachineConfig::ksr1(32));
+  auto simulate = [](sim::Duration period) {
+    sim::Engine eng;
+    net::SlottedRing ring(eng, {}, "t");
+    for (unsigned p = 0; p < 32; ++p) {
+      for (int k = 0; k < 40; ++k) {
+        eng.at(static_cast<sim::Time>(k) * period + p * (period / 32),
+               [&ring, p, k] {
+                 ring.inject(p, static_cast<unsigned>(k) % 2,
+                             [](sim::Duration) {});
+               });
+      }
+    }
+    eng.run();
+    return ring.stats().mean_wait_ns();
+  };
+
+  // Offered rate = 32 / period transactions per ns.
+  const double sat = model.saturation_rate_per_ns();
+  const double low_period = 32.0 / (0.3 * sat);   // 30% of saturation
+  const double high_period = 32.0 / (1.5 * sat);  // 150% of saturation
+  const double w_low = simulate(static_cast<sim::Duration>(low_period));
+  const double w_high = simulate(static_cast<sim::Duration>(high_period));
+  EXPECT_LT(w_low, 800.0);
+  EXPECT_GT(w_high, 4.0 * w_low);
+
+  // The analytic curve shows the same ordering.
+  EXPECT_LT(model.expected_wait_ns(0.3), model.expected_wait_ns(0.9));
+}
+
+TEST(RingModel, UtilizationSaturatesAtOne) {
+  const RingModel m = RingModel::from_config(machine::MachineConfig::ksr1(32));
+  EXPECT_LE(m.utilization(32, 0.0), 1.0);
+  EXPECT_LT(m.utilization(2, 100000.0), 0.05);
+  EXPECT_GT(m.utilization(32, 0.0), m.utilization(8, 0.0));
+}
+
+}  // namespace
+}  // namespace ksr::study

@@ -1,0 +1,156 @@
+// Unit tests for the discrete-event engine and fiber scheduler.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "ksr/sim/engine.hpp"
+
+namespace ksr::sim {
+namespace {
+
+TEST(Engine, DispatchesEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(30, [&] { order.push_back(3); });
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.at(100, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SchedulingIntoThePastThrows) {
+  Engine eng;
+  eng.at(50, [&] {
+    EXPECT_THROW(eng.at(40, [] {}), std::logic_error);
+  });
+  eng.run();
+}
+
+TEST(Engine, NestedSchedulingFromEvents) {
+  Engine eng;
+  int hits = 0;
+  eng.at(1, [&] {
+    ++hits;
+    eng.at(5, [&] {
+      ++hits;
+      eng.at(9, [&] { ++hits; });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(eng.now(), 9u);
+}
+
+TEST(Engine, FiberRunsAndFinishes) {
+  Engine eng;
+  bool ran = false;
+  eng.spawn([&] { ran = true; }, 7);
+  eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(eng.live_fibers(), 0u);
+}
+
+TEST(Engine, FiberWaitUntilAdvancesTime) {
+  Engine eng;
+  Time seen = 0;
+  eng.spawn([&] {
+    eng.wait_until(1000);
+    seen = eng.now();
+    eng.wait_until(2500);
+    seen = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(seen, 2500u);
+}
+
+TEST(Engine, TwoFibersInterleaveDeterministically) {
+  Engine eng;
+  std::vector<int> trace;
+  eng.spawn([&] {
+    trace.push_back(1);
+    eng.wait_until(100);
+    trace.push_back(3);
+    eng.wait_until(300);
+    trace.push_back(5);
+  });
+  eng.spawn([&] {
+    trace.push_back(2);
+    eng.wait_until(200);
+    trace.push_back(4);
+  });
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Engine, BlockAndWake) {
+  Engine eng;
+  bool resumed = false;
+  const FiberId f = eng.spawn([&] {
+    eng.block();
+    resumed = true;
+    EXPECT_EQ(eng.now(), 500u);
+  });
+  eng.at(500, [&] { eng.wake(f, 500); });
+  eng.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  eng.spawn([&] { eng.block(); });  // nobody ever wakes it
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, FiberExceptionPropagates) {
+  Engine eng;
+  eng.spawn([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, ManyFibersAllComplete) {
+  Engine eng;
+  int done = 0;
+  for (int i = 0; i < 64; ++i) {
+    eng.spawn([&eng, &done, i] {
+      for (int k = 0; k < 10; ++k) {
+        eng.wait_until(eng.now() + static_cast<Time>(i + 1));
+      }
+      ++done;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done, 64);
+}
+
+TEST(Engine, CurrentFiberIdVisible) {
+  Engine eng;
+  eng.spawn([&] {
+    EXPECT_TRUE(eng.in_fiber());
+    EXPECT_EQ(eng.current_fiber(), 0u);
+  });
+  eng.run();
+  EXPECT_FALSE(eng.in_fiber());
+}
+
+TEST(Engine, NextEventTimeSentinelWhenIdle) {
+  Engine eng;
+  EXPECT_EQ(eng.next_event_time(), std::numeric_limits<Time>::max());
+  eng.at(42, [] {});
+  EXPECT_EQ(eng.next_event_time(), 42u);
+  eng.run();
+}
+
+}  // namespace
+}  // namespace ksr::sim

@@ -1,0 +1,363 @@
+// ksrsim — command-line driver for the simulated KSR-1 and its experiment
+// suite. Lets a user run any kernel, barrier or probe on any machine model
+// without writing code:
+//
+//   ksrsim probe     --machine ksr1 --procs 32
+//   ksrsim barrier   --kind tournament-m --procs 32 --episodes 50
+//   ksrsim lock      --kind rw --read-pct 60 --procs 16 --ops 100
+//   ksrsim kernel    --name cg --procs 16 --scale 64
+//   ksrsim sweep     --name is --procs 1,2,4,8,16,32 --scale 64
+//
+// Run `ksrsim help` for the full reference.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ksr/machine/factory.hpp"
+#include "ksr/nas/bt.hpp"
+#include "ksr/nas/cg.hpp"
+#include "ksr/nas/ep.hpp"
+#include "ksr/nas/is.hpp"
+#include "ksr/nas/sp.hpp"
+#include "ksr/study/metrics.hpp"
+#include "ksr/study/table.hpp"
+#include "ksr/sync/barrier.hpp"
+#include "ksr/sync/locks.hpp"
+#include "ksr/sync/spinlocks.hpp"
+
+namespace {
+
+using namespace ksr;  // NOLINT
+
+// ----------------------------------------------------------- flag parsing
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          kv_[key] = argv[++i];
+        } else {
+          kv_[key] = "1";
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def = "") const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+  [[nodiscard]] unsigned get_u(const std::string& key, unsigned def) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? def
+                           : static_cast<unsigned>(std::stoul(it->second));
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.count(key) > 0;
+  }
+  [[nodiscard]] std::vector<unsigned> get_list(const std::string& key,
+                                               std::vector<unsigned> def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    std::vector<unsigned> out;
+    std::stringstream ss(it->second);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      out.push_back(static_cast<unsigned>(std::stoul(tok)));
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+machine::MachineConfig make_config(const Args& args, unsigned procs) {
+  const std::string name = args.get("machine", "ksr1");
+  machine::MachineConfig cfg = machine::MachineConfig::ksr1(procs);
+  if (name == "ksr2") cfg = machine::MachineConfig::ksr2(procs);
+  if (name == "symmetry") cfg = machine::MachineConfig::symmetry(procs);
+  if (name == "butterfly") cfg = machine::MachineConfig::butterfly(procs);
+  const unsigned scale = args.get_u("scale", 1);
+  if (scale > 1) cfg = cfg.scaled_by(scale);
+  if (args.has("no-snarf")) cfg.read_snarfing = false;
+  return cfg;
+}
+
+// ------------------------------------------------------------- commands
+
+int cmd_probe(const Args& args) {
+  const unsigned procs = args.get_u("procs", 2);
+  auto m = machine::make_machine(make_config(args, std::max(procs, 2u)));
+  auto arr = m->alloc<double>("probe", 4096);
+  auto flag = m->alloc<int>("flag", 1);
+  double sub = 0, local = 0, remote = 0;
+  m->run([&](machine::Cpu& cpu) {
+    if (cpu.id() == 0) {
+      for (std::size_t i = 0; i < 4096; i += 16) cpu.write(arr, i, 1.0);
+      // Sub-cache hit.
+      (void)cpu.read(arr, 0);
+      double t0 = cpu.seconds();
+      for (int r = 0; r < 100; ++r) (void)cpu.read(arr, 0);
+      sub = (cpu.seconds() - t0) / 100;
+      // Local-cache-ish: stride sub-blocks.
+      t0 = cpu.seconds();
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < 4096; i += 8, ++k) (void)cpu.read(arr, i);
+      local = (cpu.seconds() - t0) / static_cast<double>(k);
+      cpu.write(flag, 0, 1);
+    } else if (cpu.id() == 1) {
+      while (cpu.read(flag, 0) == 0) cpu.work(10);
+      const double t0 = cpu.seconds();
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < 4096; i += 16, ++k) (void)cpu.read(arr, i);
+      remote = (cpu.seconds() - t0) / static_cast<double>(k);
+    }
+  });
+  std::printf("machine: %s, %u cells\n",
+              machine::to_string(m->config().kind), m->nproc());
+  std::printf("  repeat-read (sub-cache)   : %7.3f us\n", sub * 1e6);
+  std::printf("  stride-read (local level) : %7.3f us\n", local * 1e6);
+  std::printf("  remote read               : %7.3f us\n", remote * 1e6);
+  return 0;
+}
+
+int cmd_barrier(const Args& args) {
+  static const std::map<std::string, sync::BarrierKind> kinds = {
+      {"counter", sync::BarrierKind::kCounter},
+      {"tree", sync::BarrierKind::kTree},
+      {"tree-m", sync::BarrierKind::kTreeM},
+      {"dissemination", sync::BarrierKind::kDissemination},
+      {"tournament", sync::BarrierKind::kTournament},
+      {"tournament-m", sync::BarrierKind::kTournamentM},
+      {"mcs", sync::BarrierKind::kMcs},
+      {"mcs-m", sync::BarrierKind::kMcsM},
+      {"system", sync::BarrierKind::kSystem}};
+  const auto it = kinds.find(args.get("kind", "tournament-m"));
+  if (it == kinds.end()) {
+    std::fprintf(stderr, "unknown barrier kind\n");
+    return 1;
+  }
+  const unsigned procs = args.get_u("procs", 16);
+  const int episodes = static_cast<int>(args.get_u("episodes", 25));
+  auto m = machine::make_machine(make_config(args, procs));
+  auto barrier = sync::make_barrier(*m, it->second);
+  sim::Tracer tracer;
+  const std::string trace_path = args.get("trace");
+  if (!trace_path.empty()) m->attach_tracer(&tracer);
+  double total = 0;
+  auto res = m->run([&](machine::Cpu& cpu) {
+    barrier->arrive(cpu);
+    const double t0 = cpu.seconds();
+    for (int e = 0; e < episodes; ++e) {
+      cpu.work(cpu.rng().below(500));
+      barrier->arrive(cpu);
+    }
+    if (cpu.seconds() - t0 > total) total = cpu.seconds() - t0;
+  });
+  std::printf("%s on %s, %u procs: %.1f us/episode "
+              "(%llu network transactions total)\n",
+              std::string(barrier->name()).c_str(),
+              machine::to_string(m->config().kind), procs,
+              total / episodes * 1e6,
+              static_cast<unsigned long long>(res.pmon.ring_requests));
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    tracer.write_csv(out);
+    std::printf("wrote %zu trace events to %s\n", tracer.size(),
+                trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_lock(const Args& args) {
+  const unsigned procs = args.get_u("procs", 8);
+  const int ops = static_cast<int>(args.get_u("ops", 50));
+  const std::string kind = args.get("kind", "hw");
+  const unsigned read_pct = args.get_u("read-pct", 0);
+  auto m = machine::make_machine(make_config(args, procs));
+  double t = 0;
+  if (kind == "rw") {
+    sync::TicketRwLock lock(*m);
+    m->run([&](machine::Cpu& cpu) {
+      for (int i = 0; i < ops; ++i) {
+        const bool rd = cpu.rng().below(100) < read_pct;
+        if (rd) {
+          lock.acquire_read(cpu);
+          cpu.work(6000);
+          lock.release_read(cpu);
+        } else {
+          lock.acquire_write(cpu);
+          cpu.work(6000);
+          lock.release_write(cpu);
+        }
+        cpu.work(20000);
+      }
+      if (cpu.seconds() > t) t = cpu.seconds();
+    });
+  } else if (kind == "hw") {
+    sync::HardwareLock lock(*m);
+    m->run([&](machine::Cpu& cpu) {
+      for (int i = 0; i < ops; ++i) {
+        lock.acquire(cpu);
+        cpu.work(6000);
+        lock.release(cpu);
+        cpu.work(20000);
+      }
+      if (cpu.seconds() > t) t = cpu.seconds();
+    });
+  } else {
+    static const std::map<std::string, sync::SpinLockKind> kinds = {
+        {"tas", sync::SpinLockKind::kTestAndSet},
+        {"tas-backoff", sync::SpinLockKind::kTestAndSetBackoff},
+        {"ticket", sync::SpinLockKind::kTicket},
+        {"anderson", sync::SpinLockKind::kAnderson},
+        {"mcs-queue", sync::SpinLockKind::kMcsQueue}};
+    const auto it = kinds.find(kind);
+    if (it == kinds.end()) {
+      std::fprintf(stderr, "unknown lock kind '%s'\n", kind.c_str());
+      return 1;
+    }
+    auto lock = sync::make_spinlock(*m, it->second);
+    m->run([&](machine::Cpu& cpu) {
+      for (int i = 0; i < ops; ++i) {
+        lock->acquire(cpu);
+        cpu.work(6000);
+        lock->release(cpu);
+        cpu.work(20000);
+      }
+      if (cpu.seconds() > t) t = cpu.seconds();
+    });
+  }
+  std::printf("%s lock, %u procs, %d ops/proc: %.4f s total, %.1f us/op\n",
+              kind.c_str(), procs, ops, t,
+              t / ops * 1e6);
+  return 0;
+}
+
+double run_kernel_once(const Args& args, const std::string& name,
+                       unsigned procs) {
+  auto m = machine::make_machine(make_config(args, procs));
+  if (name == "ep") {
+    nas::EpConfig c;
+    c.log2_pairs = args.get_u("log2-pairs", 13);
+    return run_ep(*m, c).seconds;
+  }
+  if (name == "cg") {
+    nas::CgConfig c;
+    c.n = args.get_u("n", 1000);
+    c.nnz_per_row = args.get_u("nnz-per-row", 24);
+    c.iterations = args.get_u("iters", 4);
+    return run_cg(*m, c).seconds;
+  }
+  if (name == "is") {
+    nas::IsConfig c;
+    c.log2_keys = args.get_u("log2-keys", 15);
+    c.log2_buckets = args.get_u("log2-buckets", 10);
+    return run_is(*m, c).seconds;
+  }
+  if (name == "sp") {
+    nas::SpConfig c;
+    c.n = args.get_u("n", 16);
+    c.iterations = args.get_u("iters", 2);
+    c.padded_layout = !args.has("no-padding");
+    c.use_prefetch = !args.has("no-prefetch");
+    return run_sp(*m, c).total_seconds;
+  }
+  if (name == "bt") {
+    nas::BtConfig c;
+    c.n = args.get_u("n", 10);
+    c.iterations = args.get_u("iters", 2);
+    return run_bt(*m, c).total_seconds;
+  }
+  throw std::runtime_error("unknown kernel '" + name + "'");
+}
+
+int cmd_kernel(const Args& args) {
+  const std::string name = args.get("name", "cg");
+  const unsigned procs = args.get_u("procs", 8);
+  const double t = run_kernel_once(args, name, procs);
+  std::printf("%s on %u procs: %.5f simulated seconds\n", name.c_str(), procs,
+              t);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::string name = args.get("name", "cg");
+  const std::vector<unsigned> procs =
+      args.get_list("procs", {1, 2, 4, 8, 16});
+  std::vector<std::pair<unsigned, double>> measured;
+  for (unsigned p : procs) {
+    measured.emplace_back(p, run_kernel_once(args, name, p));
+  }
+  study::TextTable t({"procs", "time (s)", "speedup", "efficiency",
+                      "serial fraction"});
+  for (const auto& row : study::scaling_rows(measured)) {
+    t.add_row({std::to_string(row.p), study::TextTable::num(row.seconds, 5),
+               study::TextTable::num(row.speedup, 3),
+               row.p == 1 ? "-" : study::TextTable::num(row.efficiency, 3),
+               row.p == 1 ? "-"
+                          : study::TextTable::num(row.serial_fraction, 6)});
+  }
+  std::printf("%s scaling sweep:\n", name.c_str());
+  if (args.has("csv")) {
+    t.print_csv();
+  } else {
+    t.print();
+  }
+  return 0;
+}
+
+int cmd_help() {
+  std::puts(
+      "ksrsim — drive the simulated KSR-1 from the command line\n"
+      "\n"
+      "commands:\n"
+      "  probe    latency probes            [--machine M --procs P]\n"
+      "  barrier  time a barrier algorithm  [--kind K --procs P --episodes E]\n"
+      "  lock     time a lock               [--kind hw|rw|tas|tas-backoff|\n"
+      "                                       ticket|anderson|mcs-queue\n"
+      "                                       --read-pct N --ops N]\n"
+      "  kernel   run one NAS kernel        [--name ep|cg|is|sp|bt --procs P]\n"
+      "  sweep    scaling table             [--name K --procs 1,2,4,...]\n"
+      "\n"
+      "common flags:\n"
+      "  --machine ksr1|ksr2|symmetry|butterfly   (default ksr1)\n"
+      "  --scale N      shrink caches by N (pair with smaller problems)\n"
+      "  --no-snarf     disable read-snarfing\n"
+      "  --csv          CSV output where applicable\n"
+      "\n"
+      "kernel size flags: --log2-pairs (ep), --n/--nnz-per-row/--iters (cg),\n"
+      "  --log2-keys/--log2-buckets (is), --n/--iters/--no-padding/\n"
+      "  --no-prefetch (sp), --n/--iters (bt)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return cmd_help();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (cmd == "probe") return cmd_probe(args);
+    if (cmd == "barrier") return cmd_barrier(args);
+    if (cmd == "lock") return cmd_lock(args);
+    if (cmd == "kernel") return cmd_kernel(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    return cmd_help();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ksrsim: %s\n", e.what());
+    return 1;
+  }
+}
