@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cg_format.dir/bench_ablation_cg_format.cpp.o"
+  "CMakeFiles/bench_ablation_cg_format.dir/bench_ablation_cg_format.cpp.o.d"
+  "bench_ablation_cg_format"
+  "bench_ablation_cg_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cg_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coherence.dir/bench_ablation_coherence.cpp.o"
+  "CMakeFiles/bench_ablation_coherence.dir/bench_ablation_coherence.cpp.o.d"
+  "bench_ablation_coherence"
+  "bench_ablation_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

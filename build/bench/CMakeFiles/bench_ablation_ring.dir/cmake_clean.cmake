@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ring.dir/bench_ablation_ring.cpp.o"
+  "CMakeFiles/bench_ablation_ring.dir/bench_ablation_ring.cpp.o.d"
+  "bench_ablation_ring"
+  "bench_ablation_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spinlocks.dir/bench_ablation_spinlocks.cpp.o"
+  "CMakeFiles/bench_ablation_spinlocks.dir/bench_ablation_spinlocks.cpp.o.d"
+  "bench_ablation_spinlocks"
+  "bench_ablation_spinlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spinlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

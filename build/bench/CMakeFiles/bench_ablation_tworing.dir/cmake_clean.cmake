@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tworing.dir/bench_ablation_tworing.cpp.o"
+  "CMakeFiles/bench_ablation_tworing.dir/bench_ablation_tworing.cpp.o.d"
+  "bench_ablation_tworing"
+  "bench_ablation_tworing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tworing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bt.dir/bench_ext_bt.cpp.o"
+  "CMakeFiles/bench_ext_bt.dir/bench_ext_bt.cpp.o.d"
+  "bench_ext_bt"
+  "bench_ext_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

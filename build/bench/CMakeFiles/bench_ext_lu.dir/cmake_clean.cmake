@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lu.dir/bench_ext_lu.cpp.o"
+  "CMakeFiles/bench_ext_lu.dir/bench_ext_lu.cpp.o.d"
+  "bench_ext_lu"
+  "bench_ext_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

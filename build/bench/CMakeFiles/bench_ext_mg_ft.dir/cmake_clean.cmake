@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mg_ft.dir/bench_ext_mg_ft.cpp.o"
+  "CMakeFiles/bench_ext_mg_ft.dir/bench_ext_mg_ft.cpp.o.d"
+  "bench_ext_mg_ft"
+  "bench_ext_mg_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mg_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_locks.dir/bench_fig3_locks.cpp.o"
+  "CMakeFiles/bench_fig3_locks.dir/bench_fig3_locks.cpp.o.d"
+  "bench_fig3_locks"
+  "bench_fig3_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_speedup.dir/bench_fig8_speedup.cpp.o"
+  "CMakeFiles/bench_fig8_speedup.dir/bench_fig8_speedup.cpp.o.d"
+  "bench_fig8_speedup"
+  "bench_fig8_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

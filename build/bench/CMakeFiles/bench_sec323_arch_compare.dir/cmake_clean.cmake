@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec323_arch_compare.dir/bench_sec323_arch_compare.cpp.o"
+  "CMakeFiles/bench_sec323_arch_compare.dir/bench_sec323_arch_compare.cpp.o.d"
+  "bench_sec323_arch_compare"
+  "bench_sec323_arch_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec323_arch_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_ep.dir/bench_sec33_ep.cpp.o"
+  "CMakeFiles/bench_sec33_ep.dir/bench_sec33_ep.cpp.o.d"
+  "bench_sec33_ep"
+  "bench_sec33_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

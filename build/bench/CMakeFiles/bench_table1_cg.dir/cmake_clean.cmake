@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cg.dir/bench_table1_cg.cpp.o"
+  "CMakeFiles/bench_table1_cg.dir/bench_table1_cg.cpp.o.d"
+  "bench_table1_cg"
+  "bench_table1_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

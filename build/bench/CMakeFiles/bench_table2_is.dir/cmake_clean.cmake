@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_is.dir/bench_table2_is.cpp.o"
+  "CMakeFiles/bench_table2_is.dir/bench_table2_is.cpp.o.d"
+  "bench_table2_is"
+  "bench_table2_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

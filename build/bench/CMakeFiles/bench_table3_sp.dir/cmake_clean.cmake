@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sp.dir/bench_table3_sp.cpp.o"
+  "CMakeFiles/bench_table3_sp.dir/bench_table3_sp.cpp.o.d"
+  "bench_table3_sp"
+  "bench_table3_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sp_opt.dir/bench_table4_sp_opt.cpp.o"
+  "CMakeFiles/bench_table4_sp_opt.dir/bench_table4_sp_opt.cpp.o.d"
+  "bench_table4_sp_opt"
+  "bench_table4_sp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_playground.dir/barrier_playground.cpp.o"
+  "CMakeFiles/barrier_playground.dir/barrier_playground.cpp.o.d"
+  "barrier_playground"
+  "barrier_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_autopsy.dir/coherence_autopsy.cpp.o"
+  "CMakeFiles/coherence_autopsy.dir/coherence_autopsy.cpp.o.d"
+  "coherence_autopsy"
+  "coherence_autopsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_autopsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

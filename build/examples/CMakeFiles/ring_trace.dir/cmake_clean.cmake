@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_trace.dir/ring_trace.cpp.o"
+  "CMakeFiles/ring_trace.dir/ring_trace.cpp.o.d"
+  "ring_trace"
+  "ring_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_race.dir/sorting_race.cpp.o"
+  "CMakeFiles/sorting_race.dir/sorting_race.cpp.o.d"
+  "sorting_race"
+  "sorting_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/butterfly_machine.cpp" "src/machine/CMakeFiles/ksr_machine.dir/butterfly_machine.cpp.o" "gcc" "src/machine/CMakeFiles/ksr_machine.dir/butterfly_machine.cpp.o.d"
+  "/root/repo/src/machine/coherent_machine.cpp" "src/machine/CMakeFiles/ksr_machine.dir/coherent_machine.cpp.o" "gcc" "src/machine/CMakeFiles/ksr_machine.dir/coherent_machine.cpp.o.d"
+  "/root/repo/src/machine/ksr_machine.cpp" "src/machine/CMakeFiles/ksr_machine.dir/ksr_machine.cpp.o" "gcc" "src/machine/CMakeFiles/ksr_machine.dir/ksr_machine.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/ksr_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/ksr_machine.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ksr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ksr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

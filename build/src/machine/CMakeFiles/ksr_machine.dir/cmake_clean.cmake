@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksr_machine.dir/butterfly_machine.cpp.o"
+  "CMakeFiles/ksr_machine.dir/butterfly_machine.cpp.o.d"
+  "CMakeFiles/ksr_machine.dir/coherent_machine.cpp.o"
+  "CMakeFiles/ksr_machine.dir/coherent_machine.cpp.o.d"
+  "CMakeFiles/ksr_machine.dir/ksr_machine.cpp.o"
+  "CMakeFiles/ksr_machine.dir/ksr_machine.cpp.o.d"
+  "CMakeFiles/ksr_machine.dir/machine.cpp.o"
+  "CMakeFiles/ksr_machine.dir/machine.cpp.o.d"
+  "libksr_machine.a"
+  "libksr_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksr_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ksr_machine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/bt.cpp" "src/nas/CMakeFiles/ksr_nas.dir/bt.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/bt.cpp.o.d"
+  "/root/repo/src/nas/cg.cpp" "src/nas/CMakeFiles/ksr_nas.dir/cg.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/cg.cpp.o.d"
+  "/root/repo/src/nas/ep.cpp" "src/nas/CMakeFiles/ksr_nas.dir/ep.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/ep.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "src/nas/CMakeFiles/ksr_nas.dir/ft.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/ft.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "src/nas/CMakeFiles/ksr_nas.dir/is.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/is.cpp.o.d"
+  "/root/repo/src/nas/lu.cpp" "src/nas/CMakeFiles/ksr_nas.dir/lu.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/lu.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "src/nas/CMakeFiles/ksr_nas.dir/mg.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/mg.cpp.o.d"
+  "/root/repo/src/nas/sp.cpp" "src/nas/CMakeFiles/ksr_nas.dir/sp.cpp.o" "gcc" "src/nas/CMakeFiles/ksr_nas.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/ksr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/ksr_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ksr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ksr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksr_nas.dir/bt.cpp.o"
+  "CMakeFiles/ksr_nas.dir/bt.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/cg.cpp.o"
+  "CMakeFiles/ksr_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/ep.cpp.o"
+  "CMakeFiles/ksr_nas.dir/ep.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/ft.cpp.o"
+  "CMakeFiles/ksr_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/is.cpp.o"
+  "CMakeFiles/ksr_nas.dir/is.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/lu.cpp.o"
+  "CMakeFiles/ksr_nas.dir/lu.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/mg.cpp.o"
+  "CMakeFiles/ksr_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/ksr_nas.dir/sp.cpp.o"
+  "CMakeFiles/ksr_nas.dir/sp.cpp.o.d"
+  "libksr_nas.a"
+  "libksr_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksr_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

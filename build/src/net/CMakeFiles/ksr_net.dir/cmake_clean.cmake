@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksr_net.dir/ring.cpp.o"
+  "CMakeFiles/ksr_net.dir/ring.cpp.o.d"
+  "libksr_net.a"
+  "libksr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

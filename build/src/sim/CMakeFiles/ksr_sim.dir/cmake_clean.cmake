@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksr_sim.dir/engine.cpp.o"
+  "CMakeFiles/ksr_sim.dir/engine.cpp.o.d"
+  "libksr_sim.a"
+  "libksr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksr_sync.dir/barriers.cpp.o"
+  "CMakeFiles/ksr_sync.dir/barriers.cpp.o.d"
+  "CMakeFiles/ksr_sync.dir/locks.cpp.o"
+  "CMakeFiles/ksr_sync.dir/locks.cpp.o.d"
+  "CMakeFiles/ksr_sync.dir/spinlocks.cpp.o"
+  "CMakeFiles/ksr_sync.dir/spinlocks.cpp.o.d"
+  "libksr_sync.a"
+  "libksr_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksr_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

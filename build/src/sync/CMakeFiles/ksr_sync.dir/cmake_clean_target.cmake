@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libksr_sync.a"
+)

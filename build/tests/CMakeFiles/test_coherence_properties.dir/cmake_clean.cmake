@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_properties.dir/test_coherence_properties.cpp.o"
+  "CMakeFiles/test_coherence_properties.dir/test_coherence_properties.cpp.o.d"
+  "test_coherence_properties"
+  "test_coherence_properties.pdb"
+  "test_coherence_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

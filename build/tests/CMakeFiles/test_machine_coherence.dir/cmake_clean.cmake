@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_coherence.dir/test_machine_coherence.cpp.o"
+  "CMakeFiles/test_machine_coherence.dir/test_machine_coherence.cpp.o.d"
+  "test_machine_coherence"
+  "test_machine_coherence.pdb"
+  "test_machine_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

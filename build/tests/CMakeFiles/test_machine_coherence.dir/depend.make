@@ -1,0 +1,2 @@
+# Empty dependencies file for test_machine_coherence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_latency.dir/test_machine_latency.cpp.o"
+  "CMakeFiles/test_machine_latency.dir/test_machine_latency.cpp.o.d"
+  "test_machine_latency"
+  "test_machine_latency.pdb"
+  "test_machine_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_misc.dir/test_machine_misc.cpp.o"
+  "CMakeFiles/test_machine_misc.dir/test_machine_misc.cpp.o.d"
+  "test_machine_misc"
+  "test_machine_misc.pdb"
+  "test_machine_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

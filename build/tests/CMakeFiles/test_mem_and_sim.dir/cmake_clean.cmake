@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_and_sim.dir/test_mem_and_sim.cpp.o"
+  "CMakeFiles/test_mem_and_sim.dir/test_mem_and_sim.cpp.o.d"
+  "test_mem_and_sim"
+  "test_mem_and_sim.pdb"
+  "test_mem_and_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_and_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

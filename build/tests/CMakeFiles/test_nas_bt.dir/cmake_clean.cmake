@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas_bt.dir/test_nas_bt.cpp.o"
+  "CMakeFiles/test_nas_bt.dir/test_nas_bt.cpp.o.d"
+  "test_nas_bt"
+  "test_nas_bt.pdb"
+  "test_nas_bt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

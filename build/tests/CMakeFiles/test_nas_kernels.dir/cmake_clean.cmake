@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas_kernels.dir/test_nas_kernels.cpp.o"
+  "CMakeFiles/test_nas_kernels.dir/test_nas_kernels.cpp.o.d"
+  "test_nas_kernels"
+  "test_nas_kernels.pdb"
+  "test_nas_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

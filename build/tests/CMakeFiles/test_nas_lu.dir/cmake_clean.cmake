@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas_lu.dir/test_nas_lu.cpp.o"
+  "CMakeFiles/test_nas_lu.dir/test_nas_lu.cpp.o.d"
+  "test_nas_lu"
+  "test_nas_lu.pdb"
+  "test_nas_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas_mg_ft.dir/test_nas_mg_ft.cpp.o"
+  "CMakeFiles/test_nas_mg_ft.dir/test_nas_mg_ft.cpp.o.d"
+  "test_nas_mg_ft"
+  "test_nas_mg_ft.pdb"
+  "test_nas_mg_ft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas_mg_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_models.dir/test_net_models.cpp.o"
+  "CMakeFiles/test_net_models.dir/test_net_models.cpp.o.d"
+  "test_net_models"
+  "test_net_models.pdb"
+  "test_net_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_model.dir/test_ring_model.cpp.o"
+  "CMakeFiles/test_ring_model.dir/test_ring_model.cpp.o.d"
+  "test_ring_model"
+  "test_ring_model.pdb"
+  "test_ring_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

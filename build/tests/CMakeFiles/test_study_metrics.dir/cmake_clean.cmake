@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study_metrics.dir/test_study_metrics.cpp.o"
+  "CMakeFiles/test_study_metrics.dir/test_study_metrics.cpp.o.d"
+  "test_study_metrics"
+  "test_study_metrics.pdb"
+  "test_study_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

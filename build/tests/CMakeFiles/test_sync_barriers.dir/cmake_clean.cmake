@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_barriers.dir/test_sync_barriers.cpp.o"
+  "CMakeFiles/test_sync_barriers.dir/test_sync_barriers.cpp.o.d"
+  "test_sync_barriers"
+  "test_sync_barriers.pdb"
+  "test_sync_barriers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

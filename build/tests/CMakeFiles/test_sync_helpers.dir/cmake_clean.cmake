@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_helpers.dir/test_sync_helpers.cpp.o"
+  "CMakeFiles/test_sync_helpers.dir/test_sync_helpers.cpp.o.d"
+  "test_sync_helpers"
+  "test_sync_helpers.pdb"
+  "test_sync_helpers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

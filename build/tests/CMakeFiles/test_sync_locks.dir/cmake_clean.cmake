@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_locks.dir/test_sync_locks.cpp.o"
+  "CMakeFiles/test_sync_locks.dir/test_sync_locks.cpp.o.d"
+  "test_sync_locks"
+  "test_sync_locks.pdb"
+  "test_sync_locks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sync_locks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_spinlocks.dir/test_sync_spinlocks.cpp.o"
+  "CMakeFiles/test_sync_spinlocks.dir/test_sync_spinlocks.cpp.o.d"
+  "test_sync_spinlocks"
+  "test_sync_spinlocks.pdb"
+  "test_sync_spinlocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_spinlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

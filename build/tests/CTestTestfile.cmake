@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_latency[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_barriers[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_locks[1]_include.cmake")
+include("/root/repo/build/tests/test_nas_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_models[1]_include.cmake")
+include("/root/repo/build/tests/test_net_models[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_and_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_study_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_spinlocks[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_model[1]_include.cmake")
+include("/root/repo/build/tests/test_barrier_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_nas_bt[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_nas_mg_ft[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_helpers[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_nas_lu[1]_include.cmake")

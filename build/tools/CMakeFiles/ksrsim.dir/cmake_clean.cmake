@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksrsim.dir/ksrsim.cpp.o"
+  "CMakeFiles/ksrsim.dir/ksrsim.cpp.o.d"
+  "ksrsim"
+  "ksrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

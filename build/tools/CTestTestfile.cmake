@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ksrsim_help "/root/repo/build/tools/ksrsim" "help")
+set_tests_properties(ksrsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_probe "/root/repo/build/tools/ksrsim" "probe" "--procs" "2")
+set_tests_properties(ksrsim_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_barrier "/root/repo/build/tools/ksrsim" "barrier" "--kind" "mcs-m" "--procs" "8" "--episodes" "5")
+set_tests_properties(ksrsim_barrier PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_lock "/root/repo/build/tools/ksrsim" "lock" "--kind" "anderson" "--procs" "4" "--ops" "10")
+set_tests_properties(ksrsim_lock PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_kernel_ep "/root/repo/build/tools/ksrsim" "kernel" "--name" "ep" "--procs" "4" "--log2-pairs" "10")
+set_tests_properties(ksrsim_kernel_ep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_kernel_is "/root/repo/build/tools/ksrsim" "kernel" "--name" "is" "--procs" "4" "--log2-keys" "11" "--log2-buckets" "7" "--scale" "64")
+set_tests_properties(ksrsim_kernel_is PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_sweep_cg "/root/repo/build/tools/ksrsim" "sweep" "--name" "cg" "--procs" "1,4" "--n" "300" "--nnz-per-row" "7" "--iters" "2" "--scale" "64")
+set_tests_properties(ksrsim_sweep_cg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ksrsim_butterfly "/root/repo/build/tools/ksrsim" "barrier" "--kind" "dissemination" "--machine" "butterfly" "--procs" "8" "--episodes" "5")
+set_tests_properties(ksrsim_butterfly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
