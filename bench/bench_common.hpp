@@ -4,6 +4,8 @@
 // regenerates one table or figure of the paper; `--csv` prints
 // machine-readable output, `--quick` shrinks sizes for smoke runs and
 // `--full` approaches paper-like sizes.
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -25,6 +27,39 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
             << "(reproduces " << paper_ref << ")\n"
             << "==================================================================\n";
 }
+
+/// Host-side (wall-clock) metrics for one paper bench binary. Accumulate
+/// `events_dispatched()` from every machine the binary creates, then print a
+/// single machine-parsable line at exit:
+///
+///   [host] bench=<name> events_dispatched=<n> wall_ms=<ms>
+///
+/// `scripts/bench_host.sh` greps these lines into BENCH_host.json; the
+/// events_dispatched total doubles as a bit-determinism fingerprint (it must
+/// be identical across host-side optimisation work). The line goes to stderr
+/// so that `--csv` stdout stays byte-for-byte diffable between builds.
+class HostMetrics {
+ public:
+  explicit HostMetrics(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void add(machine::Machine& m) { events_ += m.engine().events_dispatched(); }
+
+  ~HostMetrics() {
+    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+    std::cerr << "[host] bench=" << name_ << " events_dispatched=" << events_
+              << " wall_ms=" << wall.count() << "\n";
+  }
+
+  HostMetrics(const HostMetrics&) = delete;
+  HostMetrics& operator=(const HostMetrics&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t events_ = 0;
+};
 
 /// Mean barrier episode time on `m` using `kind`, over `episodes` episodes
 /// with small random arrival skew (as the paper measures).

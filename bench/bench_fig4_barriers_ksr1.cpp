@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  HostMetrics host("fig4_barriers_ksr1");
   const int episodes = opt.quick ? 5 : 20;
   print_header("Barrier performance on the 32-node KSR-1",
                "Fig. 4, Section 3.2.2");
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     for (unsigned p : procs) {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p));
       const double s = barrier_episode_seconds(m, kind, episodes);
+      host.add(m);
       if (p == 32 && kind == sync::BarrierKind::kCounter) counter32 = s;
       if (p == 32 && kind == sync::BarrierKind::kTournamentM) {
         tournament_m32 = s;

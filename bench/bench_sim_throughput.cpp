@@ -100,6 +100,23 @@ void BM_SimulatedSharedReads(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedSharedReads)->Arg(2)->Arg(8)->Arg(32);
 
+void BM_CoherentReadHit(benchmark::State& state) {
+  // The coherence fast path: one cell, repeated sub-cache-hit reads of one
+  // element through the full Cpu::read API (MRU + sub-cache + timing).
+  machine::KsrMachine m(machine::MachineConfig::ksr1(1));
+  auto arr = m.alloc<double>("bm", 64);
+  for (auto _ : state) {
+    m.run([&](machine::Cpu& cpu) {
+      cpu.write(arr, 0, 1.0);
+      for (int i = 0; i < 10000; ++i) {
+        benchmark::DoNotOptimize(cpu.read(arr, 0));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoherentReadHit);
+
 void BM_BarrierEpisode(benchmark::State& state) {
   const auto nproc = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {

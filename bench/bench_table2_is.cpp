@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  HostMetrics host("table2_is");
   print_header("Integer Sort scalability",
                "Table 2 and Figs. 8 & 9, Section 3.3.2");
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   for (unsigned p : procs) {
     machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
     const nas::IsResult r = run_is(m, cfg);
+    host.add(m);
     all_valid = all_valid && r.ranks_valid;
     measured.emplace_back(p, r.seconds);
     // Mean slot wait per ring transaction: the saturation indicator the
@@ -78,10 +80,12 @@ int main(int argc, char** argv) {
                               : std::vector<unsigned>{8, 16, 32}) {
     machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
     const double with_pf = run_is(m1, cfg).seconds;
+    host.add(m1);
     nas::IsConfig c2 = cfg;
     c2.use_prefetch = false;
     machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
     const double without = run_is(m2, c2).seconds;
+    host.add(m2);
     ft.add_row({std::to_string(p), TextTable::num(with_pf, 5),
                 TextTable::num(without, 5),
                 TextTable::num((1.0 - with_pf / without) * 100.0, 2) + "%"});

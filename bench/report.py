@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Merge host-side benchmark outputs into one JSON report.
+
+Inputs (all produced by scripts/bench_host.sh):
+  --gbench FILE   google-benchmark --benchmark_format=json output
+  --host FILE     file containing one "[host] bench=... events_dispatched=...
+                  wall_ms=..." line (repeatable)
+  --mode MODE     "quick" or "full" (recorded verbatim)
+  --out FILE      where to write the merged JSON
+
+Output schema (BENCH_host.json):
+  {
+    "mode": "full",
+    "microbench": {            # from google-benchmark, one entry per bench
+      "BM_EngineEventDispatch": {"items_per_second": ..., "cpu_ns": ...},
+      ...
+    },
+    "paper_bench": {           # from the [host] lines
+      "table2_is": {"events_dispatched": ..., "wall_ms": ...},
+      ...
+    }
+  }
+
+Only the standard library is used.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+HOST_RE = re.compile(
+    r"^\[host\] bench=(\S+) events_dispatched=(\d+) wall_ms=(\d+)\s*$"
+)
+
+
+def parse_gbench(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"report.py: bad google-benchmark json {path}: {e}")
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {"cpu_ns": b.get("cpu_time")}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        out[b["name"]] = entry
+    return out
+
+
+def parse_host(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = HOST_RE.match(line.strip())
+            if m:
+                return {
+                    m.group(1): {
+                        "events_dispatched": int(m.group(2)),
+                        "wall_ms": int(m.group(3)),
+                    }
+                }
+    raise SystemExit(f"report.py: no [host] line found in {path}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--gbench", required=True)
+    ap.add_argument("--host", action="append", default=[])
+    ap.add_argument("--mode", default="full")
+    ap.add_argument("--out", required=True)
+    args = ap.parse_args()
+
+    report = {"mode": args.mode, "microbench": parse_gbench(args.gbench),
+              "paper_bench": {}}
+    for path in args.host:
+        report["paper_bench"].update(parse_host(path))
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"report.py: {len(report['microbench'])} microbenches, "
+          f"{len(report['paper_bench'])} paper benches -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

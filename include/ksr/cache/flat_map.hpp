@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+// Open-addressing hash map for the coherence hot path.
+//
+// The machine-wide directory and the per-cell prefetch tables are keyed by
+// SubPageId and hit on every memory access that escapes the sub-cache.
+// std::unordered_map costs a heap node per entry and a pointer chase per
+// probe; this table keeps key/value pairs in one flat array with linear
+// probing (power-of-two capacity, multiplicative hashing), so a lookup is
+// one cache line in the common case. Deletion uses backward-shift instead
+// of tombstones, so probe sequences never degrade over time.
+//
+// Deliberately minimal: the coherence code only ever uses point lookups,
+// insert-or-default, erase-by-key, and clear — there is no iteration, so
+// none is offered (and hash order can never leak into simulated behaviour).
+namespace ksr::cache {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] V* find(K key) noexcept {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = bucket(key);; i = (i + 1) & mask_) {
+      if (!used_[i]) return nullptr;
+      if (slots_[i].key == key) return &slots_[i].value;
+    }
+  }
+  [[nodiscard]] const V* find(K key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  [[nodiscard]] bool contains(K key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Insert-or-lookup: default-constructs the value on first touch.
+  V& operator[](K key) {
+    if (slots_.empty() || (size_ + 1) * 8 > capacity() * 7) grow();
+    for (std::size_t i = bucket(key);; i = (i + 1) & mask_) {
+      if (!used_[i]) {
+        used_[i] = 1;
+        slots_[i].key = key;
+        slots_[i].value = V{};
+        ++size_;
+        return slots_[i].value;
+      }
+      if (slots_[i].key == key) return slots_[i].value;
+    }
+  }
+
+  /// Remove `key` if present; backward-shifts the displaced cluster suffix.
+  bool erase(K key) noexcept {
+    if (size_ == 0) return false;
+    std::size_t i = bucket(key);
+    for (;; i = (i + 1) & mask_) {
+      if (!used_[i]) return false;
+      if (slots_[i].key == key) break;
+    }
+    --size_;
+    for (;;) {
+      used_[i] = 0;
+      slots_[i].value = V{};  // release payload resources eagerly
+      std::size_t j = i;
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (!used_[j]) return true;
+        const std::size_t k = bucket(slots_[j].key);
+        // Move j back into the hole iff its home bucket k does not lie
+        // cyclically inside (i, j] — i.e. probing from k would pass i.
+        const bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
+        if (movable) {
+          slots_[i] = std::move(slots_[j]);
+          used_[i] = 1;
+          i = j;
+          break;
+        }
+      }
+    }
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      if (used_[i]) {
+        used_[i] = 0;
+        slots_[i].value = V{};
+      }
+    }
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] std::size_t bucket(K key) const noexcept {
+    // Fibonacci multiplicative hash; keys are dense small integers, so the
+    // multiply spreads consecutive sub-page ids across the table.
+    return static_cast<std::size_t>(
+               (static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ull) >>
+               32) &
+           mask_;
+  }
+
+  void grow() {
+    const std::size_t ncap = slots_.empty() ? 64 : capacity() * 2;
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(ncap, Slot{});
+    used_.assign(ncap, 0);
+    mask_ = ncap - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      for (std::size_t j = bucket(old_slots[i].key);; j = (j + 1) & mask_) {
+        if (!used_[j]) {
+          used_[j] = 1;
+          slots_[j] = std::move(old_slots[i]);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ksr::cache

@@ -57,6 +57,7 @@ class LocalCache {
   /// Ensure a frame exists for the page of `sp` (allocating/evicting if
   /// necessary) and set the sub-page's state.
   PageAlloc touch(mem::SubPageId sp, LineState st, sim::Rng& rng) {
+    ++gen_;
     const mem::PageId pg = mem::page_of_subpage(sp);
     PageAlloc out;
     Frame* f = find(pg);
@@ -74,9 +75,15 @@ class LocalCache {
   /// Change the state of a resident sub-page. No-op if the page frame is
   /// absent (e.g. already evicted).
   void set_state(mem::SubPageId sp, LineState st) noexcept {
+    ++gen_;
     Frame* f = find(mem::page_of_subpage(sp));
     if (f != nullptr) f->sp[index_in_page(sp)] = st;
   }
+
+  /// Monotone counter bumped on every state mutation (touch, set_state,
+  /// clear). A cached "this sub-page is writable here" hint stays valid
+  /// exactly while the generation is unchanged.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return gen_; }
 
   [[nodiscard]] LineState state(mem::SubPageId sp) const noexcept {
     const Frame* f = find(mem::page_of_subpage(sp));
@@ -84,6 +91,7 @@ class LocalCache {
   }
 
   void clear() noexcept {
+    ++gen_;
     for (auto& f : frames_) {
       f.valid = false;
       f.sp.fill(LineState::kInvalid);
@@ -153,6 +161,7 @@ class LocalCache {
   std::size_t ways_;
   std::size_t sets_;
   std::vector<Frame> frames_;
+  std::uint64_t gen_ = 0;
 };
 
 }  // namespace ksr::cache

@@ -55,8 +55,16 @@ class SubCache {
     const std::uint32_t bit = 1u << sub;
     out.hit = (frame->present & bit) != 0;
     frame->present |= bit;
+    if (out.block_evicted) ++gen_;  // a resident block lost its sub-blocks
     return out;
   }
+
+  /// Monotone counter bumped whenever resident data may have been removed
+  /// (eviction, invalidation, clear). Lets callers hold a one-entry MRU
+  /// "this sub-block is present" hint and revalidate it in O(1): the hint
+  /// is trustworthy iff the generation is unchanged, because every mutation
+  /// that can remove presence bumps it (additions never invalidate a hint).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return gen_; }
 
   /// True if the sub-block containing `a` is resident (no state change).
   [[nodiscard]] bool contains(mem::Sva a) const noexcept {
@@ -75,6 +83,7 @@ class SubCache {
 
   /// Coherence: drop the (two) sub-blocks of a sub-page.
   void invalidate_subpage(mem::SubPageId sp) noexcept {
+    ++gen_;
     const mem::Sva base = mem::subpage_base(sp);
     const mem::BlockId blk = mem::block_of(base);
     const std::size_t set = static_cast<std::size_t>(blk) % sets_;
@@ -95,6 +104,7 @@ class SubCache {
   /// Coherence/inclusion: drop an entire 2 KB block (used when the local
   /// cache evicts a page containing it).
   void invalidate_block(mem::BlockId blk) noexcept {
+    ++gen_;
     const std::size_t set = static_cast<std::size_t>(blk) % sets_;
     for (std::size_t w = 0; w < ways_; ++w) {
       Frame& f = frames_[set * ways_ + w];
@@ -107,6 +117,7 @@ class SubCache {
   }
 
   void clear() noexcept {
+    ++gen_;
     for (auto& f : frames_) f = Frame{};
   }
 
@@ -119,6 +130,8 @@ class SubCache {
     std::uint32_t present = 0;  // one bit per 64 B sub-block in the 2 KB block
     bool valid = false;
   };
+
+  std::uint64_t gen_ = 0;
 
   Frame* find(mem::BlockId blk, std::size_t set) noexcept {
     for (std::size_t w = 0; w < ways_; ++w) {

@@ -3,9 +3,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "ksr/cache/flat_map.hpp"
 #include "ksr/cache/local_cache.hpp"
 #include "ksr/cache/perf_monitor.hpp"
 #include "ksr/cache/state.hpp"
@@ -70,7 +70,7 @@ class CoherentMachine : public Machine {
                         // workload draws do not perturb replacement)
     // Sub-pages with an in-flight asynchronous fetch (prefetch), mapping to
     // fibers blocked waiting for that fetch.
-    std::unordered_map<mem::SubPageId, std::vector<sim::FiberId>> inflight;
+    cache::FlatMap<mem::SubPageId, std::vector<sim::FiberId>> inflight;
     unsigned inflight_count = 0;
     Cell(const cache::SubCache::Config& sc, const cache::LocalCache::Config& lc,
          std::uint64_t seed)
@@ -128,7 +128,7 @@ class CoherentMachine : public Machine {
   void invalidate_at(unsigned cell, mem::SubPageId sp);
 
   std::vector<Cell> cells_;
-  std::unordered_map<mem::SubPageId, DirEntry> dir_;
+  cache::FlatMap<mem::SubPageId, DirEntry> dir_;
 };
 
 }  // namespace ksr::machine

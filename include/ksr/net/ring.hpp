@@ -27,8 +27,20 @@
 // coordinate, so injection at position s at tick T succeeds iff coordinate
 // (s - T) mod N is a slot and it is free; the packet is delivered (and the
 // slot freed) N ticks later, back at the source. Waiting injectors at a
-// position form a FIFO; the head re-tries at each slot-passing tick, which
-// reproduces round-robin fairness and saturation behaviour.
+// position form a FIFO with round-robin fairness and the paper's saturation
+// behaviour.
+//
+// Host fast path: the model is fully event-driven — an idle ring (no waiting
+// injector) schedules nothing at all; attempt events exist only while a
+// position's FIFO head is waiting for a slot. Slot arrival times are
+// computed closed-form at inject()/retry time from a precomputed per-
+// coordinate delta table (in the rotating frame the passing coordinate
+// decreases by one per tick, so "ticks until the next slot passes" is a
+// single table lookup), replacing an O(positions) scan per failed attempt.
+// The attempt cadence itself — one event per slot-passing tick per waiting
+// head — is deliberately preserved: the engine's (time, seq) order, and
+// with it every simulated cycle and events_dispatched() count, stays
+// bit-identical to the original polled model.
 namespace ksr::net {
 
 class SlottedRing {
@@ -88,6 +100,7 @@ class SlottedRing {
 
   struct SubRing {
     std::vector<std::int32_t> coord_to_slot;  // N entries; -1 = not a slot
+    std::vector<std::uint32_t> next_pass_delta;  // N entries; ticks to next pass
     std::vector<std::uint8_t> occupied;       // S entries
     std::vector<std::deque<Pending>> waiting;  // per position FIFO
   };
@@ -96,13 +109,9 @@ class SlottedRing {
     return (t + cfg_.hop_ns - 1) / cfg_.hop_ns;  // next tick boundary >= t
   }
 
-  /// Attempt to inject the head of `sr.waiting[pos]` at tick `tick`; on
-  /// failure schedule a retry at the next slot-passing tick.
+  /// Attempt to inject the head of `sr.waiting[pos]` at the current tick; on
+  /// failure schedule a retry at the next slot-passing tick (table lookup).
   void try_head(unsigned subring, unsigned pos);
-
-  /// Smallest tick > `tick` at which some slot coordinate passes `pos`.
-  [[nodiscard]] std::uint64_t next_passing_tick(const SubRing& sr, unsigned pos,
-                                                std::uint64_t tick) const noexcept;
 
   sim::Engine& engine_;
   Config cfg_;

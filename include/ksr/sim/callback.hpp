@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+// Small-buffer type-erased `void()` callback for the event queue hot path.
+//
+// Every event the engine dispatches used to be a `std::function<void()>`,
+// which heap-allocates for captures beyond ~16 bytes. The engine's actual
+// capture sets (fiber resume thunks, ring slot claims and deliveries, bus
+// grants) are small and move-only-friendly, so InlineFn stores up to
+// kInlineBytes of capture state inline and never allocates on that path.
+// Larger callables still work — they are boxed behind a unique_ptr — so the
+// type imposes no hard size limit, only a fast path.
+//
+// InlineFn is move-only (an event is dispatched exactly once; copyability
+// would force every capture to be copyable, as std::function does).
+namespace ksr::sim {
+
+class InlineFn {
+ public:
+  /// Sized for the largest engine-internal capture set (the ring delivery
+  /// closure: this + slot/position ids + a Done std::function + the wait).
+  static constexpr std::size_t kInlineBytes = 72;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      // The common case for engine events (captures of pointers and ids):
+      // relocation is a fixed-size memcpy, no indirect call, no destructor.
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kTrivialOps<Fn>;
+    } else if constexpr (sizeof(Fn) <= kInlineBytes &&
+                         alignof(Fn) <= alignof(std::max_align_t) &&
+                         std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          std::unique_ptr<Fn>(new Fn(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      if (ops_->relocate == nullptr) {
+        std::memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(buf_, o.buf_);
+      }
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        if (ops_->relocate == nullptr) {
+          std::memcpy(buf_, o.buf_, kInlineBytes);
+        } else {
+          ops_->relocate(buf_, o.buf_);
+        }
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Invoke the stored callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Destroy the stored callable (no-op when empty). The engine dispatches
+  /// events in place from its slot pool and resets the slot right after the
+  /// call, instead of paying a full-buffer move on every dispatch.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-construct into dst and destroy src. nullptr means "memcpy the
+    // whole buffer and skip destruction" (trivially copyable capture).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;  // nullptr: trivially destructible
+  };
+
+  template <typename Fn>
+  static constexpr Ops kTrivialOps{
+      [](void* self) { (*static_cast<Fn*>(self))(); }, nullptr, nullptr};
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps{
+      [](void* self) { (**static_cast<std::unique_ptr<Fn>*>(self))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) std::unique_ptr<Fn>(
+            std::move(*static_cast<std::unique_ptr<Fn>*>(src)));
+        static_cast<std::unique_ptr<Fn>*>(src)->~unique_ptr();
+      },
+      [](void* self) noexcept {
+        static_cast<std::unique_ptr<Fn>*>(self)->~unique_ptr();
+      }};
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ksr::sim

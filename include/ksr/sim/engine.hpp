@@ -5,20 +5,29 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "ksr/sim/callback.hpp"
+#include "ksr/sim/event_heap.hpp"
+#include "ksr/sim/fiber_context.hpp"
 #include "ksr/sim/time.hpp"
 
+#if !KSR_HAVE_FAST_FIBERS
 #include <ucontext.h>
+#endif
 
 // Deterministic discrete-event engine with cooperative fibers.
 //
-// Simulated processors run their programs on ucontext fibers. The engine owns
-// a single event queue ordered by (time, insertion sequence); ties broken by
-// sequence make every run bit-reproducible. Exactly one fiber runs at a time
-// (the whole simulator is single-threaded), so simulated programs need no
-// host-level synchronization.
+// Simulated processors run their programs on cooperative fibers. The engine
+// owns a single event queue ordered by (time, insertion sequence); ties
+// broken by sequence make every run bit-reproducible. Exactly one fiber runs
+// at a time (the whole simulator is single-threaded), so simulated programs
+// need no host-level synchronization.
+//
+// Host fast path: events carry an InlineFn (no allocation for engine-sized
+// captures) in a 4-ary heap (see event_heap.hpp), and fiber switches use a
+// hand-rolled register swap instead of swapcontext when KSR_FAST_FIBERS is
+// on (see fiber_context.hpp). Neither changes simulated timing by a cycle.
 //
 // A fiber interacts with simulated time through three verbs:
 //   * wait_until(t) — park until simulated time t (local compute, fixed-cost
@@ -36,7 +45,7 @@ class Engine {
  public:
   static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
 
-  Engine() = default;
+  Engine() { events_.reserve(1024); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -45,10 +54,10 @@ class Engine {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute simulated time `t` (>= now()).
-  void at(Time t, std::function<void()> fn);
+  void at(Time t, InlineFn fn);
 
   /// Schedule `fn` after duration `d`.
-  void in(Duration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+  void in(Duration d, InlineFn fn) { at(now_ + d, std::move(fn)); }
 
   /// Create a fiber that starts running at time `start`.
   FiberId spawn(std::function<void()> body, Time start = 0,
@@ -67,7 +76,9 @@ class Engine {
   /// Park the current fiber until some component calls wake() on it.
   void block();
 
-  /// Wake a blocked fiber at time `t` (>= now()).
+  /// Wake a blocked fiber at time `t` (>= now()). Throws std::logic_error if
+  /// the fiber's body has already returned — waking a finished fiber is
+  /// always a component bug, not a race to be ignored.
   void wake(FiberId id, Time t);
 
   /// True when called from inside a fiber body.
@@ -85,41 +96,74 @@ class Engine {
   /// Total events dispatched so far (host-side instrumentation).
   [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
 
+  /// True when this build switches fibers with the hand-rolled register
+  /// swap rather than swapcontext (host-performance introspection).
+  [[nodiscard]] static constexpr bool fast_fibers() noexcept {
+    return KSR_HAVE_FAST_FIBERS != 0;
+  }
+
  private:
   struct Fiber {
     std::function<void()> body;
     std::unique_ptr<std::byte[]> stack;
     std::size_t stack_bytes = 0;
+#if KSR_HAVE_FAST_FIBERS
+    void* sp = nullptr;  // saved stack pointer while suspended
+#else
     ucontext_t ctx{};
+#endif
     bool started = false;
     bool done = false;
     Engine* engine = nullptr;
     FiberId id = 0;
   };
 
+  // Heap entries are 24 bytes: the callback lives in a slab pool, addressed
+  // by slot, so sifting moves small trivially-copyable records and never
+  // touches (or moves) the callbacks themselves. Slots are recycled through
+  // a freelist — after warm-up the schedule path allocates nothing.
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct EventLater {
+  struct EventEarlier {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+      return a.t != b.t ? a.t < b.t : a.seq < b.seq;
     }
   };
 
+#if KSR_HAVE_FAST_FIBERS
+  static void fiber_main(void* arg);
+#else
   static void trampoline(unsigned hi, unsigned lo);
+#endif
   void resume(Fiber& f);
   void switch_to_scheduler();
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  // Callback slab: fixed-size chunks give every slot a stable address, so a
+  // callback can be invoked in place even while it schedules new events
+  // (which may grow the chunk table but never moves existing slots).
+  static constexpr std::uint32_t kPoolChunk = 256;  // slots per chunk
+  InlineFn& pool_slot(std::uint32_t s) noexcept {
+    return pool_[s / kPoolChunk][s % kPoolChunk];
+  }
+
+  EventQueue<Event, EventEarlier, 4> events_;
+  std::vector<std::unique_ptr<InlineFn[]>> pool_;  // chunked callback slots
+  std::vector<std::uint32_t> free_slots_;          // recycled pool slots
+  std::uint32_t pool_used_ = 0;                    // slots ever allocated
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::size_t live_fibers_ = 0;
   Fiber* current_ = nullptr;
+#if KSR_HAVE_FAST_FIBERS
+  void* sched_sp_ = nullptr;  // scheduler context while a fiber runs
+#else
   ucontext_t sched_ctx_{};
+#endif
   std::exception_ptr pending_exception_;
 };
 

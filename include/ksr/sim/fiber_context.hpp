@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+
+// Hand-rolled cooperative context switch (the KSR_FAST_FIBERS fast path).
+//
+// swapcontext() preserves the signal mask, which costs a sigprocmask syscall
+// per switch — two syscalls per simulated wait/wake pair. Cooperative fibers
+// inside a single-threaded simulator need none of that: a switch only has to
+// preserve what the C ABI says survives a function call, i.e. the
+// callee-saved registers and the stack pointer. ksr_ctx_swap is exactly that
+// — a handful of pushes, a stack-pointer exchange, and pops.
+//
+// Contract (documented in docs/MODEL.md):
+//   * preserved across a switch: callee-saved integer registers, the stack
+//     pointer, everything reachable from the fiber's stack;
+//   * NOT preserved: the signal mask (never touched), the FP environment
+//     (rounding mode / MXCSR / FPCR — the simulator never changes it), and
+//     thread-local storage is shared by all fibers (single host thread).
+//
+// The portable ucontext path remains available with -DKSR_FAST_FIBERS=OFF;
+// both paths produce bit-identical simulations — only host speed differs.
+
+#if defined(KSR_FAST_FIBERS) && (defined(__x86_64__) || defined(__aarch64__))
+#define KSR_HAVE_FAST_FIBERS 1
+#else
+#define KSR_HAVE_FAST_FIBERS 0
+#endif
+
+#if KSR_HAVE_FAST_FIBERS
+
+extern "C" {
+/// Save the current execution context (callee-saved registers + return
+/// address) on the current stack, store the resulting stack pointer in
+/// *save_sp, then restore the context whose stack pointer is restore_sp.
+/// Returns (in the restored context) when somebody swaps back.
+void ksr_ctx_swap(void** save_sp, void* restore_sp);
+}
+
+namespace ksr::sim::detail {
+
+/// Prepare a fresh fiber stack so that the first ksr_ctx_swap into the
+/// returned stack pointer calls entry(arg) on that stack. `entry` must never
+/// return — it must finish by ksr_ctx_swap-ing away for the last time.
+[[nodiscard]] void* make_fiber_context(void* stack_base,
+                                       std::size_t stack_bytes,
+                                       void (*entry)(void*),
+                                       void* arg) noexcept;
+
+}  // namespace ksr::sim::detail
+
+#endif  // KSR_HAVE_FAST_FIBERS

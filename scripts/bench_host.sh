@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Host-side performance harness for the simulator itself.
+#
+#   scripts/bench_host.sh [--build-dir DIR] [--quick] [--out FILE]
+#   scripts/bench_host.sh --check [--build-dir DIR]
+#
+# Runs the google-benchmark microbenches (bench_sim_throughput) plus the two
+# event-heavy paper binaries (bench_table2_is, bench_fig4_barriers_ksr1) and
+# merges everything into a single JSON report (default: BENCH_host.json at
+# the repository root) via bench/report.py. Each paper binary prints a
+#
+#   [host] bench=<name> events_dispatched=<n> wall_ms=<ms>
+#
+# line on stderr (see bench/bench_common.hpp); events_dispatched is a
+# bit-determinism fingerprint — host-side optimisation work must never
+# change it.
+#
+# --check is a fast smoke mode for CI (the `perf-smoke` ctest label): it
+# runs the quick variants, re-runs one binary to assert the fingerprint is
+# reproducible, and exits non-zero on any failure. It writes only to a
+# temporary directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+QUICK=0
+CHECK=0
+OUT=BENCH_host.json
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --quick)     QUICK=1; shift ;;
+    --check)     CHECK=1; QUICK=1; shift ;;
+    --out)       OUT="$2"; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+for bin in bench_sim_throughput bench_table2_is bench_fig4_barriers_ksr1; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "bench_host.sh: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+if [ "$CHECK" = 1 ]; then
+  MIN_TIME=0.05
+  GBENCH_FILTER='--benchmark_filter=BM_(EngineEventDispatch|FiberSwitch|RingTransaction|CoherentReadHit)'
+else
+  MIN_TIME=1
+  GBENCH_FILTER='--benchmark_filter=.'
+fi
+
+echo "== bench_sim_throughput =="
+"$BUILD_DIR/bench/bench_sim_throughput" "$GBENCH_FILTER" \
+  "--benchmark_min_time=$MIN_TIME" \
+  --benchmark_format=json > "$TMP/gbench.json"
+
+PAPER_FLAG=""
+[ "$QUICK" = 1 ] && PAPER_FLAG="--quick"
+
+run_paper() {  # $1 = binary name, $2 = output tag
+  echo "== $1 $PAPER_FLAG =="
+  "$BUILD_DIR/bench/$1" $PAPER_FLAG --csv \
+    > "$TMP/$2.csv" 2> "$TMP/$2.host"
+  grep '^\[host\]' "$TMP/$2.host"
+}
+
+run_paper bench_table2_is table2_is
+run_paper bench_fig4_barriers_ksr1 fig4
+
+if [ "$CHECK" = 1 ]; then
+  # Determinism smoke: a second run must reproduce the fingerprint exactly.
+  run_paper bench_fig4_barriers_ksr1 fig4_rerun
+  fp1=$(sed -n 's/.*events_dispatched=\([0-9]*\).*/\1/p' "$TMP/fig4.host")
+  fp2=$(sed -n 's/.*events_dispatched=\([0-9]*\).*/\1/p' "$TMP/fig4_rerun.host")
+  if [ -z "$fp1" ] || [ "$fp1" != "$fp2" ]; then
+    echo "bench_host.sh --check FAILED: events_dispatched not reproducible" \
+         "($fp1 vs $fp2)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/fig4.csv" "$TMP/fig4_rerun.csv"; then
+    echo "bench_host.sh --check FAILED: --csv output not reproducible" >&2
+    exit 1
+  fi
+  python3 bench/report.py --gbench "$TMP/gbench.json" \
+    --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
+    --mode quick --out "$TMP/BENCH_host.json"
+  echo "bench_host.sh --check OK (fingerprint $fp1 reproducible)"
+  exit 0
+fi
+
+python3 bench/report.py --gbench "$TMP/gbench.json" \
+  --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
+  --mode "$([ "$QUICK" = 1 ] && echo quick || echo full)" \
+  --out "$OUT"
+echo "wrote $OUT"

@@ -55,6 +55,16 @@ class CoherentCpu final : public Cpu {
   void fill_subcache(mem::Sva a);
 
   CoherentMachine& cm_;
+
+  // One-entry MRU in front of the sub-cache hit check: remembers the last
+  // sub-block that hit, revalidated in O(1) against the cache generation
+  // counters (every mutation that could remove presence or downgrade write
+  // rights bumps them). A valid MRU hit takes the exact same counter/timing
+  // path as the full lookup, so simulated behaviour is unchanged.
+  std::uint64_t mru_subblock_ = ~0ull;
+  bool mru_writable_ = false;
+  std::uint64_t mru_sub_gen_ = 0;
+  std::uint64_t mru_local_gen_ = 0;
 };
 
 void CoherentCpu::fill_subcache(mem::Sva a) {
@@ -69,12 +79,25 @@ void CoherentCpu::fill_subcache(mem::Sva a) {
 void CoherentCpu::access_one(mem::Sva a, Op op) {
   lazy_sync();
   auto& c = cell();
+  const std::uint64_t blk = a / mem::kSubBlockBytes;
+
+  if (blk == mru_subblock_ && mru_sub_gen_ == c.sub.generation() &&
+      (op == Op::kRead ||
+       (mru_writable_ && mru_local_gen_ == c.local.generation()))) {
+    ++c.pmon.subcache_hits;
+    tick_cycles(cfg().subcache_hit_cycles);
+    return;
+  }
+
   const mem::SubPageId sp = mem::subpage_of(a);
 
   if (op == Op::kRead) {
     if (c.sub.contains(a)) {
       ++c.pmon.subcache_hits;
       tick_cycles(cfg().subcache_hit_cycles);
+      mru_subblock_ = blk;
+      mru_sub_gen_ = c.sub.generation();
+      mru_writable_ = false;  // write rights are established on first write
       return;
     }
     ++c.pmon.subcache_misses;
@@ -89,6 +112,10 @@ void CoherentCpu::access_one(mem::Sva a, Op op) {
   if (writable_here && c.sub.contains(a)) {
     ++c.pmon.subcache_hits;
     tick_cycles(cfg().subcache_hit_cycles);
+    mru_subblock_ = blk;
+    mru_sub_gen_ = c.sub.generation();
+    mru_writable_ = true;
+    mru_local_gen_ = c.local.generation();
     return;
   }
   ++c.pmon.subcache_misses;
@@ -115,9 +142,9 @@ void CoherentCpu::load_line(mem::SubPageId sp, bool need_write) {
     // entry must be re-resolved afterwards.
     if (c.inflight.contains(sp)) {
       hard_sync();
-      const auto it = c.inflight.find(sp);
-      if (it == c.inflight.end()) continue;  // landed while we synced
-      it->second.push_back(fiber_);
+      auto* waiters = c.inflight.find(sp);
+      if (waiters == nullptr) continue;  // landed while we synced
+      waiters->push_back(fiber_);
       block_until_woken();
       continue;
     }
@@ -168,10 +195,9 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
 
     unsigned target_leaf = 0;
     {
-      const auto it = cm_.dir_.find(sp);
-      const CoherentMachine::DirEntry snapshot =
-          it != cm_.dir_.end() ? it->second : CoherentMachine::DirEntry{};
-      target_leaf = cm_.responder_leaf(id_, snapshot);
+      const auto* e = cm_.dir_.find(sp);
+      target_leaf =
+          cm_.responder_leaf(id_, e != nullptr ? *e : CoherentMachine::DirEntry{});
     }
     const bool crossed = target_leaf != cm_.leaf_of(id_);
 
@@ -216,8 +242,8 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
   auto& c = cell();
   const mem::SubPageId sp = mem::subpage_of(a);
 
-  if (auto it = cm_.dir_.find(sp); it != cm_.dir_.end()) {
-    auto& e = it->second;
+  if (auto* pe = cm_.dir_.find(sp)) {
+    auto& e = *pe;
     if (e.owner == static_cast<std::int16_t>(id_) &&
         cache::writable(c.local.state(sp))) {
       // We already hold the only copy: lock it locally.
@@ -245,14 +271,14 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
 void CoherentCpu::do_release_subpage(mem::Sva a) {
   lazy_sync();
   const mem::SubPageId sp = mem::subpage_of(a);
-  const auto it = cm_.dir_.find(sp);
-  if (it == cm_.dir_.end() || !it->second.atomic ||
-      it->second.owner != static_cast<std::int16_t>(id_)) {
+  auto* e = cm_.dir_.find(sp);
+  if (e == nullptr || !e->atomic ||
+      e->owner != static_cast<std::int16_t>(id_)) {
     throw std::logic_error(
         "release_subpage: cell " + std::to_string(id_) +
         " does not hold sub-page " + std::to_string(sp) + " atomically");
   }
-  it->second.atomic = false;
+  e->atomic = false;
   cell().local.set_state(sp, cache::LineState::kExclusive);
   tick_ns(cfg().local_atomic_ns);
 }
@@ -288,14 +314,14 @@ void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
 
   ++c.pmon.prefetches_issued;
   ++c.inflight_count;
-  c.inflight.emplace(sp, std::vector<sim::FiberId>{});
+  c.inflight[sp];  // register the in-flight fetch (no waiters yet)
   hard_sync();
 
   unsigned target_leaf = 0;
   {
-    const auto it = cm_.dir_.find(sp);
+    const auto* e = cm_.dir_.find(sp);
     target_leaf = cm_.responder_leaf(
-        id_, it != cm_.dir_.end() ? it->second : CoherentMachine::DirEntry{});
+        id_, e != nullptr ? *e : CoherentMachine::DirEntry{});
   }
   CoherentMachine* cm = &cm_;
   const unsigned me = id_;
@@ -310,10 +336,10 @@ void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
     } else {
       (void)cm->commit_shared(me, sp);
     }
-    auto it = c2.inflight.find(sp);
-    if (it != c2.inflight.end()) {
-      auto waiters = std::move(it->second);
-      c2.inflight.erase(it);
+    auto* entry = c2.inflight.find(sp);
+    if (entry != nullptr) {
+      auto waiters = std::move(*entry);
+      c2.inflight.erase(sp);
       --c2.inflight_count;
       for (sim::FiberId f : waiters) {
         cm->engine().wake(f, cm->engine().now());
@@ -342,9 +368,9 @@ void CoherentCpu::do_post_store(mem::Sva a) {
   hard_sync();
 
   unsigned target_leaf = cm_.leaf_of(id_);
-  if (const auto it = cm_.dir_.find(sp); it != cm_.dir_.end()) {
+  if (const auto* e = cm_.dir_.find(sp)) {
     for (unsigned l = 0; l < cm_.leaf_count(); ++l) {
-      if (l != target_leaf && (it->second.placeholders & cm_.leaf_mask(l))) {
+      if (l != target_leaf && (e->placeholders & cm_.leaf_mask(l))) {
         target_leaf = l;
         break;
       }
@@ -390,10 +416,9 @@ void CoherentMachine::reset_memory_system() {
 }
 
 CoherentMachine::DirView CoherentMachine::dir_view(mem::SubPageId sp) const {
-  const auto it = dir_.find(sp);
-  if (it == dir_.end()) return {};
-  return {it->second.holders, it->second.placeholders, it->second.owner,
-          it->second.atomic};
+  const auto* e = dir_.find(sp);
+  if (e == nullptr) return {};
+  return {e->holders, e->placeholders, e->owner, e->atomic};
 }
 
 std::uint64_t CoherentMachine::leaf_mask(unsigned leaf) const noexcept {
@@ -439,9 +464,9 @@ bool CoherentMachine::insert_line(unsigned cell, mem::SubPageId sp,
 void CoherentMachine::on_page_evicted(unsigned cell, mem::PageId page) {
   for (std::size_t idx = 0; idx < mem::kSubPagesPerPage; ++idx) {
     const mem::SubPageId sp = page * mem::kSubPagesPerPage + idx;
-    const auto it = dir_.find(sp);
-    if (it == dir_.end()) continue;
-    DirEntry& e = it->second;
+    auto* pe = dir_.find(sp);
+    if (pe == nullptr) continue;
+    DirEntry& e = *pe;
     e.holders &= ~bit(cell);
     e.placeholders &= ~bit(cell);
     if (e.owner == static_cast<std::int16_t>(cell)) {

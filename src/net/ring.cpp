@@ -26,6 +26,20 @@ SlottedRing::SlottedRing(sim::Engine& engine, const Config& cfg, std::string nam
     }
     sr.occupied.assign(s, 0);
     sr.waiting.resize(n);
+    // Closed-form "ticks until the next slot passes": in the rotating frame
+    // the coordinate facing a position decreases by one each tick, so from
+    // coordinate c the next slot passes after the backward distance to the
+    // nearest slot coordinate. One table lookup replaces the O(n) probe the
+    // polled model did on every failed attempt.
+    sr.next_pass_delta.assign(n, 0);
+    for (unsigned c = 0; c < n; ++c) {
+      for (unsigned d = 1; d <= n; ++d) {
+        if (sr.coord_to_slot[(c + n - (d % n)) % n] >= 0) {
+          sr.next_pass_delta[c] = d;
+          break;
+        }
+      }
+    }
   }
 }
 
@@ -42,17 +56,6 @@ void SlottedRing::inject(unsigned src_pos, unsigned subring, Done done) {
     engine_.at(tick * cfg_.hop_ns,
                [this, subring, src_pos] { try_head(subring, src_pos); });
   }
-}
-
-std::uint64_t SlottedRing::next_passing_tick(const SubRing& sr, unsigned pos,
-                                             std::uint64_t tick) const noexcept {
-  const unsigned n = cfg_.positions;
-  for (std::uint64_t d = 1; d <= n; ++d) {
-    const unsigned coord =
-        (pos + n - static_cast<unsigned>((tick + d) % n)) % n;
-    if (sr.coord_to_slot[coord] >= 0) return tick + d;
-  }
-  return tick + 1;  // unreachable: at least one slot exists
 }
 
 void SlottedRing::try_head(unsigned subring, unsigned pos) {
@@ -97,7 +100,7 @@ void SlottedRing::try_head(unsigned subring, unsigned pos) {
 
   if (!queue.empty() && !queue.front().polling) {
     queue.front().polling = true;
-    const std::uint64_t next = next_passing_tick(sr, pos, tick);
+    const std::uint64_t next = tick + sr.next_pass_delta[coord];
     engine_.at(next * cfg_.hop_ns,
                [this, subring, pos] { try_head(subring, pos); });
   }

@@ -1,5 +1,6 @@
 #include "ksr/sim/engine.hpp"
 
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -8,11 +9,22 @@ namespace ksr::sim {
 
 Engine::~Engine() = default;
 
-void Engine::at(Time t, std::function<void()> fn) {
+void Engine::at(Time t, InlineFn fn) {
   if (t < now_) {
     throw std::logic_error("Engine::at: scheduling into the past");
   }
-  events_.push(Event{t, seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = pool_used_++;
+    if (slot % kPoolChunk == 0) {
+      pool_.push_back(std::make_unique<InlineFn[]>(kPoolChunk));
+    }
+  }
+  pool_slot(slot) = std::move(fn);
+  events_.push(Event{t, seq_++, slot});
 }
 
 FiberId Engine::spawn(std::function<void()> body, Time start, std::size_t stack_bytes) {
@@ -28,6 +40,47 @@ FiberId Engine::spawn(std::function<void()> body, Time start, std::size_t stack_
   at(start, [this, raw] { resume(*raw); });
   return raw->id;
 }
+
+#if KSR_HAVE_FAST_FIBERS
+
+void Engine::fiber_main(void* arg) {
+  auto* f = static_cast<Fiber*>(arg);
+  try {
+    f->body();
+  } catch (...) {
+    if (!f->engine->pending_exception_) {
+      f->engine->pending_exception_ = std::current_exception();
+    }
+  }
+  f->done = true;
+  // One-way switch back to the scheduler; this context is never resumed.
+  void* dead = nullptr;
+  ksr_ctx_swap(&dead, f->engine->sched_sp_);
+  std::abort();  // unreachable
+}
+
+void Engine::resume(Fiber& f) {
+  if (f.done) return;
+  if (!f.started) {
+    f.sp = detail::make_fiber_context(f.stack.get(), f.stack_bytes,
+                                      &Engine::fiber_main, &f);
+    f.started = true;
+  }
+  Fiber* prev = current_;
+  current_ = &f;
+  ksr_ctx_swap(&sched_sp_, f.sp);
+  current_ = prev;
+  if (f.done && f.stack) {
+    f.stack.reset();  // release the stack eagerly; the Fiber record remains
+    --live_fibers_;
+  }
+}
+
+void Engine::switch_to_scheduler() {
+  ksr_ctx_swap(&current_->sp, sched_sp_);
+}
+
+#else  // ucontext fallback
 
 void Engine::trampoline(unsigned hi, unsigned lo) {
   const auto bits =
@@ -72,6 +125,8 @@ void Engine::switch_to_scheduler() {
   swapcontext(&f->ctx, &sched_ctx_);
 }
 
+#endif  // KSR_HAVE_FAST_FIBERS
+
 void Engine::wait_until(Time t) {
   if (!in_fiber()) throw std::logic_error("wait_until outside fiber");
   if (t < now_) t = now_;
@@ -87,6 +142,10 @@ void Engine::block() {
 
 void Engine::wake(FiberId id, Time t) {
   Fiber* raw = fibers_.at(id).get();
+  if (raw->done) {
+    throw std::logic_error("Engine::wake: fiber " + std::to_string(id) +
+                           " has already finished");
+  }
   at(t, [this, raw] { resume(*raw); });
 }
 
@@ -98,11 +157,15 @@ Time Engine::next_event_time() const noexcept {
 
 void Engine::run() {
   while (!events_.empty()) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
+    const Event ev = events_.pop_top();
     now_ = ev.t;
     ++dispatched_;
-    ev.fn();
+    // Invoke in place: chunk addresses are stable, and the slot is recycled
+    // only after the call, so the callback may freely schedule new events.
+    InlineFn& fn = pool_slot(ev.slot);
+    fn();
+    fn.reset();
+    free_slots_.push_back(ev.slot);
     if (pending_exception_) {
       auto ex = pending_exception_;
       pending_exception_ = nullptr;

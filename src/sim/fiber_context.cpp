@@ -1,0 +1,145 @@
+#include "ksr/sim/fiber_context.hpp"
+
+#if KSR_HAVE_FAST_FIBERS
+
+#include <cstdint>
+
+// The switch primitive itself, as toplevel assembly. Only callee-saved state
+// is transferred; see fiber_context.hpp for the exact contract. The boot
+// thunk starts a brand-new fiber: make_fiber_context() seeds two callee-saved
+// register slots on the fresh stack (the entry function and its argument), so
+// the very first swap "returns" into the thunk, which forwards the argument
+// per the C calling convention.
+
+#if defined(__x86_64__)
+
+// System V AMD64: rbp, rbx, r12-r15 are callee-saved. rdi = save_sp,
+// rsi = restore_sp. The suspended-context record on the stack is, from the
+// saved stack pointer upward: r15 r14 r13 r12 rbx rbp <return address>.
+asm(R"(
+    .text
+    .align 16
+    .globl ksr_ctx_swap
+    .type ksr_ctx_swap, @function
+ksr_ctx_swap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+    .size ksr_ctx_swap, .-ksr_ctx_swap
+
+    .align 16
+    .globl ksr_ctx_boot
+    .type ksr_ctx_boot, @function
+ksr_ctx_boot:
+    movq %r12, %rdi
+    callq *%rbx
+    ud2
+    .size ksr_ctx_boot, .-ksr_ctx_boot
+)");
+
+extern "C" void ksr_ctx_boot();  // asm thunk above, never called directly
+
+namespace ksr::sim::detail {
+
+void* make_fiber_context(void* stack_base, std::size_t stack_bytes,
+                         void (*entry)(void*), void* arg) noexcept {
+  // 16-byte-aligned top; the boot thunk's address sits where ksr_ctx_swap's
+  // `ret` will find it, so rsp ends up 16-aligned when the thunk starts and
+  // 8-mod-16 inside `entry` — exactly the ABI's expectation after a call.
+  auto top = (reinterpret_cast<std::uintptr_t>(stack_base) + stack_bytes) &
+             ~std::uintptr_t{15};
+  auto* sp = reinterpret_cast<void**>(top);
+  *--sp = reinterpret_cast<void*>(&ksr_ctx_boot);  // ret target
+  *--sp = nullptr;                                 // rbp
+  *--sp = reinterpret_cast<void*>(entry);          // rbx -> callq *%rbx
+  *--sp = arg;                                     // r12 -> first argument
+  *--sp = nullptr;                                 // r13
+  *--sp = nullptr;                                 // r14
+  *--sp = nullptr;                                 // r15
+  return sp;
+}
+
+}  // namespace ksr::sim::detail
+
+#elif defined(__aarch64__)
+
+// AAPCS64: x19-x28, x29 (fp), x30 (lr) and d8-d15 are callee-saved; sp must
+// stay 16-aligned. The record is a 160-byte frame; `ret` branches to the
+// restored x30.
+asm(R"(
+    .text
+    .align 4
+    .globl ksr_ctx_swap
+    .type ksr_ctx_swap, %function
+ksr_ctx_swap:
+    sub  sp, sp, #160
+    stp  x19, x20, [sp, #0]
+    stp  x21, x22, [sp, #16]
+    stp  x23, x24, [sp, #32]
+    stp  x25, x26, [sp, #48]
+    stp  x27, x28, [sp, #64]
+    stp  x29, x30, [sp, #80]
+    stp  d8,  d9,  [sp, #96]
+    stp  d10, d11, [sp, #112]
+    stp  d12, d13, [sp, #128]
+    stp  d14, d15, [sp, #144]
+    mov  x2, sp
+    str  x2, [x0]
+    mov  sp, x1
+    ldp  x19, x20, [sp, #0]
+    ldp  x21, x22, [sp, #16]
+    ldp  x23, x24, [sp, #32]
+    ldp  x25, x26, [sp, #48]
+    ldp  x27, x28, [sp, #64]
+    ldp  x29, x30, [sp, #80]
+    ldp  d8,  d9,  [sp, #96]
+    ldp  d10, d11, [sp, #112]
+    ldp  d12, d13, [sp, #128]
+    ldp  d14, d15, [sp, #144]
+    add  sp, sp, #160
+    ret
+    .size ksr_ctx_swap, .-ksr_ctx_swap
+
+    .align 4
+    .globl ksr_ctx_boot
+    .type ksr_ctx_boot, %function
+ksr_ctx_boot:
+    mov  x0, x19
+    blr  x20
+    brk  #0
+    .size ksr_ctx_boot, .-ksr_ctx_boot
+)");
+
+extern "C" void ksr_ctx_boot();  // asm thunk above, never called directly
+
+namespace ksr::sim::detail {
+
+void* make_fiber_context(void* stack_base, std::size_t stack_bytes,
+                         void (*entry)(void*), void* arg) noexcept {
+  auto top = (reinterpret_cast<std::uintptr_t>(stack_base) + stack_bytes) &
+             ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<void**>(top - 160);
+  for (int i = 0; i < 20; ++i) frame[i] = nullptr;
+  frame[0] = arg;                                    // x19 -> first argument
+  frame[1] = reinterpret_cast<void*>(entry);         // x20 -> blr x20
+  frame[11] = reinterpret_cast<void*>(&ksr_ctx_boot);  // x30 -> ret target
+  return frame;
+}
+
+}  // namespace ksr::sim::detail
+
+#endif  // architecture
+
+#endif  // KSR_HAVE_FAST_FIBERS

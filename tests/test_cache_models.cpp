@@ -3,8 +3,12 @@
 // random-replacement behaviour the SP experiments depend on.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <set>
+#include <vector>
 
+#include "ksr/cache/flat_map.hpp"
 #include "ksr/cache/local_cache.hpp"
 #include "ksr/cache/subcache.hpp"
 #include "ksr/sim/rng.hpp"
@@ -208,6 +212,89 @@ TEST(LineState, PredicatesAndNames) {
   EXPECT_TRUE(writable(LineState::kExclusive));
   EXPECT_TRUE(writable(LineState::kAtomic));
   EXPECT_EQ(to_string(LineState::kAtomic), "Atomic");
+}
+
+// ------------------------------------------------------------- FlatMap ----
+
+TEST(FlatMap, InsertFindEraseAgainstStdMap) {
+  FlatMap<std::uint64_t, int> m;
+  std::map<std::uint64_t, int> ref;
+  sim::Rng rng(42);
+  for (int round = 0; round < 20000; ++round) {
+    const std::uint64_t key = rng.below(512);
+    switch (rng.below(4)) {
+      case 0:
+      case 1:
+        m[key] = static_cast<int>(round);
+        ref[key] = static_cast<int>(round);
+        break;
+      case 2:
+        EXPECT_EQ(m.erase(key), ref.erase(key) != 0);
+        break;
+      default: {
+        const int* got = m.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got != nullptr, it != ref.end());
+        if (got != nullptr) {
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+TEST(FlatMap, BackshiftErasePreservesProbeClusters) {
+  // Keys engineered to collide into one probe cluster: erasing from the
+  // middle must keep the later keys findable (backward-shift deletion).
+  FlatMap<std::uint64_t, int> m;
+  std::vector<std::uint64_t> keys;
+  // Keys of the form i << 58 all land in bucket 0 at the initial capacity
+  // of 64: the product i*phi << 58 keeps only 6 significant bits, which the
+  // >> 32 leaves 26 bits above the 6-bit bucket mask.
+  for (std::uint64_t i = 1; i <= 24; ++i) {
+    const std::uint64_t k = i << 58;
+    keys.push_back(k);
+    m[k] = static_cast<int>(i);
+  }
+  for (std::size_t victim = 0; victim < keys.size(); victim += 3) {
+    EXPECT_TRUE(m.erase(keys[victim]));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const int* got = m.find(keys[i]);
+    if (i % 3 == 0) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, static_cast<int>(i + 1));
+    }
+  }
+}
+
+TEST(FlatMap, GrowthRehashesEverything) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 5000; ++k) m[k * 977] = k;
+  EXPECT_EQ(m.size(), 5000u);
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    const std::uint64_t* got = m.find(k * 977);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, k);
+  }
+  EXPECT_EQ(m.find(977 * 5001), nullptr);
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndEmpties) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(7));
+  m[7] = 2;
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 2);
 }
 
 }  // namespace

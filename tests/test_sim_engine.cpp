@@ -1,10 +1,16 @@
 // Unit tests for the discrete-event engine and fiber scheduler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "ksr/sim/callback.hpp"
 #include "ksr/sim/engine.hpp"
+#include "ksr/sim/event_heap.hpp"
+#include "ksr/sim/rng.hpp"
 
 namespace ksr::sim {
 namespace {
@@ -107,6 +113,13 @@ TEST(Engine, BlockAndWake) {
   EXPECT_TRUE(resumed);
 }
 
+TEST(Engine, WakingFinishedFiberThrows) {
+  Engine eng;
+  const FiberId f = eng.spawn([] {});
+  eng.at(100, [&] { eng.wake(f, 200); });  // fiber finished long before t=100
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
 TEST(Engine, DeadlockDetected) {
   Engine eng;
   eng.spawn([&] { eng.block(); });  // nobody ever wakes it
@@ -150,6 +163,129 @@ TEST(Engine, NextEventTimeSentinelWhenIdle) {
   eng.at(42, [] {});
   EXPECT_EQ(eng.next_event_time(), 42u);
   eng.run();
+}
+
+// ---- InlineFn: the three storage strategies -------------------------------
+
+TEST(InlineFn, TrivialCaptureInvokesAndMoves) {
+  int sink = 0;
+  int* p = &sink;
+  InlineFn f([p] { ++*p; });  // trivially copyable capture: inline, no ops
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(sink, 1);
+  InlineFn g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  g();
+  EXPECT_EQ(sink, 2);
+}
+
+TEST(InlineFn, MoveOnlyCaptureStaysInline) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  InlineFn f([o = std::move(owned), &got] { got = *o; });
+  InlineFn g(std::move(f));
+  InlineFn h;
+  h = std::move(g);
+  h();
+  EXPECT_EQ(got, 7);
+  h.reset();  // releases the unique_ptr; must not leak or double-free
+  EXPECT_FALSE(static_cast<bool>(h));
+}
+
+TEST(InlineFn, OversizedCaptureIsBoxed) {
+  std::array<std::uint64_t, 32> big{};  // 256 B > kInlineBytes
+  big[0] = 3;
+  big[31] = 4;
+  std::uint64_t got = 0;
+  InlineFn f([big, &got] { got = big[0] + big[31]; });
+  InlineFn g(std::move(f));
+  g();
+  EXPECT_EQ(got, 7u);
+}
+
+TEST(InlineFn, AssignmentReplacesExistingCallable) {
+  int a = 0;
+  int b = 0;
+  InlineFn f([&a] { ++a; });
+  f = InlineFn([&b] { ++b; });
+  f();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+}
+
+// ---- EventQueue / DaryHeap: dispatch order vs a sorted reference ----------
+
+struct Key {
+  Time t;
+  std::uint64_t seq;
+};
+struct KeyEarlier {
+  bool operator()(const Key& a, const Key& b) const noexcept {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+};
+
+// Random interleaving of monotone pushes (the engine's common case),
+// out-of-order pushes, and interspersed pops. Returns the pop order.
+template <typename Queue>
+std::vector<std::uint64_t> exercise_queue(Queue& q) {
+  Rng rng(1234);
+  std::vector<std::uint64_t> popped;
+  std::uint64_t seq = 0;
+  Time now = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const Time t = rng.below(10) < 7 ? now + rng.below(50)   // monotone-ish
+                                     : now / 2 + rng.below(100);  // reordered
+    q.push(Key{t, seq++});
+    if (rng.below(10) < 4) popped.push_back(q.pop_top().seq);
+    if (!q.empty()) now = q.top().t;
+  }
+  while (!q.empty()) popped.push_back(q.pop_top().seq);
+  return popped;
+}
+
+TEST(EventQueue, MatchesSortedReferenceOnRandomWorkload) {
+  // Drive the two-lane queue and the plain heap with the same pushes and
+  // pops; they must produce the same dispatch order.
+  EventQueue<Key, KeyEarlier, 4> lanes;
+  DaryHeap<Key, KeyEarlier, 4> heap;
+  const std::vector<std::uint64_t> a = exercise_queue(lanes);
+  const std::vector<std::uint64_t> b = exercise_queue(heap);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(EventQueue, FullDrainIsTotallySorted) {
+  EventQueue<Key, KeyEarlier, 4> q;
+  Rng rng(99);
+  std::vector<Key> ref;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const Key k{rng.below(500), i};
+    q.push(k);
+    ref.push_back(k);
+  }
+  std::sort(ref.begin(), ref.end(),
+            [](const Key& x, const Key& y) { return KeyEarlier{}(x, y); });
+  for (const Key& want : ref) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.top().seq, want.seq);
+    const Key got = q.pop_top();
+    EXPECT_EQ(got.t, want.t);
+    EXPECT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MonotonePushesAndSizeBookkeeping) {
+  EventQueue<Key, KeyEarlier, 4> q;
+  for (std::uint64_t i = 0; i < 10000; ++i) q.push(Key{i, i});
+  EXPECT_EQ(q.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(q.pop_top().seq, i);  // exercises the run-lane compaction
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
 }
 
 }  // namespace
