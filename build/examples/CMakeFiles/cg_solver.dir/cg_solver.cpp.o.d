@@ -210,9 +210,11 @@ examples/CMakeFiles/cg_solver.dir/cg_solver.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/include/ksr/cache/flat_map.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/include/ksr/cache/local_cache.hpp \
  /root/repo/include/ksr/cache/state.hpp \
- /root/repo/include/ksr/mem/geometry.hpp /usr/include/c++/12/cstddef \
+ /root/repo/include/ksr/mem/geometry.hpp \
  /root/repo/include/ksr/sim/rng.hpp \
  /root/repo/include/ksr/cache/perf_monitor.hpp \
  /root/repo/include/ksr/sim/time.hpp \
@@ -222,13 +224,12 @@ examples/CMakeFiles/cg_solver.dir/cg_solver.cpp.o: \
  /root/repo/include/ksr/machine/cpu.hpp \
  /root/repo/include/ksr/mem/heap.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /usr/include/x86_64-linux-gnu/sys/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/callback.hpp \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
  /root/repo/include/ksr/sim/trace.hpp /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /root/repo/include/ksr/net/ring.hpp /root/repo/include/ksr/nas/cg.hpp
+ /root/repo/include/ksr/net/ring.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/include/ksr/nas/cg.hpp

@@ -220,13 +220,11 @@ src/nas/CMakeFiles/ksr_nas.dir/bt.cpp.o: /root/repo/src/nas/bt.cpp \
  /root/repo/include/ksr/machine/cpu.hpp \
  /root/repo/include/ksr/mem/heap.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /usr/include/x86_64-linux-gnu/sys/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/callback.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
  /root/repo/include/ksr/sim/trace.hpp /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

@@ -211,15 +211,15 @@ src/net/CMakeFiles/ksr_net.dir/ring.cpp.o: /root/repo/src/net/ring.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/include/ksr/sim/time.hpp \
- /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /usr/include/x86_64-linux-gnu/sys/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/include/ksr/sim/trace.hpp /usr/include/c++/12/iostream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/include/ksr/sim/callback.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
+ /root/repo/include/ksr/sim/time.hpp /root/repo/include/ksr/sim/trace.hpp \
+ /usr/include/c++/12/iostream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

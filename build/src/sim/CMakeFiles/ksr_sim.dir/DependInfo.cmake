@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/ksr_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/ksr_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber_context.cpp" "src/sim/CMakeFiles/ksr_sim.dir/fiber_context.cpp.o" "gcc" "src/sim/CMakeFiles/ksr_sim.dir/fiber_context.cpp.o.d"
   )
 
 # Targets to which this target links.

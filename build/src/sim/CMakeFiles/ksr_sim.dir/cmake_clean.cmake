@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ksr_sim.dir/engine.cpp.o"
   "CMakeFiles/ksr_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ksr_sim.dir/fiber_context.cpp.o"
+  "CMakeFiles/ksr_sim.dir/fiber_context.cpp.o.d"
   "libksr_sim.a"
   "libksr_sim.pdb"
 )

@@ -293,6 +293,7 @@ tests/CMakeFiles/test_cache_models.dir/test_cache_models.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/include/ksr/cache/flat_map.hpp \
  /root/repo/include/ksr/cache/local_cache.hpp \
  /root/repo/include/ksr/cache/state.hpp \
  /root/repo/include/ksr/mem/geometry.hpp \

@@ -296,6 +296,7 @@ tests/CMakeFiles/test_coherence_properties.dir/test_coherence_properties.cpp.o: 
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/include/ksr/machine/ksr_machine.hpp \
  /root/repo/include/ksr/machine/coherent_machine.hpp \
+ /root/repo/include/ksr/cache/flat_map.hpp \
  /root/repo/include/ksr/cache/local_cache.hpp \
  /root/repo/include/ksr/cache/state.hpp \
  /root/repo/include/ksr/mem/geometry.hpp \
@@ -307,11 +308,12 @@ tests/CMakeFiles/test_coherence_properties.dir/test_coherence_properties.cpp.o: 
  /root/repo/include/ksr/machine/config.hpp \
  /root/repo/include/ksr/machine/cpu.hpp \
  /root/repo/include/ksr/mem/heap.hpp /usr/include/c++/12/cstring \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/callback.hpp \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
  /root/repo/include/ksr/sim/trace.hpp /root/repo/include/ksr/net/ring.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/include/ksr/sync/atomic.hpp \
  /root/repo/include/ksr/sync/padded.hpp

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ksr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ksr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ksr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/ksr_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/ksr_nas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

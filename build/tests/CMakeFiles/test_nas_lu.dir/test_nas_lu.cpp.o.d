@@ -317,6 +317,7 @@ tests/CMakeFiles/test_nas_lu.dir/test_nas_lu.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/include/ksr/machine/ksr_machine.hpp \
  /root/repo/include/ksr/machine/coherent_machine.hpp \
+ /root/repo/include/ksr/cache/flat_map.hpp \
  /root/repo/include/ksr/cache/local_cache.hpp \
  /root/repo/include/ksr/cache/state.hpp \
  /root/repo/include/ksr/mem/geometry.hpp \
@@ -328,10 +329,10 @@ tests/CMakeFiles/test_nas_lu.dir/test_nas_lu.cpp.o: \
  /root/repo/include/ksr/machine/config.hpp \
  /root/repo/include/ksr/machine/cpu.hpp \
  /root/repo/include/ksr/mem/heap.hpp /usr/include/c++/12/cstring \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/callback.hpp \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
  /root/repo/include/ksr/sim/trace.hpp /root/repo/include/ksr/net/ring.hpp \
- /root/repo/include/ksr/nas/lu.hpp
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/include/ksr/nas/lu.hpp

@@ -297,10 +297,12 @@ tests/CMakeFiles/test_net_models.dir/test_net_models.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/include/ksr/sim/time.hpp /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/callback.hpp /usr/include/c++/12/cstring \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
+ /root/repo/include/ksr/sim/time.hpp \
  /root/repo/include/ksr/net/butterfly.hpp \
- /root/repo/include/ksr/net/ring.hpp /root/repo/include/ksr/sim/trace.hpp
+ /root/repo/include/ksr/net/ring.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/include/ksr/sim/trace.hpp

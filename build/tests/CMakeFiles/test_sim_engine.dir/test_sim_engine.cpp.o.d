@@ -293,8 +293,11 @@ tests/CMakeFiles/test_sim_engine.dir/test_sim_engine.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/include/ksr/sim/time.hpp /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/include/ksr/sim/callback.hpp /usr/include/c++/12/cstring \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
+ /root/repo/include/ksr/sim/time.hpp /root/repo/include/ksr/sim/rng.hpp

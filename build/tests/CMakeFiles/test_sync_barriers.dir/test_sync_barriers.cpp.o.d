@@ -296,6 +296,7 @@ tests/CMakeFiles/test_sync_barriers.dir/test_sync_barriers.cpp.o: \
  /root/repo/include/ksr/machine/factory.hpp \
  /root/repo/include/ksr/machine/bus_machine.hpp \
  /root/repo/include/ksr/machine/coherent_machine.hpp \
+ /root/repo/include/ksr/cache/flat_map.hpp \
  /root/repo/include/ksr/cache/local_cache.hpp \
  /root/repo/include/ksr/cache/state.hpp \
  /root/repo/include/ksr/mem/geometry.hpp \
@@ -307,11 +308,10 @@ tests/CMakeFiles/test_sync_barriers.dir/test_sync_barriers.cpp.o: \
  /root/repo/include/ksr/machine/config.hpp \
  /root/repo/include/ksr/machine/cpu.hpp \
  /root/repo/include/ksr/mem/heap.hpp /usr/include/c++/12/cstring \
- /root/repo/include/ksr/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/ucontext.h \
- /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
+ /root/repo/include/ksr/sim/engine.hpp \
+ /root/repo/include/ksr/sim/callback.hpp \
+ /root/repo/include/ksr/sim/event_heap.hpp \
+ /root/repo/include/ksr/sim/fiber_context.hpp \
  /root/repo/include/ksr/sim/trace.hpp /root/repo/include/ksr/net/bus.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -319,5 +319,6 @@ tests/CMakeFiles/test_sync_barriers.dir/test_sync_barriers.cpp.o: \
  /root/repo/include/ksr/machine/butterfly_machine.hpp \
  /root/repo/include/ksr/net/butterfly.hpp \
  /root/repo/include/ksr/machine/ksr_machine.hpp \
- /root/repo/include/ksr/net/ring.hpp \
+ /root/repo/include/ksr/net/ring.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/include/ksr/sync/barrier.hpp

@@ -25,3 +25,8 @@ include("/root/repo/build/tests/test_nas_mg_ft[1]_include.cmake")
 include("/root/repo/build/tests/test_sync_helpers[1]_include.cmake")
 include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
 include("/root/repo/build/tests/test_nas_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Pp][Ee][Rr][Ff])$")
+  add_test(perf_smoke "/root/repo/tests/../scripts/bench_host.sh" "--check" "--build-dir" "/root/repo/build")
+  set_tests_properties(perf_smoke PROPERTIES  LABELS "perf-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+endif()
