@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ksr/host/sweep_runner.hpp"
 #include "ksr/machine/factory.hpp"
 #include "ksr/study/metrics.hpp"
 #include "ksr/study/table.hpp"
@@ -18,6 +19,7 @@
 
 namespace ksr::bench {
 
+using host::SweepRunner;
 using study::BenchOptions;
 using study::TextTable;
 
@@ -32,12 +34,13 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 /// `events_dispatched()` from every machine the binary creates, then print a
 /// single machine-parsable line at exit:
 ///
-///   [host] bench=<name> events_dispatched=<n> wall_ms=<ms>
+///   [host] bench=<name> events_dispatched=<n> wall_ms=<ms> jobs=<j>
 ///
 /// `scripts/bench_host.sh` greps these lines into BENCH_host.json; the
 /// events_dispatched total doubles as a bit-determinism fingerprint (it must
-/// be identical across host-side optimisation work). The line goes to stderr
-/// so that `--csv` stdout stays byte-for-byte diffable between builds.
+/// be identical across host-side optimisation work, including any `--jobs`
+/// value). The line goes to stderr so that `--csv` stdout stays
+/// byte-for-byte diffable between builds.
 class HostMetrics {
  public:
   explicit HostMetrics(std::string name)
@@ -45,11 +48,18 @@ class HostMetrics {
 
   void add(machine::Machine& m) { events_ += m.engine().events_dispatched(); }
 
+  /// Jobs run on pool threads and destroy their Machine before merging, so
+  /// they report the engine's final event count through their result struct.
+  void add_events(std::uint64_t n) { events_ += n; }
+
+  /// Record the effective host worker count for the [host] line.
+  void set_jobs(unsigned jobs) { jobs_ = jobs; }
+
   ~HostMetrics() {
     const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start_);
     std::cerr << "[host] bench=" << name_ << " events_dispatched=" << events_
-              << " wall_ms=" << wall.count() << "\n";
+              << " wall_ms=" << wall.count() << " jobs=" << jobs_ << "\n";
   }
 
   HostMetrics(const HostMetrics&) = delete;
@@ -59,6 +69,7 @@ class HostMetrics {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t events_ = 0;
+  unsigned jobs_ = 1;
 };
 
 /// Mean barrier episode time on `m` using `kind`, over `episodes` episodes

@@ -6,6 +6,9 @@
 // Workload (paper footnote 4): each processor repeatedly accesses data in
 // read or write mode with a delay of 10000 local operations between
 // successive lock requests; the lock is held for 3000 local operations.
+//
+// Each (P, variant) cell is an independent simulation — one SweepRunner job
+// per cell, merged in submission order.
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/sync/locks.hpp"
@@ -65,6 +68,7 @@ double run_rw(unsigned nproc, int ops, unsigned read_percent) {
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  SweepRunner runner(opt.jobs);
   // Paper: "for 500 operations". Scaled default keeps the event count sane;
   // --full uses the paper's 500.
   const int ops = opt.full ? 500 : (opt.quick ? 25 : 40);
@@ -79,11 +83,24 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> procs =
       opt.quick ? std::vector<unsigned>{1, 4, 8}
                 : std::vector<unsigned>{1, 2, 4, 8, 16, 32};
+  const std::vector<unsigned> read_pcts{0, 20, 40, 60, 80, 100};
+
+  std::vector<std::function<double()>> jobs;
+  jobs.reserve(procs.size() * (1 + read_pcts.size()));
   for (unsigned p : procs) {
-    std::vector<std::string> row{std::to_string(p),
-                                 TextTable::num(run_exclusive(p, ops), 4)};
-    for (unsigned rd : {0u, 20u, 40u, 60u, 80u, 100u}) {
-      row.push_back(TextTable::num(run_rw(p, ops, rd), 4));
+    jobs.emplace_back([p, ops] { return run_exclusive(p, ops); });
+    for (unsigned rd : read_pcts) {
+      jobs.emplace_back([p, ops, rd] { return run_rw(p, ops, rd); });
+    }
+  }
+  const std::vector<double> cells = runner.run(jobs);
+
+  std::size_t j = 0;
+  for (unsigned p : procs) {
+    std::vector<std::string> row{std::to_string(p)};
+    row.push_back(TextTable::num(cells[j++], 4));
+    for (std::size_t r = 0; r < read_pcts.size(); ++r) {
+      row.push_back(TextTable::num(cells[j++], 4));
     }
     t.add_row(row);
   }

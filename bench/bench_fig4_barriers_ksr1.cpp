@@ -1,7 +1,20 @@
 // Reproduces Fig. 4 ("Performance of the barriers on 32-node KSR-1"):
 // mean barrier episode time for the nine algorithms, P = 2..32.
+//
+// Each (barrier, P) cell is an independent simulation — one SweepRunner job
+// per cell, merged in submission order so the table is bit-identical for
+// any --jobs value.
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
+
+namespace {
+
+struct Cell {
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ksr;         // NOLINT
@@ -9,6 +22,8 @@ int main(int argc, char** argv) {
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   HostMetrics host("fig4_barriers_ksr1");
+  SweepRunner runner(opt.jobs);
+  host.set_jobs(runner.jobs());
   const int episodes = opt.quick ? 5 : 20;
   print_header("Barrier performance on the 32-node KSR-1",
                "Fig. 4, Section 3.2.2");
@@ -21,18 +36,34 @@ int main(int argc, char** argv) {
   for (unsigned p : procs) headers.push_back(std::to_string(p));
   TextTable t(headers);
 
+  const auto kinds = sync::all_barrier_kinds();
+  std::vector<std::function<Cell()>> jobs;
+  jobs.reserve(kinds.size() * procs.size());
+  for (sync::BarrierKind kind : kinds) {
+    for (unsigned p : procs) {
+      jobs.emplace_back([kind, p, episodes] {
+        machine::KsrMachine m(machine::MachineConfig::ksr1(p));
+        Cell c;
+        c.seconds = barrier_episode_seconds(m, kind, episodes);
+        c.events = m.engine().events_dispatched();
+        return c;
+      });
+    }
+  }
+  const std::vector<Cell> cells = runner.run(jobs);
+
   double counter32 = 0, tournament_m32 = 0;
-  for (sync::BarrierKind kind : sync::all_barrier_kinds()) {
+  std::size_t j = 0;
+  for (sync::BarrierKind kind : kinds) {
     std::vector<std::string> row{std::string(to_string(kind))};
     for (unsigned p : procs) {
-      machine::KsrMachine m(machine::MachineConfig::ksr1(p));
-      const double s = barrier_episode_seconds(m, kind, episodes);
-      host.add(m);
-      if (p == 32 && kind == sync::BarrierKind::kCounter) counter32 = s;
+      const Cell& c = cells[j++];
+      host.add_events(c.events);
+      if (p == 32 && kind == sync::BarrierKind::kCounter) counter32 = c.seconds;
       if (p == 32 && kind == sync::BarrierKind::kTournamentM) {
-        tournament_m32 = s;
+        tournament_m32 = c.seconds;
       }
-      row.push_back(TextTable::num(s * 1e6, 1));  // microseconds
+      row.push_back(TextTable::num(c.seconds * 1e6, 1));  // microseconds
     }
     t.add_row(row);
   }

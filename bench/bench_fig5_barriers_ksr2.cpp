@@ -1,6 +1,8 @@
 // Reproduces Fig. 5 ("Performance of the barriers on 64-node KSR-2"):
 // the same nine barriers, on the two-level ring (two 32-cell leaf rings
 // joined through ARDs by the level-1 ring), 2x CPU clock.
+//
+// One SweepRunner job per (barrier, P) cell, merged in submission order.
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 
@@ -9,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  SweepRunner runner(opt.jobs);
   const int episodes = opt.quick ? 5 : 20;
   print_header("Barrier performance on the 64-node KSR-2 (two-level ring)",
                "Fig. 5, Sections 3.2.4 and 4");
@@ -21,12 +24,24 @@ int main(int argc, char** argv) {
   for (unsigned p : procs) headers.push_back(std::to_string(p));
   TextTable t(headers);
 
-  for (sync::BarrierKind kind : sync::all_barrier_kinds()) {
-    std::vector<std::string> row{std::string(to_string(kind))};
+  const auto kinds = sync::all_barrier_kinds();
+  std::vector<std::function<double()>> jobs;
+  jobs.reserve(kinds.size() * procs.size());
+  for (sync::BarrierKind kind : kinds) {
     for (unsigned p : procs) {
-      machine::KsrMachine m(machine::MachineConfig::ksr2(p));
-      row.push_back(
-          TextTable::num(barrier_episode_seconds(m, kind, episodes) * 1e6, 1));
+      jobs.emplace_back([kind, p, episodes] {
+        machine::KsrMachine m(machine::MachineConfig::ksr2(p));
+        return barrier_episode_seconds(m, kind, episodes);
+      });
+    }
+  }
+  const std::vector<double> cells = runner.run(jobs);
+
+  std::size_t j = 0;
+  for (sync::BarrierKind kind : kinds) {
+    std::vector<std::string> row{std::string(to_string(kind))};
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      row.push_back(TextTable::num(cells[j++] * 1e6, 1));
     }
     t.add_row(row);
   }

@@ -1,6 +1,8 @@
 // Reproduces Fig. 8 ("Speedup for CG and IS"): the two speedup curves on
 // one axis, P = 1..32. (The underlying runs are the Table 1 / Table 2
 // configurations; this binary prints just the figure's two series.)
+//
+// One SweepRunner job per (kernel, P) run, merged in submission order.
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/nas/cg.hpp"
@@ -11,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  SweepRunner runner(opt.jobs);
   print_header("Speedup for CG and IS", "Fig. 8, Section 3.3");
 
   nas::CgConfig cg;
@@ -25,12 +28,24 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<unsigned>{1, 4, 16}
                 : std::vector<unsigned>{1, 2, 4, 8, 16, 24, 32};
 
-  std::vector<std::pair<unsigned, double>> cg_t, is_t;
+  std::vector<std::function<double()>> jobs;
+  jobs.reserve(2 * procs.size());
   for (unsigned p : procs) {
-    machine::KsrMachine mc(machine::MachineConfig::ksr1(p).scaled_by(64));
-    cg_t.emplace_back(p, run_cg(mc, cg).seconds);
-    machine::KsrMachine mi(machine::MachineConfig::ksr1(p).scaled_by(64));
-    is_t.emplace_back(p, run_is(mi, is).seconds);
+    jobs.emplace_back([p, cg] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(64));
+      return run_cg(m, cg).seconds;
+    });
+    jobs.emplace_back([p, is] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(64));
+      return run_is(m, is).seconds;
+    });
+  }
+  const std::vector<double> seconds = runner.run(jobs);
+
+  std::vector<std::pair<unsigned, double>> cg_t, is_t;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    cg_t.emplace_back(procs[i], seconds[2 * i]);
+    is_t.emplace_back(procs[i], seconds[2 * i + 1]);
   }
   const auto cg_rows = study::scaling_rows(cg_t);
   const auto is_rows = study::scaling_rows(is_t);

@@ -6,15 +6,29 @@
 // caches. We scale problem and caches together (scaled_by(64)) so the
 // working-set/cache ratios — which drive the poor small-P efficiency, the
 // superunitary 8..16 region, and the 32-processor drop — are preserved.
+//
+// Every measurement is an independent simulation, sharded over host cores
+// through SweepRunner and merged in submission order (bit-identical output
+// for any --jobs).
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/nas/cg.hpp"
+
+namespace {
+
+struct CgPoint {
+  double seconds = 0.0;
+  std::uint64_t nnz = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ksr;         // NOLINT
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  SweepRunner runner(opt.jobs);
   print_header("Conjugate Gradient scalability",
                "Table 1 and Fig. 8 (CG), Section 3.3.1");
 
@@ -28,13 +42,22 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<unsigned>{1, 2, 8}
                 : std::vector<unsigned>{1, 2, 4, 8, 16, 32};
 
+  std::vector<std::function<CgPoint()>> jobs;
+  jobs.reserve(procs.size());
+  for (unsigned p : procs) {
+    jobs.emplace_back([p, scale, cfg] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      const nas::CgResult r = run_cg(m, cfg);
+      return CgPoint{r.seconds, r.nnz};
+    });
+  }
+  const std::vector<CgPoint> points = runner.run(jobs);
+
   std::vector<std::pair<unsigned, double>> measured;
   std::uint64_t nnz = 0;
-  for (unsigned p : procs) {
-    machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const nas::CgResult r = run_cg(m, cfg);
-    measured.emplace_back(p, r.seconds);
-    nnz = r.nnz;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    measured.emplace_back(procs[i], points[i].seconds);
+    nnz = points[i].nnz;
   }
 
   TextTable t({"Processors", "Time (s)", "Speedup", "Efficiency",
@@ -58,19 +81,33 @@ int main(int argc, char** argv) {
            "at 32 as the serial section's remote references grow.\n";
   }
 
+  const std::vector<unsigned> ab_procs =
+      opt.quick ? std::vector<unsigned>{8} : std::vector<unsigned>{4, 8, 16, 32};
+
   // ---- Poststore ablation (§3.3.1): propagate q-slices as produced so the
-  // serial section does not stall fetching them.
+  // serial section does not stall fetching them. Base and variant runs are
+  // separate jobs (2 per processor count) for better host load balance.
   std::cout << "\n--- poststore ablation ---\n";
+  std::vector<std::function<double()>> ps_jobs;
+  ps_jobs.reserve(2 * ab_procs.size());
+  for (unsigned p : ab_procs) {
+    ps_jobs.emplace_back([p, scale, cfg] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      return run_cg(m, cfg).seconds;
+    });
+    ps_jobs.emplace_back([p, scale, cfg] {
+      nas::CgConfig c2 = cfg;
+      c2.use_poststore = true;
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      return run_cg(m, c2).seconds;
+    });
+  }
+  const std::vector<double> ps = runner.run(ps_jobs);
+
   TextTable pt({"Processors", "no poststore (s)", "poststore (s)", "gain"});
-  for (unsigned p : opt.quick ? std::vector<unsigned>{8}
-                              : std::vector<unsigned>{4, 8, 16, 32}) {
-    machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const double base = run_cg(m1, cfg).seconds;
-    nas::CgConfig c2 = cfg;
-    c2.use_poststore = true;
-    machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const double post = run_cg(m2, c2).seconds;
-    pt.add_row({std::to_string(p), TextTable::num(base, 5),
+  for (std::size_t i = 0; i < ab_procs.size(); ++i) {
+    const double base = ps[2 * i], post = ps[2 * i + 1];
+    pt.add_row({std::to_string(ab_procs[i]), TextTable::num(base, 5),
                 TextTable::num(post, 5),
                 TextTable::num((1.0 - post / base) * 100.0, 2) + "%"});
   }
@@ -86,16 +123,26 @@ int main(int argc, char** argv) {
   // ---- Prefetch ablation: the implementation pulls the rewritten p vector
   // ahead of each mat-vec ("prefetch ... used quite extensively", §4).
   std::cout << "\n--- prefetch ablation ---\n";
+  std::vector<std::function<double()>> pf_jobs;
+  pf_jobs.reserve(2 * ab_procs.size());
+  for (unsigned p : ab_procs) {
+    pf_jobs.emplace_back([p, scale, cfg] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      return run_cg(m, cfg).seconds;
+    });
+    pf_jobs.emplace_back([p, scale, cfg] {
+      nas::CgConfig c2 = cfg;
+      c2.use_prefetch = false;
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      return run_cg(m, c2).seconds;
+    });
+  }
+  const std::vector<double> pf = runner.run(pf_jobs);
+
   TextTable ft({"Processors", "prefetch (s)", "no prefetch (s)", "gain"});
-  for (unsigned p : opt.quick ? std::vector<unsigned>{8}
-                              : std::vector<unsigned>{4, 8, 16, 32}) {
-    machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const double with_pf = run_cg(m1, cfg).seconds;
-    nas::CgConfig c2 = cfg;
-    c2.use_prefetch = false;
-    machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const double without = run_cg(m2, c2).seconds;
-    ft.add_row({std::to_string(p), TextTable::num(with_pf, 5),
+  for (std::size_t i = 0; i < ab_procs.size(); ++i) {
+    const double with_pf = pf[2 * i], without = pf[2 * i + 1];
+    ft.add_row({std::to_string(ab_procs[i]), TextTable::num(with_pf, 5),
                 TextTable::num(without, 5),
                 TextTable::num((1.0 - with_pf / without) * 100.0, 2) + "%"});
   }

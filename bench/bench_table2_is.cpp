@@ -1,9 +1,32 @@
 // Reproduces Table 2 + the IS curve of Fig. 8: Integer Sort time, speedup,
 // efficiency and serial fraction vs processors (including the paper's P=30
 // row), with the pmon-confirmed ring-saturation kink from 30 to 32.
+//
+// Every processor count is an independent simulation, so the sweep is
+// sharded over host cores through SweepRunner; results merge in submission
+// order, keeping the table and --csv output bit-identical for any --jobs.
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/nas/is.hpp"
+
+namespace {
+
+// Everything one sweep point needs to report, extracted before the job's
+// Machine is destroyed.
+struct IsPoint {
+  double seconds = 0.0;
+  bool ranks_valid = true;
+  double wait_per_req = 0.0;
+  std::uint64_t events = 0;
+};
+
+struct PrefetchPoint {
+  double with_pf = 0.0;
+  double without = 0.0;
+  std::uint64_t events = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ksr;         // NOLINT
@@ -11,6 +34,8 @@ int main(int argc, char** argv) {
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   HostMetrics host("table2_is");
+  SweepRunner runner(opt.jobs);
+  host.set_jobs(runner.jobs());
   print_header("Integer Sort scalability",
                "Table 2 and Figs. 8 & 9, Section 3.3.2");
 
@@ -23,24 +48,35 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<unsigned>{1, 2, 8}
                 : std::vector<unsigned>{1, 2, 4, 8, 16, 30, 32};
 
-  std::vector<std::pair<unsigned, double>> measured;
-  std::vector<double> inject_wait_per_req;
-  bool all_valid = true;
+  std::vector<std::function<IsPoint()>> jobs;
+  jobs.reserve(procs.size());
   for (unsigned p : procs) {
-    machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const nas::IsResult r = run_is(m, cfg);
-    host.add(m);
-    all_valid = all_valid && r.ranks_valid;
-    measured.emplace_back(p, r.seconds);
-    // Mean slot wait per ring transaction: the saturation indicator the
-    // authors read off the hardware monitor.
-    cache::PerfMonitor total;
-    for (unsigned i = 0; i < p; ++i) total.add(m.cell_pmon(i));
-    inject_wait_per_req.push_back(
-        total.ring_requests
-            ? static_cast<double>(total.inject_wait_ns) /
-                  static_cast<double>(total.ring_requests)
-            : 0.0);
+    jobs.emplace_back([p, scale, cfg] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      const nas::IsResult r = run_is(m, cfg);
+      IsPoint pt;
+      pt.seconds = r.seconds;
+      pt.ranks_valid = r.ranks_valid;
+      // Mean slot wait per ring transaction: the saturation indicator the
+      // authors read off the hardware monitor.
+      cache::PerfMonitor total;
+      for (unsigned i = 0; i < p; ++i) total.add(m.cell_pmon(i));
+      pt.wait_per_req = total.ring_requests
+                            ? static_cast<double>(total.inject_wait_ns) /
+                                  static_cast<double>(total.ring_requests)
+                            : 0.0;
+      pt.events = m.engine().events_dispatched();
+      return pt;
+    });
+  }
+  const std::vector<IsPoint> points = runner.run(jobs);
+
+  std::vector<std::pair<unsigned, double>> measured;
+  bool all_valid = true;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    host.add_events(points[i].events);
+    all_valid = all_valid && points[i].ranks_valid;
+    measured.emplace_back(procs[i], points[i].seconds);
   }
 
   TextTable t({"Processors", "Time (s)", "Speedup", "Efficiency",
@@ -52,7 +88,7 @@ int main(int argc, char** argv) {
                TextTable::num(row.speedup, 5),
                row.p == 1 ? "-" : TextTable::num(row.efficiency, 3),
                row.p == 1 ? "-" : TextTable::num(row.serial_fraction, 6),
-               TextTable::num(inject_wait_per_req[i], 0)});
+               TextTable::num(points[i].wait_per_req, 0)});
   }
   std::cout << "Number of input keys = 2^" << cfg.log2_keys
             << ", buckets = 2^" << cfg.log2_buckets
@@ -75,20 +111,35 @@ int main(int argc, char** argv) {
   // counts ahead of the all-to-all reduction ("prefetch ... used quite
   // extensively", §4).
   std::cout << "\n--- prefetch ablation (phase 2) ---\n";
+  const std::vector<unsigned> ab_procs = opt.quick
+                                             ? std::vector<unsigned>{8}
+                                             : std::vector<unsigned>{8, 16, 32};
+  std::vector<std::function<PrefetchPoint()>> ab_jobs;
+  ab_jobs.reserve(ab_procs.size());
+  for (unsigned p : ab_procs) {
+    ab_jobs.emplace_back([p, scale, cfg] {
+      PrefetchPoint pt;
+      machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      pt.with_pf = run_is(m1, cfg).seconds;
+      pt.events = m1.engine().events_dispatched();
+      nas::IsConfig c2 = cfg;
+      c2.use_prefetch = false;
+      machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      pt.without = run_is(m2, c2).seconds;
+      pt.events += m2.engine().events_dispatched();
+      return pt;
+    });
+  }
+  const std::vector<PrefetchPoint> ab = runner.run(ab_jobs);
+
   TextTable ft({"Processors", "prefetch (s)", "no prefetch (s)", "gain"});
-  for (unsigned p : opt.quick ? std::vector<unsigned>{8}
-                              : std::vector<unsigned>{8, 16, 32}) {
-    machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const double with_pf = run_is(m1, cfg).seconds;
-    host.add(m1);
-    nas::IsConfig c2 = cfg;
-    c2.use_prefetch = false;
-    machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    const double without = run_is(m2, c2).seconds;
-    host.add(m2);
-    ft.add_row({std::to_string(p), TextTable::num(with_pf, 5),
-                TextTable::num(without, 5),
-                TextTable::num((1.0 - with_pf / without) * 100.0, 2) + "%"});
+  for (std::size_t i = 0; i < ab_procs.size(); ++i) {
+    host.add_events(ab[i].events);
+    ft.add_row({std::to_string(ab_procs[i]), TextTable::num(ab[i].with_pf, 5),
+                TextTable::num(ab[i].without, 5),
+                TextTable::num((1.0 - ab[i].with_pf / ab[i].without) * 100.0,
+                               2) +
+                    "%"});
   }
   if (opt.csv) {
     ft.print_csv();

@@ -4,20 +4,25 @@
 Inputs (all produced by scripts/bench_host.sh):
   --gbench FILE   google-benchmark --benchmark_format=json output
   --host FILE     file containing one "[host] bench=... events_dispatched=...
-                  wall_ms=..." line (repeatable)
+                  wall_ms=... jobs=..." line (repeatable). An "alias=FILE"
+                  form records the entry under "alias" instead of the bench
+                  name on the line (used for the --jobs 1 serial baseline,
+                  whose bench name collides with the parallel run).
   --mode MODE     "quick" or "full" (recorded verbatim)
   --out FILE      where to write the merged JSON
 
 Output schema (BENCH_host.json):
   {
     "mode": "full",
+    "host_cores": 8,           # os.cpu_count() on the measuring host
     "microbench": {            # from google-benchmark, one entry per bench
       "BM_EngineEventDispatch": {"items_per_second": ..., "cpu_ns": ...},
       ...
     },
     "paper_bench": {           # from the [host] lines
-      "table2_is": {"events_dispatched": ..., "wall_ms": ...},
-      ...
+      "table2_is": {"events_dispatched": ..., "wall_ms": ..., "jobs": ...},
+      "table2_is_jobs1": {...},   # serial baseline of the same binary; the
+      ...                         # wall_ms ratio is the parallel speedup
     }
   }
 
@@ -27,11 +32,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 
+# jobs= is optional so reports can still be built from pre-runner [host]
+# lines (older binaries, older branches).
 HOST_RE = re.compile(
-    r"^\[host\] bench=(\S+) events_dispatched=(\d+) wall_ms=(\d+)\s*$"
+    r"^\[host\] bench=(\S+) events_dispatched=(\d+) wall_ms=(\d+)"
+    r"(?: jobs=(\d+))?\s*$"
 )
 
 
@@ -52,17 +61,21 @@ def parse_gbench(path: str) -> dict:
     return out
 
 
-def parse_host(path: str) -> dict:
+def parse_host(spec: str) -> dict:
+    alias, sep, path = spec.partition("=")
+    if not sep:
+        alias, path = "", spec
     with open(path, encoding="utf-8") as f:
         for line in f:
             m = HOST_RE.match(line.strip())
             if m:
-                return {
-                    m.group(1): {
-                        "events_dispatched": int(m.group(2)),
-                        "wall_ms": int(m.group(3)),
-                    }
+                entry = {
+                    "events_dispatched": int(m.group(2)),
+                    "wall_ms": int(m.group(3)),
                 }
+                if m.group(4) is not None:
+                    entry["jobs"] = int(m.group(4))
+                return {alias or m.group(1): entry}
     raise SystemExit(f"report.py: no [host] line found in {path}")
 
 
@@ -74,8 +87,8 @@ def main() -> int:
     ap.add_argument("--out", required=True)
     args = ap.parse_args()
 
-    report = {"mode": args.mode, "microbench": parse_gbench(args.gbench),
-              "paper_bench": {}}
+    report = {"mode": args.mode, "host_cores": os.cpu_count(),
+              "microbench": parse_gbench(args.gbench), "paper_bench": {}}
     for path in args.host:
         report["paper_bench"].update(parse_host(path))
 

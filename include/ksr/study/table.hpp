@@ -81,12 +81,15 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Shared bench-binary CLI: `--csv` switches the output format and
-/// `--quick`/`--full` pick a scale.
+/// Shared bench-binary CLI: `--csv` switches the output format,
+/// `--quick`/`--full` pick a scale, and `--jobs N` shards the sweep over N
+/// host threads (0 = one per hardware core; results are bit-identical for
+/// any value — see ksr/host/sweep_runner.hpp).
 struct BenchOptions {
   bool csv = false;
   bool quick = false;  // reduced sizes for smoke runs
   bool full = false;   // paper-like sizes (slow)
+  unsigned jobs = 0;   // host shards; 0 = hardware concurrency
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -95,6 +98,9 @@ struct BenchOptions {
       if (a == "--csv") o.csv = true;
       if (a == "--quick") o.quick = true;
       if (a == "--full") o.full = true;
+      if (a == "--jobs" && i + 1 < argc) {
+        o.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+      }
     }
     return o;
   }

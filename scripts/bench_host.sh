@@ -17,8 +17,10 @@
 #
 # --check is a fast smoke mode for CI (the `perf-smoke` ctest label): it
 # runs the quick variants, re-runs one binary to assert the fingerprint is
-# reproducible, and exits non-zero on any failure. It writes only to a
-# temporary directory.
+# reproducible, runs one paper binary with --jobs 1 and --jobs 4 to assert
+# the parallel sweep runner's determinism contract (events_dispatched and
+# the --csv stream must be byte-identical for any job count), and exits
+# non-zero on any failure. It writes only to a temporary directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,11 +65,17 @@ echo "== bench_sim_throughput =="
 PAPER_FLAG=""
 [ "$QUICK" = 1 ] && PAPER_FLAG="--quick"
 
-run_paper() {  # $1 = binary name, $2 = output tag
-  echo "== $1 $PAPER_FLAG =="
-  "$BUILD_DIR/bench/$1" $PAPER_FLAG --csv \
-    > "$TMP/$2.csv" 2> "$TMP/$2.host"
-  grep '^\[host\]' "$TMP/$2.host"
+run_paper() {  # $1 = binary name, $2 = output tag, $3.. = extra flags
+  local bin="$1" tag="$2"
+  shift 2
+  echo "== $bin $PAPER_FLAG $* =="
+  "$BUILD_DIR/bench/$bin" $PAPER_FLAG "$@" --csv \
+    > "$TMP/$tag.csv" 2> "$TMP/$tag.host"
+  grep '^\[host\]' "$TMP/$tag.host"
+}
+
+fingerprint() {  # $1 = output tag
+  sed -n 's/.*events_dispatched=\([0-9]*\).*/\1/p' "$TMP/$1.host"
 }
 
 run_paper bench_table2_is table2_is
@@ -76,8 +84,8 @@ run_paper bench_fig4_barriers_ksr1 fig4
 if [ "$CHECK" = 1 ]; then
   # Determinism smoke: a second run must reproduce the fingerprint exactly.
   run_paper bench_fig4_barriers_ksr1 fig4_rerun
-  fp1=$(sed -n 's/.*events_dispatched=\([0-9]*\).*/\1/p' "$TMP/fig4.host")
-  fp2=$(sed -n 's/.*events_dispatched=\([0-9]*\).*/\1/p' "$TMP/fig4_rerun.host")
+  fp1=$(fingerprint fig4)
+  fp2=$(fingerprint fig4_rerun)
   if [ -z "$fp1" ] || [ "$fp1" != "$fp2" ]; then
     echo "bench_host.sh --check FAILED: events_dispatched not reproducible" \
          "($fp1 vs $fp2)" >&2
@@ -87,15 +95,37 @@ if [ "$CHECK" = 1 ]; then
     echo "bench_host.sh --check FAILED: --csv output not reproducible" >&2
     exit 1
   fi
+  # Parallel-runner determinism: sharding a sweep over 4 host threads must
+  # change neither the event fingerprint nor a byte of the CSV output.
+  run_paper bench_table2_is table2_is_j1 --jobs 1
+  run_paper bench_table2_is table2_is_j4 --jobs 4
+  fpj1=$(fingerprint table2_is_j1)
+  fpj4=$(fingerprint table2_is_j4)
+  if [ -z "$fpj1" ] || [ "$fpj1" != "$fpj4" ]; then
+    echo "bench_host.sh --check FAILED: events_dispatched differs between" \
+         "--jobs 1 and --jobs 4 ($fpj1 vs $fpj4)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/table2_is_j1.csv" "$TMP/table2_is_j4.csv"; then
+    echo "bench_host.sh --check FAILED: --csv output differs between" \
+         "--jobs 1 and --jobs 4" >&2
+    exit 1
+  fi
   python3 bench/report.py --gbench "$TMP/gbench.json" \
     --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
     --mode quick --out "$TMP/BENCH_host.json"
-  echo "bench_host.sh --check OK (fingerprint $fp1 reproducible)"
+  echo "bench_host.sh --check OK (fingerprint $fp1 reproducible," \
+       "jobs-1/jobs-4 fingerprint $fpj1 identical)"
   exit 0
 fi
 
+# Serial baseline of the heaviest binary, so BENCH_host.json records the
+# parallel speedup (table2_is wall_ms vs table2_is_jobs1 wall_ms) per PR.
+run_paper bench_table2_is table2_is_jobs1 --jobs 1
+
 python3 bench/report.py --gbench "$TMP/gbench.json" \
   --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
+  --host "table2_is_jobs1=$TMP/table2_is_jobs1.host" \
   --mode "$([ "$QUICK" = 1 ] && echo quick || echo full)" \
   --out "$OUT"
 echo "wrote $OUT"

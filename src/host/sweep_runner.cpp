@@ -1,0 +1,83 @@
+#include "ksr/host/sweep_runner.hpp"
+
+namespace ksr::host {
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs ? jobs : default_jobs()) {
+  if (jobs_ > 1) {
+    threads_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void SweepRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (jobs_ <= 1 || count == 1) {
+    // Serial fast path: the exact current execution, on the calling thread.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  errors_.assign(count, nullptr);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    task_ = &task;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    done_ = 0;
+    ++batch_;  // publishes the batch to the workers
+    cv_work_.notify_all();
+    cv_done_.wait(lk, [&] { return done_ == count_; });
+    task_ = nullptr;
+  }
+  // Submission order, not completion order: the earliest failing job wins,
+  // matching what a serial run would have thrown.
+  for (auto& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void SweepRunner::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || batch_ != seen; });
+      if (stop_) return;
+      seen = batch_;
+      task = task_;
+      count = count_;
+    }
+    std::size_t claimed = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*task)(i);
+      } catch (...) {
+        errors_[i] = std::current_exception();
+      }
+      ++claimed;
+    }
+    if (claimed != 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_ += claimed;
+      if (done_ == count_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace ksr::host

@@ -1,0 +1,160 @@
+// Host-side SweepRunner: submission-order merging, the error contract,
+// bit-equality of sharded vs serial sweeps, and clean pool shutdown.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ksr/host/sweep_runner.hpp"
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/nas/is.hpp"
+
+namespace {
+
+using ksr::host::SweepRunner;
+
+TEST(SweepRunner, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(SweepRunner::default_jobs(), 1u);
+  SweepRunner r;
+  EXPECT_GE(r.jobs(), 1u);
+  SweepRunner r0(0);
+  EXPECT_EQ(r0.jobs(), SweepRunner::default_jobs());
+}
+
+// Results must come back in submission order even when later-submitted jobs
+// finish first: job i sleeps longer the earlier it was submitted.
+TEST(SweepRunner, MergesResultsInSubmissionOrder) {
+  SweepRunner runner(4);
+  constexpr int kJobs = 12;
+  std::vector<std::function<int()>> jobs;
+  jobs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.emplace_back([i] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds((kJobs - i) * 2));
+      return i * 10 + 1;
+    });
+  }
+  const std::vector<int> out = runner.run(jobs);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kJobs));
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(out[i], i * 10 + 1);
+}
+
+TEST(SweepRunner, RunIndexedCoversEveryIndexExactlyOnce) {
+  SweepRunner runner(3);
+  constexpr std::size_t kCount = 97;
+  std::vector<std::atomic<int>> hits(kCount);
+  runner.run_indexed(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+// With a pool, every job still runs and the earliest-submitted failure is
+// rethrown — the same exception a serial run would have surfaced.
+TEST(SweepRunner, PoolPropagatesEarliestSubmittedException) {
+  SweepRunner runner(4);
+  std::atomic<int> executed{0};
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.emplace_back([i, &executed]() -> int {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (i == 2) throw std::runtime_error("boom 2");
+      if (i == 5) throw std::runtime_error("boom 5");
+      return i;
+    });
+  }
+  try {
+    (void)runner.run(jobs);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");
+  }
+  EXPECT_EQ(executed.load(), 8);  // a failing job does not cancel the batch
+}
+
+// Serial mode keeps classic semantics: the sweep aborts at the failing job.
+TEST(SweepRunner, SerialModeAbortsAtFailingJob) {
+  SweepRunner runner(1);
+  std::atomic<int> executed{0};
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.emplace_back([i, &executed]() -> int {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (i == 2) throw std::runtime_error("boom 2");
+      return i;
+    });
+  }
+  try {
+    (void)runner.run(jobs);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");
+  }
+  EXPECT_EQ(executed.load(), 3);  // jobs 3..7 never ran
+}
+
+// The determinism contract on real simulations: a two-machine IS sweep must
+// produce bit-identical simulated times and event fingerprints whether it
+// runs serially or sharded over four host threads.
+TEST(SweepRunner, TwoMachineSweepIsBitIdenticalAcrossJobCounts) {
+  struct Point {
+    double seconds = 0.0;
+    std::uint64_t events = 0;
+  };
+  const auto sweep = [](unsigned host_jobs) {
+    SweepRunner runner(host_jobs);
+    std::vector<std::function<Point()>> jobs;
+    for (unsigned p : {2u, 4u}) {
+      jobs.emplace_back([p] {
+        ksr::machine::KsrMachine m(
+            ksr::machine::MachineConfig::ksr1(p).scaled_by(64));
+        ksr::nas::IsConfig cfg;
+        cfg.log2_keys = 11;
+        cfg.log2_buckets = 7;
+        const auto r = ksr::nas::run_is(m, cfg);
+        return Point{r.seconds, m.engine().events_dispatched()};
+      });
+    }
+    return runner.run(jobs);
+  };
+  const auto serial = sweep(1);
+  const auto sharded = sweep(4);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seconds, sharded[i].seconds);  // exact, not near
+    EXPECT_EQ(serial[i].events, sharded[i].events);
+    EXPECT_GT(serial[i].events, 0u);
+  }
+}
+
+// Pool lifecycle: construction/destruction with no batch, repeated batches
+// on one pool, empty and single-item batches, and more workers than jobs —
+// all must shut down without hanging or leaking threads (ctest enforces the
+// no-hang half via its timeout; ASan/TSan builds enforce the rest).
+TEST(SweepRunner, ShutdownIsCleanInAllLifecycles) {
+  { SweepRunner unused(4); }  // never ran a batch
+  {
+    SweepRunner runner(4);
+    runner.run_indexed(0, [](std::size_t) { FAIL(); });  // empty batch
+    std::atomic<int> n{0};
+    runner.run_indexed(1, [&](std::size_t) { ++n; });  // inline path
+    for (int round = 0; round < 3; ++round) {          // pool reuse
+      runner.run_indexed(16, [&](std::size_t) { ++n; });
+    }
+    EXPECT_EQ(n.load(), 1 + 3 * 16);
+  }
+  {
+    SweepRunner wide(8);  // more workers than jobs
+    std::atomic<int> n{0};
+    wide.run_indexed(2, [&](std::size_t) { ++n; });
+    EXPECT_EQ(n.load(), 2);
+  }
+}
+
+}  // namespace

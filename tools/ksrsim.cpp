@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ksr/host/sweep_runner.hpp"
 #include "ksr/machine/factory.hpp"
 #include "ksr/nas/bt.hpp"
 #include "ksr/nas/cg.hpp"
@@ -296,9 +297,21 @@ int cmd_sweep(const Args& args) {
   const std::string name = args.get("name", "cg");
   const std::vector<unsigned> procs =
       args.get_list("procs", {1, 2, 4, 8, 16});
-  std::vector<std::pair<unsigned, double>> measured;
+  // Every processor count is an independent simulation: shard them over
+  // host threads (--jobs N, default one per core). Results merge in
+  // submission order, so the table is bit-identical for any --jobs value.
+  host::SweepRunner runner(args.get_u("jobs", 0));
+  std::vector<std::function<double()>> jobs;
+  jobs.reserve(procs.size());
   for (unsigned p : procs) {
-    measured.emplace_back(p, run_kernel_once(args, name, p));
+    jobs.emplace_back([&args, name, p] {
+      return run_kernel_once(args, name, p);
+    });
+  }
+  const std::vector<double> seconds = runner.run(jobs);
+  std::vector<std::pair<unsigned, double>> measured;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    measured.emplace_back(procs[i], seconds[i]);
   }
   study::TextTable t({"procs", "time (s)", "speedup", "efficiency",
                       "serial fraction"});
@@ -329,7 +342,11 @@ int cmd_help() {
       "                                       ticket|anderson|mcs-queue\n"
       "                                       --read-pct N --ops N]\n"
       "  kernel   run one NAS kernel        [--name ep|cg|is|sp|bt --procs P]\n"
-      "  sweep    scaling table             [--name K --procs 1,2,4,...]\n"
+      "  sweep    scaling table             [--name K --procs 1,2,4,...\n"
+      "                                       --jobs N  shard the sweep over\n"
+      "                                       N host threads (default: one\n"
+      "                                       per core; output is identical\n"
+      "                                       for any N)]\n"
       "\n"
       "common flags:\n"
       "  --machine ksr1|ksr2|symmetry|butterfly   (default ksr1)\n"
