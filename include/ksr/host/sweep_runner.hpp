@@ -8,6 +8,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 // Host-side parallel experiment runner.
@@ -67,6 +68,9 @@ class SweepRunner {
   /// order regardless of execution interleaving.
   template <typename R>
   std::vector<R> run(const std::vector<std::function<R()>>& tasks) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> packs results into shared words; "
+                  "concurrent per-index writes would race. Use char/int.");
     std::vector<R> out(tasks.size());
     run_indexed(tasks.size(),
                 [&](std::size_t i) { out[i] = tasks[i](); });
@@ -84,13 +88,16 @@ class SweepRunner {
   std::condition_variable cv_done_;  // the submitter waits here
 
   // Current batch, published under mu_ by bumping batch_. Workers claim
-  // indices lock-free through next_ and report completion counts back under
-  // mu_; each errors_ slot is written by at most the one worker that claimed
-  // that index, and read by the submitter only after the batch completes.
+  // indices lock-free through next_, then bump exited_ under mu_ once they
+  // leave the claim loop; run_indexed waits for exited_ == jobs_ before
+  // resetting any of this state, so a late-waking worker can never observe
+  // task_/count_/next_ from a different batch. Each errors_ slot is written
+  // by at most the one worker that claimed that index, and read by the
+  // submitter only after the batch completes.
   const std::function<void(std::size_t)>* task_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
-  std::size_t done_ = 0;
+  std::size_t exited_ = 0;  // workers that observed and left the batch
   std::uint64_t batch_ = 0;
   bool stop_ = false;
   std::vector<std::exception_ptr> errors_;

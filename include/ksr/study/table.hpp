@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -99,7 +102,17 @@ struct BenchOptions {
       if (a == "--quick") o.quick = true;
       if (a == "--full") o.full = true;
       if (a == "--jobs" && i + 1 < argc) {
-        o.jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        const char* s = argv[++i];
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long v = std::strtoul(s, &end, 10);
+        if (end == s || *end != '\0' || errno == ERANGE ||
+            v > std::numeric_limits<unsigned>::max()) {
+          std::cerr << "warning: ignoring invalid --jobs value '" << s
+                    << "' (expected a non-negative integer)\n";
+        } else {
+          o.jobs = static_cast<unsigned>(v);
+        }
       }
     }
     return o;

@@ -35,10 +35,15 @@ void SweepRunner::run_indexed(std::size_t count,
     task_ = &task;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
-    done_ = 0;
+    exited_ = 0;
     ++batch_;  // publishes the batch to the workers
     cv_work_.notify_all();
-    cv_done_.wait(lk, [&] { return done_ == count_; });
+    // Wait for every worker to observe the batch AND leave its claim loop,
+    // not merely for all indices to finish: a worker that wakes late must
+    // never see task_/count_/next_ from a later batch (or after reset).
+    // Every index was claimed and ran before the claiming worker bumped
+    // exited_, so exited_ == jobs_ implies the batch is fully done.
+    cv_done_.wait(lk, [&] { return exited_ == jobs_; });
     task_ = nullptr;
   }
   // Submission order, not completion order: the earliest failing job wins,
@@ -61,7 +66,6 @@ void SweepRunner::worker_loop() {
       task = task_;
       count = count_;
     }
-    std::size_t claimed = 0;
     for (;;) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
@@ -70,12 +74,10 @@ void SweepRunner::worker_loop() {
       } catch (...) {
         errors_[i] = std::current_exception();
       }
-      ++claimed;
     }
-    if (claimed != 0) {
+    {
       std::lock_guard<std::mutex> lk(mu_);
-      done_ += claimed;
-      if (done_ == count_) cv_done_.notify_all();
+      if (++exited_ == jobs_) cv_done_.notify_all();
     }
   }
 }

@@ -133,6 +133,26 @@ TEST(SweepRunner, TwoMachineSweepIsBitIdenticalAcrossJobCounts) {
   }
 }
 
+// Regression for a stale-worker race: run_indexed must not return until
+// every pool thread has left the batch, or a late-waking worker could invoke
+// the previous (already destroyed) task and steal indices from the next
+// batch. Each round's task and hit counters are batch-local, so under
+// ASan/TSan a stale worker touches freed memory; in any build it breaks the
+// exactly-once accounting below.
+TEST(SweepRunner, BackToBackBatchesNeverLeakStaleWorkers) {
+  SweepRunner runner(4);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = 2 + static_cast<std::size_t>(round % 7);
+    std::vector<std::atomic<int>> hits(count);
+    runner.run_indexed(count, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
 // Pool lifecycle: construction/destruction with no batch, repeated batches
 // on one pool, empty and single-item batches, and more workers than jobs —
 // all must shut down without hanging or leaking threads (ctest enforces the

@@ -9,10 +9,12 @@
 //   ksrsim sweep     --name is --procs 1,2,4,8,16,32 --scale 64
 //
 // Run `ksrsim help` for the full reference.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -60,8 +62,18 @@ class Args {
   }
   [[nodiscard]] unsigned get_u(const std::string& key, unsigned def) const {
     const auto it = kv_.find(key);
-    return it == kv_.end() ? def
-                           : static_cast<unsigned>(std::stoul(it->second));
+    if (it == kv_.end()) return def;
+    const char* s = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        v > std::numeric_limits<unsigned>::max()) {
+      std::cerr << "warning: ignoring invalid --" << key << " value '" << s
+                << "' (expected a non-negative integer)\n";
+      return def;
+    }
+    return static_cast<unsigned>(v);
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return kv_.count(key) > 0;
