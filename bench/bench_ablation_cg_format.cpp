@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ablation_cg_format");
   print_header("Sparse matrix format: column-major + locks vs row-major",
                "Figs. 6 & 7 and the parallelisation discussion of §3.3.1");
 
@@ -26,13 +27,22 @@ int main(int argc, char** argv) {
   TextTable t({"procs", "row-major (s)", "column+locks (s)", "column/row",
                "lock NACKs"});
   for (unsigned p : procs) {
+    const std::string ps = std::to_string(p);
     machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(64));
-    const double row_t = run_cg(m1, cfg).seconds;
+    double row_t = 0;
+    {
+      ScopedObs obs(session, m1, "cg-rowmajor p=" + ps);
+      row_t = run_cg(m1, cfg).seconds;
+    }
 
     nas::CgConfig col = cfg;
     col.format = nas::SparseFormat::kColumnMajor;
     machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(64));
-    const double col_t = run_cg(m2, col).seconds;
+    double col_t = 0;
+    {
+      ScopedObs obs(session, m2, "cg-colmajor p=" + ps);
+      col_t = run_cg(m2, col).seconds;
+    }
     std::uint64_t nacks = 0;
     for (unsigned c = 0; c < p; ++c) nacks += m2.cell_pmon(c).ring_nacks;
 

@@ -20,9 +20,11 @@ struct BarrierCost {
   double ring_requests = 0;  // machine-wide transactions per episode
 };
 
-BarrierCost barrier_cost(MachineConfig cfg, sync::BarrierKind kind,
+BarrierCost barrier_cost(obs::Session& session, const std::string& label,
+                         MachineConfig cfg, sync::BarrierKind kind,
                          bool use_poststore, int episodes) {
   KsrMachine m(cfg);
+  ScopedObs obs(session, m, label);
   auto barrier = sync::make_barrier(m, kind, use_poststore);
   double t = 0;
   std::uint64_t req0 = 0;
@@ -53,10 +55,11 @@ BarrierCost barrier_cost(MachineConfig cfg, sync::BarrierKind kind,
 /// sub-pages (padded). On an invalidation protocol each packed write costs
 /// a ring transaction (§3.2.2: "the cost of the communication is at least
 /// quadrupled").
-void false_sharing(const BenchOptions& opt) {
+void false_sharing(obs::Session& session, const BenchOptions& opt) {
   const int reps = opt.quick ? 50 : 300;
   auto run = [&](bool packed) {
     KsrMachine m(MachineConfig::ksr1(4));
+    ScopedObs obs(session, m, packed ? "fs-packed" : "fs-padded");
     auto arr = m.alloc<std::uint8_t>("fs", 4 * mem::kSubPageBytes);
     double t = 0;
     m.run([&](Cpu& cpu) {
@@ -92,6 +95,7 @@ void false_sharing(const BenchOptions& opt) {
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ablation_coherence");
   const int episodes = opt.quick ? 5 : 20;
   print_header("Ablation: read-snarfing, poststore and false sharing",
                "mechanism checks for Sections 2, 3.2.2 and 3.3.3");
@@ -105,8 +109,11 @@ int main(int argc, char** argv) {
     MachineConfig on = MachineConfig::ksr1(16);
     MachineConfig off = on;
     off.read_snarfing = false;
-    const BarrierCost c_on = barrier_cost(on, kind, true, episodes);
-    const BarrierCost c_off = barrier_cost(off, kind, true, episodes);
+    const std::string ks(to_string(kind));
+    const BarrierCost c_on =
+        barrier_cost(session, ks + " snarf=on", on, kind, true, episodes);
+    const BarrierCost c_off =
+        barrier_cost(session, ks + " snarf=off", off, kind, true, episodes);
     t1.add_row({std::string(to_string(kind)),
                 TextTable::num(c_on.seconds * 1e6, 1),
                 TextTable::num(c_off.seconds * 1e6, 1),
@@ -132,8 +139,12 @@ int main(int argc, char** argv) {
        {sync::BarrierKind::kTreeM, sync::BarrierKind::kTournamentM,
         sync::BarrierKind::kMcsM}) {
     const MachineConfig cfg = MachineConfig::ksr1(16);
-    const BarrierCost c_on = barrier_cost(cfg, kind, true, episodes);
-    const BarrierCost c_off = barrier_cost(cfg, kind, false, episodes);
+    const std::string ks(to_string(kind));
+    const BarrierCost c_on =
+        barrier_cost(session, ks + " poststore=on", cfg, kind, true, episodes);
+    const BarrierCost c_off =
+        barrier_cost(session, ks + " poststore=off", cfg, kind, false,
+                     episodes);
     t2.add_row({std::string(to_string(kind)),
                 TextTable::num(c_on.seconds * 1e6, 1),
                 TextTable::num(c_off.seconds * 1e6, 1),
@@ -149,6 +160,6 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\n--- intentional false sharing (the MCS arrival word) ---\n";
-  false_sharing(opt);
+  false_sharing(session, opt);
   return 0;
 }

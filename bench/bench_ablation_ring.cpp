@@ -20,10 +20,14 @@ struct Load {
   double wait_per_req = 0;
 };
 
-Load all_remote_load(unsigned nproc, unsigned slots, std::size_t kb) {
+Load all_remote_load(obs::Session& session, unsigned nproc, unsigned slots,
+                     std::size_t kb) {
   MachineConfig cfg = MachineConfig::ksr1(nproc);
   cfg.ring_slots_per_subring = slots;
   KsrMachine m(cfg);
+  ScopedObs obs(session, m,
+                "p=" + std::to_string(nproc) +
+                    " slots=" + std::to_string(slots));
   const std::size_t ints = kb * 1024 / sizeof(std::uint32_t);
   const std::size_t stride = mem::kSubPageBytes / sizeof(std::uint32_t);
   auto data =
@@ -60,6 +64,7 @@ Load all_remote_load(unsigned nproc, unsigned slots, std::size_t kb) {
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ablation_ring");
   print_header("Ablation: ring slot count and saturation",
                "design-choice ablation for Section 3.1's network results");
 
@@ -68,7 +73,7 @@ int main(int argc, char** argv) {
   std::cout << "\n--- slot count (pipelining depth), 32 procs all-remote ---\n";
   TextTable t1({"slots/subring", "per-access (us)", "slot wait/req (ns)"});
   for (unsigned slots : {1u, 2u, 4u, 8u, 12u, 24u}) {
-    const Load l = all_remote_load(32, slots, kb);
+    const Load l = all_remote_load(session, 32, slots, kb);
     t1.add_row({std::to_string(slots), TextTable::num(l.per_access * 1e6, 3),
                 TextTable::num(l.wait_per_req, 0)});
   }
@@ -85,7 +90,7 @@ int main(int argc, char** argv) {
   std::cout << "\n--- offered load vs processors (12 slots) ---\n";
   TextTable t2({"procs", "per-access (us)", "slot wait/req (ns)"});
   for (unsigned p : {2u, 8u, 16u, 24u, 32u}) {
-    const Load l = all_remote_load(p, 12, kb);
+    const Load l = all_remote_load(session, p, 12, kb);
     t2.add_row({std::to_string(p), TextTable::num(l.per_access * 1e6, 3),
                 TextTable::num(l.wait_per_req, 0)});
   }

@@ -13,9 +13,11 @@ using namespace ksr;         // NOLINT
 using namespace ksr::bench;  // NOLINT
 
 template <typename MachineT>
-double time_lock(const machine::MachineConfig& cfg, sync::SpinLockKind kind,
+double time_lock(obs::Session& session, const std::string& label,
+                 const machine::MachineConfig& cfg, sync::SpinLockKind kind,
                  int ops) {
   MachineT m(cfg);
+  ScopedObs obs(session, m, label);
   auto lock = sync::make_spinlock(m, kind);
   double t = 0;
   m.run([&](machine::Cpu& cpu) {
@@ -31,7 +33,8 @@ double time_lock(const machine::MachineConfig& cfg, sync::SpinLockKind kind,
 }
 
 template <typename MachineT>
-void sweep(const std::string& title, machine::MachineConfig cfg,
+void sweep(obs::Session& session, const std::string& title,
+           const std::string& tag, machine::MachineConfig cfg,
            const std::vector<unsigned>& procs, int ops, bool csv) {
   std::vector<std::string> headers{"lock \\ procs"};
   for (unsigned p : procs) headers.push_back(std::to_string(p));
@@ -40,7 +43,11 @@ void sweep(const std::string& title, machine::MachineConfig cfg,
     std::vector<std::string> row{std::string(to_string(kind))};
     for (unsigned p : procs) {
       cfg.nproc = p;
-      row.push_back(TextTable::num(time_lock<MachineT>(cfg, kind, ops), 1));
+      const std::string label = tag + " " + std::string(to_string(kind)) +
+                                " p=" + std::to_string(p);
+      row.push_back(
+          TextTable::num(time_lock<MachineT>(session, label, cfg, kind, ops),
+                         1));
     }
     t.add_row(row);
   }
@@ -56,6 +63,7 @@ void sweep(const std::string& title, machine::MachineConfig cfg,
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ablation_spinlocks");
   const int ops = opt.quick ? 15 : 60;
   print_header("Extension: classic spin-lock alternatives on the KSR-1",
                "the Anderson [1] / MCS [13] lock studies on this machine");
@@ -64,7 +72,7 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<unsigned>{1, 8} : std::vector<unsigned>{1, 2, 4,
                                                                       8, 16};
 
-  sweep<machine::KsrMachine>("KSR-1 slotted ring",
+  sweep<machine::KsrMachine>(session, "KSR-1 slotted ring", "ksr",
                              machine::MachineConfig::ksr1(16), procs, ops,
                              opt.csv);
   std::cout
@@ -75,7 +83,7 @@ int main(int argc, char** argv) {
          "the structured locks (ticket with proportional backoff, Anderson,\n"
          "MCS queue) hand off with O(1) transactions per release.\n";
 
-  sweep<machine::BusMachine>("Symmetry bus",
+  sweep<machine::BusMachine>(session, "Symmetry bus", "bus",
                              machine::MachineConfig::symmetry(16), procs, ops,
                              opt.csv);
   std::cout

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ablation_tworing");
   print_header("Extension: NAS kernels across the level-1 ring boundary",
                "the Section 4 prediction, beyond the paper's barrier data");
 
@@ -33,10 +34,19 @@ int main(int argc, char** argv) {
                "IS time (s)", "IS eff. vs 16"});
   double cg16 = 0, is16 = 0;
   for (unsigned p : procs) {
+    const std::string ps = std::to_string(p);
     machine::KsrMachine mc(machine::MachineConfig::ksr2(p).scaled_by(64));
-    const double cg_t = run_cg(mc, cg).seconds;
+    double cg_t = 0;
+    {
+      ScopedObs obs(session, mc, "cg p=" + ps);
+      cg_t = run_cg(mc, cg).seconds;
+    }
     machine::KsrMachine mi(machine::MachineConfig::ksr2(p).scaled_by(64));
-    const nas::IsResult is_r = run_is(mi, is);
+    nas::IsResult is_r;
+    {
+      ScopedObs obs(session, mi, "is p=" + ps);
+      is_r = run_is(mi, is);
+    }
     if (p == procs.front()) {
       cg16 = cg_t * p;
       is16 = is_r.seconds * p;

@@ -13,6 +13,7 @@
 
 #include "ksr/host/sweep_runner.hpp"
 #include "ksr/machine/factory.hpp"
+#include "ksr/obs/session.hpp"
 #include "ksr/study/metrics.hpp"
 #include "ksr/study/table.hpp"
 #include "ksr/sync/barrier.hpp"
@@ -22,6 +23,46 @@ namespace ksr::bench {
 using host::SweepRunner;
 using study::BenchOptions;
 using study::TextTable;
+
+/// Build the obs::Session options from the shared bench CLI flags. `name`
+/// (the bench name) seeds the default trace filename.
+inline obs::Session make_obs_session(const BenchOptions& o,
+                                     const std::string& name) {
+  obs::SessionOptions s;
+  s.trace = o.trace;
+  s.categories = o.trace_cats;
+  s.trace_out = o.trace_out;
+  s.metrics_csv = o.metrics_csv;
+  return obs::Session(std::move(s), name);
+}
+
+/// RAII observability for machines built on the main thread: attaches a
+/// JobObs to `m` for the current scope and streams it into the session on
+/// destruction. Declare it right after the machine (so it is destroyed — and
+/// takes its final metrics sample — while the machine is still alive).
+class ScopedObs {
+ public:
+  ScopedObs(obs::Session& session, machine::Machine& m, std::string label)
+      : session_(session), label_(std::move(label)) {
+    if (session_.active()) {
+      obs_ = session_.job();
+      obs_.attach(m);
+    }
+  }
+  ~ScopedObs() {
+    if (session_.active()) {
+      obs_.finish();
+      session_.collect(std::move(obs_), label_);
+    }
+  }
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+
+ private:
+  obs::Session& session_;
+  std::string label_;
+  obs::JobObs obs_;
+};
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "==================================================================\n"

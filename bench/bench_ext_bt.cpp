@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ext_bt");
   print_header("Extension: Block Tridiagonal application scalability",
                "reference [6]; contrast with Table 3 (SP)");
 
@@ -33,10 +34,17 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<unsigned, double>> bt_m, sp_m;
   for (unsigned p : procs) {
+    const std::string ps = std::to_string(p);
     machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    bt_m.emplace_back(p, run_bt(m1, bt).seconds_per_iteration);
+    {
+      ScopedObs obs(session, m1, "bt p=" + ps);
+      bt_m.emplace_back(p, run_bt(m1, bt).seconds_per_iteration);
+    }
     machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    sp_m.emplace_back(p, run_sp(m2, sp).seconds_per_iteration);
+    {
+      ScopedObs obs(session, m2, "sp p=" + ps);
+      sp_m.emplace_back(p, run_sp(m2, sp).seconds_per_iteration);
+    }
   }
   const auto bt_rows = study::scaling_rows(bt_m);
   const auto sp_rows = study::scaling_rows(sp_m);

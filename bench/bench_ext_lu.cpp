@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ext_lu");
   print_header("Extension: LU (SSOR) application scalability",
                "the third NAS application; pipelined wavefront structure");
 
@@ -28,12 +29,19 @@ int main(int argc, char** argv) {
   std::vector<std::pair<unsigned, double>> measured;
   std::vector<double> no_post;
   for (unsigned p : procs) {
+    const std::string ps = std::to_string(p);
     machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    measured.emplace_back(p, run_lu(m1, cfg).seconds_per_iteration);
+    {
+      ScopedObs obs(session, m1, "lu p=" + ps);
+      measured.emplace_back(p, run_lu(m1, cfg).seconds_per_iteration);
+    }
     nas::LuConfig c2 = cfg;
     c2.use_poststore = false;
     machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
-    no_post.push_back(run_lu(m2, c2).seconds_per_iteration);
+    {
+      ScopedObs obs(session, m2, "lu-nopoststore p=" + ps);
+      no_post.push_back(run_lu(m2, c2).seconds_per_iteration);
+    }
   }
 
   TextTable t({"procs", "t/iter (s)", "speedup", "no-poststore (s)",

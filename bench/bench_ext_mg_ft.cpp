@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "ext_mg_ft");
   print_header("Extension: MG and FT kernel scalability",
                "the two NAS kernels beyond the paper's three");
 
@@ -30,10 +31,17 @@ int main(int argc, char** argv) {
   std::vector<std::pair<unsigned, double>> mg_m, ft_m;
   std::vector<double> ft_wait;
   for (unsigned p : procs) {
+    const std::string ps = std::to_string(p);
     machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(16));
-    mg_m.emplace_back(p, run_mg(m1, mg).seconds);
+    {
+      ScopedObs obs(session, m1, "mg p=" + ps);
+      mg_m.emplace_back(p, run_mg(m1, mg).seconds);
+    }
     machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(64));
-    ft_m.emplace_back(p, run_ft(m2, ft).seconds);
+    {
+      ScopedObs obs(session, m2, "ft p=" + ps);
+      ft_m.emplace_back(p, run_ft(m2, ft).seconds);
+    }
     cache::PerfMonitor total;
     for (unsigned c = 0; c < p; ++c) total.add(m2.cell_pmon(c));
     ft_wait.push_back(total.ring_requests

@@ -24,8 +24,10 @@ struct LatencyPoint {
 /// All P processors first cache private data, then simultaneously access
 /// their ring neighbour's data (the paper's experiment; footnote 3: any
 /// remote node costs the same on a unidirectional ring).
-LatencyPoint measure(unsigned nproc, std::size_t kb_per_cpu) {
+LatencyPoint measure(obs::Session& session, unsigned nproc,
+                     std::size_t kb_per_cpu) {
   KsrMachine m(MachineConfig::ksr1(std::max(nproc, 2u)));
+  ScopedObs obs(session, m, "latency p=" + std::to_string(nproc));
   const std::size_t ints = kb_per_cpu * 1024 / sizeof(std::uint32_t);
   const std::size_t stride = mem::kSubPageBytes / sizeof(std::uint32_t);
   auto data = m.alloc<std::uint32_t>(
@@ -120,10 +122,11 @@ LatencyPoint measure(unsigned nproc, std::size_t kb_per_cpu) {
   return pt;
 }
 
-void stride_experiments(const BenchOptions& opt) {
+void stride_experiments(obs::Session& session, const BenchOptions& opt) {
   // §3.1: striding one access per 2 KB block costs ~50% more (sub-cache
   // block allocation); one access per 16 KB page adds ~60% at ring level.
   KsrMachine m(MachineConfig::ksr1(2));
+  ScopedObs obs(session, m, "stride");
   const std::size_t doubles = (opt.quick ? 1u : 4u) * 1024 * 1024 / 8;
   auto arr = m.alloc<double>("stride", doubles);
   auto remote = m.alloc<double>("stride.r", doubles);
@@ -181,6 +184,7 @@ void stride_experiments(const BenchOptions& opt) {
 
   // Page-allocation overhead measured directly on a cold machine:
   KsrMachine m2(MachineConfig::ksr1(2));
+  ScopedObs obs2(session, m2, "stride-pagealloc");
   auto arr2 = m2.alloc<double>("stride2", doubles);
   auto flag = m2.alloc<int>("flag2", 1);
   m2.run([&](machine::Cpu& cpu) {
@@ -223,6 +227,7 @@ void stride_experiments(const BenchOptions& opt) {
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "fig2_latency");
   print_header("Read/Write latencies vs processors",
                "Fig. 2 and the stride experiments of Section 3.1");
 
@@ -233,7 +238,7 @@ int main(int argc, char** argv) {
   double net_read_p2 = 0;
   double net_read_p32 = 0;
   for (unsigned p : procs) {
-    const LatencyPoint pt = measure(p, kb);
+    const LatencyPoint pt = measure(session, p, kb);
     if (p == 2) net_read_p2 = pt.net_read;
     if (p == 32) net_read_p32 = pt.net_read;
     t.add_row({std::to_string(p), TextTable::num(pt.local_read * 1e6, 3),
@@ -257,6 +262,6 @@ int main(int argc, char** argv) {
               << "%\n\n";
   }
 
-  stride_experiments(opt);
+  stride_experiments(session, opt);
   return 0;
 }

@@ -25,8 +25,16 @@ constexpr std::uint64_t kHoldOps = 3000;   // local ops while holding
 constexpr std::uint64_t kDelayOps = 10000; // local ops between requests
 constexpr std::uint64_t kCyclesPerOp = 2;
 
-double run_exclusive(unsigned nproc, int ops) {
+struct Run {
+  double seconds = 0.0;
+  obs::JobObs obs;
+};
+
+Run run_exclusive(const obs::Session& session, unsigned nproc, int ops) {
   KsrMachine m(MachineConfig::ksr1(nproc));
+  Run r;
+  r.obs = session.job();
+  r.obs.attach(m);
   sync::HardwareLock lock(m);
   double t = 0;
   m.run([&](Cpu& cpu) {
@@ -38,11 +46,17 @@ double run_exclusive(unsigned nproc, int ops) {
     }
     if (cpu.seconds() > t) t = cpu.seconds();
   });
-  return t;
+  r.obs.finish();
+  r.seconds = t;
+  return r;
 }
 
-double run_rw(unsigned nproc, int ops, unsigned read_percent) {
+Run run_rw(const obs::Session& session, unsigned nproc, int ops,
+           unsigned read_percent) {
   KsrMachine m(MachineConfig::ksr1(nproc));
+  Run r;
+  r.obs = session.job();
+  r.obs.attach(m);
   sync::TicketRwLock lock(m);
   double t = 0;
   m.run([&](Cpu& cpu) {
@@ -61,13 +75,16 @@ double run_rw(unsigned nproc, int ops, unsigned read_percent) {
     }
     if (cpu.seconds() > t) t = cpu.seconds();
   });
-  return t;
+  r.obs.finish();
+  r.seconds = t;
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "fig3_locks");
   SweepRunner runner(opt.jobs);
   // Paper: "for 500 operations". Scaled default keeps the event count sane;
   // --full uses the paper's 500.
@@ -85,22 +102,32 @@ int main(int argc, char** argv) {
                 : std::vector<unsigned>{1, 2, 4, 8, 16, 32};
   const std::vector<unsigned> read_pcts{0, 20, 40, 60, 80, 100};
 
-  std::vector<std::function<double()>> jobs;
+  std::vector<std::function<Run()>> jobs;
   jobs.reserve(procs.size() * (1 + read_pcts.size()));
   for (unsigned p : procs) {
-    jobs.emplace_back([p, ops] { return run_exclusive(p, ops); });
+    jobs.emplace_back(
+        [p, ops, &session] { return run_exclusive(session, p, ops); });
     for (unsigned rd : read_pcts) {
-      jobs.emplace_back([p, ops, rd] { return run_rw(p, ops, rd); });
+      jobs.emplace_back(
+          [p, ops, rd, &session] { return run_rw(session, p, ops, rd); });
     }
   }
-  const std::vector<double> cells = runner.run(jobs);
+  std::vector<Run> cells = runner.run(jobs);
 
   std::size_t j = 0;
   for (unsigned p : procs) {
     std::vector<std::string> row{std::to_string(p)};
-    row.push_back(TextTable::num(cells[j++], 4));
-    for (std::size_t r = 0; r < read_pcts.size(); ++r) {
-      row.push_back(TextTable::num(cells[j++], 4));
+    if (session.active()) {
+      session.collect(std::move(cells[j].obs),
+                      "exclusive p=" + std::to_string(p));
+    }
+    row.push_back(TextTable::num(cells[j++].seconds, 4));
+    for (unsigned rd : read_pcts) {
+      if (session.active()) {
+        session.collect(std::move(cells[j].obs),
+                        "rw" + std::to_string(rd) + " p=" + std::to_string(p));
+      }
+      row.push_back(TextTable::num(cells[j++].seconds, 4));
     }
     t.add_row(row);
   }

@@ -12,6 +12,7 @@ namespace {
 struct Cell {
   double seconds = 0.0;
   std::uint64_t events = 0;
+  ksr::obs::JobObs obs;
 };
 
 }  // namespace
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   HostMetrics host("fig4_barriers_ksr1");
+  obs::Session session = make_obs_session(opt, "fig4_barriers_ksr1");
   SweepRunner runner(opt.jobs);
   host.set_jobs(runner.jobs());
   const int episodes = opt.quick ? 5 : 20;
@@ -41,24 +43,31 @@ int main(int argc, char** argv) {
   jobs.reserve(kinds.size() * procs.size());
   for (sync::BarrierKind kind : kinds) {
     for (unsigned p : procs) {
-      jobs.emplace_back([kind, p, episodes] {
+      jobs.emplace_back([kind, p, episodes, &session] {
         machine::KsrMachine m(machine::MachineConfig::ksr1(p));
         Cell c;
+        c.obs = session.job();
+        c.obs.attach(m);
         c.seconds = barrier_episode_seconds(m, kind, episodes);
+        c.obs.finish();
         c.events = m.engine().events_dispatched();
         return c;
       });
     }
   }
-  const std::vector<Cell> cells = runner.run(jobs);
+  std::vector<Cell> cells = runner.run(jobs);
 
   double counter32 = 0, tournament_m32 = 0;
   std::size_t j = 0;
   for (sync::BarrierKind kind : kinds) {
     std::vector<std::string> row{std::string(to_string(kind))};
     for (unsigned p : procs) {
-      const Cell& c = cells[j++];
+      Cell& c = cells[j++];
       host.add_events(c.events);
+      if (session.active()) {
+        session.collect(std::move(c.obs), std::string(to_string(kind)) +
+                                              " p=" + std::to_string(p));
+      }
       if (p == 32 && kind == sync::BarrierKind::kCounter) counter32 = c.seconds;
       if (p == 32 && kind == sync::BarrierKind::kTournamentM) {
         tournament_m32 = c.seconds;

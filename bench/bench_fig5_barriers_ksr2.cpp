@@ -6,11 +6,21 @@
 #include "bench_common.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 
+namespace {
+
+struct Cell {
+  double seconds = 0.0;
+  ksr::obs::JobObs obs;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ksr;         // NOLINT
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "fig5_barriers_ksr2");
   SweepRunner runner(opt.jobs);
   const int episodes = opt.quick ? 5 : 20;
   print_header("Barrier performance on the 64-node KSR-2 (two-level ring)",
@@ -25,23 +35,33 @@ int main(int argc, char** argv) {
   TextTable t(headers);
 
   const auto kinds = sync::all_barrier_kinds();
-  std::vector<std::function<double()>> jobs;
+  std::vector<std::function<Cell()>> jobs;
   jobs.reserve(kinds.size() * procs.size());
   for (sync::BarrierKind kind : kinds) {
     for (unsigned p : procs) {
-      jobs.emplace_back([kind, p, episodes] {
+      jobs.emplace_back([kind, p, episodes, &session] {
         machine::KsrMachine m(machine::MachineConfig::ksr2(p));
-        return barrier_episode_seconds(m, kind, episodes);
+        Cell c;
+        c.obs = session.job();
+        c.obs.attach(m);
+        c.seconds = barrier_episode_seconds(m, kind, episodes);
+        c.obs.finish();
+        return c;
       });
     }
   }
-  const std::vector<double> cells = runner.run(jobs);
+  std::vector<Cell> cells = runner.run(jobs);
 
   std::size_t j = 0;
   for (sync::BarrierKind kind : kinds) {
     std::vector<std::string> row{std::string(to_string(kind))};
-    for (std::size_t i = 0; i < procs.size(); ++i) {
-      row.push_back(TextTable::num(cells[j++] * 1e6, 1));
+    for (unsigned p : procs) {
+      Cell& c = cells[j++];
+      if (session.active()) {
+        session.collect(std::move(c.obs), std::string(to_string(kind)) +
+                                              " p=" + std::to_string(p));
+      }
+      row.push_back(TextTable::num(c.seconds * 1e6, 1));
     }
     t.add_row(row);
   }

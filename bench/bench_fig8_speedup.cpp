@@ -8,11 +8,21 @@
 #include "ksr/nas/cg.hpp"
 #include "ksr/nas/is.hpp"
 
+namespace {
+
+struct Run {
+  double seconds = 0.0;
+  ksr::obs::JobObs obs;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ksr;         // NOLINT
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "fig8_speedup");
   SweepRunner runner(opt.jobs);
   print_header("Speedup for CG and IS", "Fig. 8, Section 3.3");
 
@@ -28,24 +38,39 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<unsigned>{1, 4, 16}
                 : std::vector<unsigned>{1, 2, 4, 8, 16, 24, 32};
 
-  std::vector<std::function<double()>> jobs;
+  std::vector<std::function<Run()>> jobs;
   jobs.reserve(2 * procs.size());
   for (unsigned p : procs) {
-    jobs.emplace_back([p, cg] {
+    jobs.emplace_back([p, cg, &session] {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(64));
-      return run_cg(m, cg).seconds;
+      Run r;
+      r.obs = session.job();
+      r.obs.attach(m);
+      r.seconds = run_cg(m, cg).seconds;
+      r.obs.finish();
+      return r;
     });
-    jobs.emplace_back([p, is] {
+    jobs.emplace_back([p, is, &session] {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(64));
-      return run_is(m, is).seconds;
+      Run r;
+      r.obs = session.job();
+      r.obs.attach(m);
+      r.seconds = run_is(m, is).seconds;
+      r.obs.finish();
+      return r;
     });
   }
-  const std::vector<double> seconds = runner.run(jobs);
+  std::vector<Run> seconds = runner.run(jobs);
 
   std::vector<std::pair<unsigned, double>> cg_t, is_t;
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    cg_t.emplace_back(procs[i], seconds[2 * i]);
-    is_t.emplace_back(procs[i], seconds[2 * i + 1]);
+    if (session.active()) {
+      const std::string p = std::to_string(procs[i]);
+      session.collect(std::move(seconds[2 * i].obs), "cg p=" + p);
+      session.collect(std::move(seconds[2 * i + 1].obs), "is p=" + p);
+    }
+    cg_t.emplace_back(procs[i], seconds[2 * i].seconds);
+    is_t.emplace_back(procs[i], seconds[2 * i + 1].seconds);
   }
   const auto cg_rows = study::scaling_rows(cg_t);
   const auto is_rows = study::scaling_rows(is_t);

@@ -14,7 +14,8 @@ using namespace ksr;         // NOLINT
 using namespace ksr::bench;  // NOLINT
 
 template <typename MachineT>
-void compare(const std::string& title, const machine::MachineConfig& base_cfg,
+void compare(obs::Session& session, const std::string& tag,
+             const std::string& title, const machine::MachineConfig& base_cfg,
              const std::vector<unsigned>& procs, int episodes, bool csv) {
   std::vector<std::string> headers{"barrier \\ procs"};
   for (unsigned p : procs) headers.push_back(std::to_string(p));
@@ -25,6 +26,9 @@ void compare(const std::string& title, const machine::MachineConfig& base_cfg,
       machine::MachineConfig cfg = base_cfg;
       cfg.nproc = p;
       MachineT m(cfg);
+      ScopedObs obs(session, m,
+                    tag + " " + std::string(to_string(kind)) +
+                        " p=" + std::to_string(p));
       row.push_back(
           TextTable::num(barrier_episode_seconds(m, kind, episodes) * 1e6, 1));
     }
@@ -42,6 +46,7 @@ void compare(const std::string& title, const machine::MachineConfig& base_cfg,
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "sec323_arch_compare");
   const int episodes = opt.quick ? 5 : 20;
   print_header("Barriers across architectures: Symmetry bus & Butterfly MIN",
                "Section 3.2.3");
@@ -49,7 +54,8 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> procs =
       opt.quick ? std::vector<unsigned>{4, 16} : std::vector<unsigned>{4, 8, 12, 16};
 
-  compare<machine::BusMachine>("Sequent Symmetry model (single snooping bus)",
+  compare<machine::BusMachine>(session, "bus",
+                               "Sequent Symmetry model (single snooping bus)",
                                machine::MachineConfig::symmetry(16), procs,
                                episodes, opt.csv);
   std::cout
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<unsigned>{8, 32}
                 : std::vector<unsigned>{8, 16, 24, 32};
   compare<machine::ButterflyMachine>(
+      session, "butterfly",
       "BBN Butterfly model (multistage network, no coherent caches)",
       machine::MachineConfig::butterfly(32), bprocs, episodes, opt.csv);
   std::cout

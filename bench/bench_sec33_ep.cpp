@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "sec33_ep");
   print_header("Embarrassingly Parallel kernel scalability",
                "Section 3.3 (EP), first paragraph");
 
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<unsigned, double>> measured;
   for (unsigned p : procs) {
     machine::KsrMachine m(machine::MachineConfig::ksr1(p));
+    ScopedObs obs(session, m, "ep p=" + std::to_string(p));
     const nas::EpResult r = run_ep(m, cfg);
     measured.emplace_back(p, r.seconds);
     const bool same = r.accepted == ref.accepted &&

@@ -19,6 +19,13 @@ namespace {
 struct CgPoint {
   double seconds = 0.0;
   std::uint64_t nnz = 0;
+  ksr::obs::JobObs obs;
+};
+
+// One ablation run (base or variant) with its observability handle.
+struct Run {
+  double seconds = 0.0;
+  ksr::obs::JobObs obs;
 };
 
 }  // namespace
@@ -28,6 +35,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "table1_cg");
   SweepRunner runner(opt.jobs);
   print_header("Conjugate Gradient scalability",
                "Table 1 and Fig. 8 (CG), Section 3.3.1");
@@ -45,17 +53,27 @@ int main(int argc, char** argv) {
   std::vector<std::function<CgPoint()>> jobs;
   jobs.reserve(procs.size());
   for (unsigned p : procs) {
-    jobs.emplace_back([p, scale, cfg] {
+    jobs.emplace_back([p, scale, cfg, &session] {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      CgPoint pt;
+      pt.obs = session.job();
+      pt.obs.attach(m);
       const nas::CgResult r = run_cg(m, cfg);
-      return CgPoint{r.seconds, r.nnz};
+      pt.obs.finish();
+      pt.seconds = r.seconds;
+      pt.nnz = r.nnz;
+      return pt;
     });
   }
-  const std::vector<CgPoint> points = runner.run(jobs);
+  std::vector<CgPoint> points = runner.run(jobs);
 
   std::vector<std::pair<unsigned, double>> measured;
   std::uint64_t nnz = 0;
   for (std::size_t i = 0; i < procs.size(); ++i) {
+    if (session.active()) {
+      session.collect(std::move(points[i].obs),
+                      "cg p=" + std::to_string(procs[i]));
+    }
     measured.emplace_back(procs[i], points[i].seconds);
     nnz = points[i].nnz;
   }
@@ -88,25 +106,40 @@ int main(int argc, char** argv) {
   // serial section does not stall fetching them. Base and variant runs are
   // separate jobs (2 per processor count) for better host load balance.
   std::cout << "\n--- poststore ablation ---\n";
-  std::vector<std::function<double()>> ps_jobs;
+  std::vector<std::function<Run()>> ps_jobs;
   ps_jobs.reserve(2 * ab_procs.size());
   for (unsigned p : ab_procs) {
-    ps_jobs.emplace_back([p, scale, cfg] {
+    ps_jobs.emplace_back([p, scale, cfg, &session] {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-      return run_cg(m, cfg).seconds;
+      Run r;
+      r.obs = session.job();
+      r.obs.attach(m);
+      r.seconds = run_cg(m, cfg).seconds;
+      r.obs.finish();
+      return r;
     });
-    ps_jobs.emplace_back([p, scale, cfg] {
+    ps_jobs.emplace_back([p, scale, cfg, &session] {
       nas::CgConfig c2 = cfg;
       c2.use_poststore = true;
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-      return run_cg(m, c2).seconds;
+      Run r;
+      r.obs = session.job();
+      r.obs.attach(m);
+      r.seconds = run_cg(m, c2).seconds;
+      r.obs.finish();
+      return r;
     });
   }
-  const std::vector<double> ps = runner.run(ps_jobs);
+  std::vector<Run> ps = runner.run(ps_jobs);
 
   TextTable pt({"Processors", "no poststore (s)", "poststore (s)", "gain"});
   for (std::size_t i = 0; i < ab_procs.size(); ++i) {
-    const double base = ps[2 * i], post = ps[2 * i + 1];
+    if (session.active()) {
+      const std::string p = std::to_string(ab_procs[i]);
+      session.collect(std::move(ps[2 * i].obs), "cg-nopoststore p=" + p);
+      session.collect(std::move(ps[2 * i + 1].obs), "cg-poststore p=" + p);
+    }
+    const double base = ps[2 * i].seconds, post = ps[2 * i + 1].seconds;
     pt.add_row({std::to_string(ab_procs[i]), TextTable::num(base, 5),
                 TextTable::num(post, 5),
                 TextTable::num((1.0 - post / base) * 100.0, 2) + "%"});
@@ -123,25 +156,40 @@ int main(int argc, char** argv) {
   // ---- Prefetch ablation: the implementation pulls the rewritten p vector
   // ahead of each mat-vec ("prefetch ... used quite extensively", §4).
   std::cout << "\n--- prefetch ablation ---\n";
-  std::vector<std::function<double()>> pf_jobs;
+  std::vector<std::function<Run()>> pf_jobs;
   pf_jobs.reserve(2 * ab_procs.size());
   for (unsigned p : ab_procs) {
-    pf_jobs.emplace_back([p, scale, cfg] {
+    pf_jobs.emplace_back([p, scale, cfg, &session] {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-      return run_cg(m, cfg).seconds;
+      Run r;
+      r.obs = session.job();
+      r.obs.attach(m);
+      r.seconds = run_cg(m, cfg).seconds;
+      r.obs.finish();
+      return r;
     });
-    pf_jobs.emplace_back([p, scale, cfg] {
+    pf_jobs.emplace_back([p, scale, cfg, &session] {
       nas::CgConfig c2 = cfg;
       c2.use_prefetch = false;
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-      return run_cg(m, c2).seconds;
+      Run r;
+      r.obs = session.job();
+      r.obs.attach(m);
+      r.seconds = run_cg(m, c2).seconds;
+      r.obs.finish();
+      return r;
     });
   }
-  const std::vector<double> pf = runner.run(pf_jobs);
+  std::vector<Run> pf = runner.run(pf_jobs);
 
   TextTable ft({"Processors", "prefetch (s)", "no prefetch (s)", "gain"});
   for (std::size_t i = 0; i < ab_procs.size(); ++i) {
-    const double with_pf = pf[2 * i], without = pf[2 * i + 1];
+    if (session.active()) {
+      const std::string p = std::to_string(ab_procs[i]);
+      session.collect(std::move(pf[2 * i].obs), "cg-prefetch p=" + p);
+      session.collect(std::move(pf[2 * i + 1].obs), "cg-noprefetch p=" + p);
+    }
+    const double with_pf = pf[2 * i].seconds, without = pf[2 * i + 1].seconds;
     ft.add_row({std::to_string(ab_procs[i]), TextTable::num(with_pf, 5),
                 TextTable::num(without, 5),
                 TextTable::num((1.0 - with_pf / without) * 100.0, 2) + "%"});

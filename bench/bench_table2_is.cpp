@@ -18,12 +18,15 @@ struct IsPoint {
   bool ranks_valid = true;
   double wait_per_req = 0.0;
   std::uint64_t events = 0;
+  ksr::obs::JobObs obs;
 };
 
 struct PrefetchPoint {
   double with_pf = 0.0;
   double without = 0.0;
   std::uint64_t events = 0;
+  ksr::obs::JobObs obs_pf;     // prefetching run
+  ksr::obs::JobObs obs_nopf;   // ablated run
 };
 
 }  // namespace
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   HostMetrics host("table2_is");
+  obs::Session session = make_obs_session(opt, "table2_is");
   SweepRunner runner(opt.jobs);
   host.set_jobs(runner.jobs());
   print_header("Integer Sort scalability",
@@ -51,10 +55,13 @@ int main(int argc, char** argv) {
   std::vector<std::function<IsPoint()>> jobs;
   jobs.reserve(procs.size());
   for (unsigned p : procs) {
-    jobs.emplace_back([p, scale, cfg] {
+    jobs.emplace_back([p, scale, cfg, &session] {
       machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
-      const nas::IsResult r = run_is(m, cfg);
       IsPoint pt;
+      pt.obs = session.job();
+      pt.obs.attach(m);
+      const nas::IsResult r = run_is(m, cfg);
+      pt.obs.finish();
       pt.seconds = r.seconds;
       pt.ranks_valid = r.ranks_valid;
       // Mean slot wait per ring transaction: the saturation indicator the
@@ -69,12 +76,16 @@ int main(int argc, char** argv) {
       return pt;
     });
   }
-  const std::vector<IsPoint> points = runner.run(jobs);
+  std::vector<IsPoint> points = runner.run(jobs);
 
   std::vector<std::pair<unsigned, double>> measured;
   bool all_valid = true;
   for (std::size_t i = 0; i < procs.size(); ++i) {
     host.add_events(points[i].events);
+    if (session.active()) {
+      session.collect(std::move(points[i].obs),
+                      "is p=" + std::to_string(procs[i]));
+    }
     all_valid = all_valid && points[i].ranks_valid;
     measured.emplace_back(procs[i], points[i].seconds);
   }
@@ -117,24 +128,35 @@ int main(int argc, char** argv) {
   std::vector<std::function<PrefetchPoint()>> ab_jobs;
   ab_jobs.reserve(ab_procs.size());
   for (unsigned p : ab_procs) {
-    ab_jobs.emplace_back([p, scale, cfg] {
+    ab_jobs.emplace_back([p, scale, cfg, &session] {
       PrefetchPoint pt;
       machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      pt.obs_pf = session.job();
+      pt.obs_pf.attach(m1);
       pt.with_pf = run_is(m1, cfg).seconds;
+      pt.obs_pf.finish();
       pt.events = m1.engine().events_dispatched();
       nas::IsConfig c2 = cfg;
       c2.use_prefetch = false;
       machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      pt.obs_nopf = session.job();
+      pt.obs_nopf.attach(m2);
       pt.without = run_is(m2, c2).seconds;
+      pt.obs_nopf.finish();
       pt.events += m2.engine().events_dispatched();
       return pt;
     });
   }
-  const std::vector<PrefetchPoint> ab = runner.run(ab_jobs);
+  std::vector<PrefetchPoint> ab = runner.run(ab_jobs);
 
   TextTable ft({"Processors", "prefetch (s)", "no prefetch (s)", "gain"});
   for (std::size_t i = 0; i < ab_procs.size(); ++i) {
     host.add_events(ab[i].events);
+    if (session.active()) {
+      const std::string p = std::to_string(ab_procs[i]);
+      session.collect(std::move(ab[i].obs_pf), "is-prefetch p=" + p);
+      session.collect(std::move(ab[i].obs_nopf), "is-noprefetch p=" + p);
+    }
     ft.add_row({std::to_string(ab_procs[i]), TextTable::num(ab[i].with_pf, 5),
                 TextTable::num(ab[i].without, 5),
                 TextTable::num((1.0 - ab[i].with_pf / ab[i].without) * 100.0,

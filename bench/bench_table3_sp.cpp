@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "table3_sp");
   print_header("Scalar Pentadiagonal application scalability",
                "Table 3, Section 3.3.3");
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<unsigned, double>> measured;
   for (unsigned p : procs) {
     machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+    ScopedObs obs(session, m, "sp p=" + std::to_string(p));
     const nas::SpResult r = run_sp(m, cfg);
     measured.emplace_back(p, r.seconds_per_iteration);
   }

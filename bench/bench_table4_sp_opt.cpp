@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using namespace ksr::bench;  // NOLINT
 
   const BenchOptions opt = BenchOptions::parse(argc, argv);
+  obs::Session session = make_obs_session(opt, "table4_sp_opt");
   print_header("Scalar Pentadiagonal optimization ladder (30 processors)",
                "Table 4, Section 3.3.3");
 
@@ -43,7 +44,11 @@ int main(int argc, char** argv) {
     cfg.use_prefetch = v.prefetch;
     cfg.use_poststore = v.poststore;
     machine::KsrMachine m(machine::MachineConfig::ksr1(nproc).scaled_by(scale));
-    const nas::SpResult r = run_sp(m, cfg);
+    nas::SpResult r;
+    {
+      ScopedObs obs(session, m, v.name);
+      r = run_sp(m, cfg);
+    }
     std::string delta = "-";
     if (prev > 0) {
       delta = TextTable::num((1.0 - r.seconds_per_iteration / prev) * 100.0, 1) +

@@ -57,10 +57,12 @@ int main(int argc, char** argv) {
               std::string(barrier->name()).c_str(), procs, episode_us);
   std::printf("%10s  %-10s %-16s %8s %6s %10s\n", "t (ns)", "category",
               "event", "subject", "actor", "detail");
-  for (const auto& e : tracer.events()) {
+  for (const auto& e : tracer) {
+    const std::string cat(tracer.category_name(e.cat));
+    const std::string ev(tracer.event_name(e.ev));
     std::printf("%10llu  %-10s %-16s %8llu %6llu %10lld\n",
-                static_cast<unsigned long long>(e.t), e.category.c_str(),
-                e.event.c_str(), static_cast<unsigned long long>(e.subject),
+                static_cast<unsigned long long>(e.t), cat.c_str(), ev.c_str(),
+                static_cast<unsigned long long>(e.subject),
                 static_cast<unsigned long long>(e.actor),
                 static_cast<long long>(e.detail));
   }

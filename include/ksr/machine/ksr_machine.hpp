@@ -49,6 +49,21 @@ class KsrMachine final : public CoherentMachine {
     if (ring1_) ring1_->set_tracer(tracer);
   }
 
+  [[nodiscard]] NetSnapshot net_snapshot() const override {
+    NetSnapshot s;
+    auto fold = [&s](const net::SlottedRing& r) {
+      const net::SlottedRing::Stats& st = r.stats();
+      s.in_flight += st.in_flight;
+      s.slots += r.slot_count();
+      s.packets += st.packets;
+      s.retries += st.retries;
+      s.inject_wait_ns += st.total_inject_wait_ns;
+    };
+    for (const auto& r : leaf_rings_) fold(*r);
+    if (ring1_) fold(*ring1_);
+    return s;
+  }
+
  protected:
   void transport(unsigned cell, mem::SubPageId sp, unsigned target_leaf,
                  std::function<void(sim::Duration)> done) override;

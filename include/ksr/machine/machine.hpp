@@ -36,6 +36,17 @@ struct Placement {
   }
 };
 
+/// Instantaneous interconnect counters for the metrics sampler (slot
+/// utilization, cumulative inject wait, retry rate). Machines without a
+/// modelled interconnect report all-zero.
+struct NetSnapshot {
+  std::uint64_t in_flight = 0;        // packets currently holding a slot
+  std::uint64_t slots = 0;            // total slots machine-wide
+  std::uint64_t packets = 0;          // cumulative injected packets
+  std::uint64_t retries = 0;          // cumulative failed slot grabs
+  sim::Duration inject_wait_ns = 0;   // cumulative slot-wait time
+};
+
 /// Everything measured during one run() call.
 struct RunResult {
   double seconds = 0.0;              // completion time of the slowest cell
@@ -81,6 +92,11 @@ class Machine {
   /// null test when no tracer is attached.
   virtual void attach_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Instantaneous interconnect counters (see NetSnapshot). Read-only and
+  /// side-effect free, so the obs::MetricsRegistry sampler may call it from
+  /// the engine's observer lane.
+  [[nodiscard]] virtual NetSnapshot net_snapshot() const { return {}; }
 
  protected:
   /// Construct the machine-specific Cpu for `cell`.

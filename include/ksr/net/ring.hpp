@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -72,6 +73,13 @@ class SlottedRing {
   }
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Total circulating slots across all sub-rings (denominator of the slot
+  /// utilization the metrics sampler reports).
+  [[nodiscard]] std::uint64_t slot_count() const noexcept {
+    const unsigned s = std::min(cfg_.slots_per_subring, cfg_.positions);
+    return static_cast<std::uint64_t>(s) * cfg_.subrings;
+  }
 
   struct Stats {
     std::uint64_t packets = 0;

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "ksr/obs/tracer.hpp"
+
+// Trace exporters.
+//
+// Chrome trace-event JSON (the format Perfetto and chrome://tracing load):
+// each simulation becomes a *process* track (pid = the order it was added,
+// i.e. SweepRunner submission order), each cell/actor a *thread* track, and
+// paired events (barrier-arrive/-depart, lock-acquire/-release) become
+// duration ('B'/'E') slices; everything else is an instant event. Timestamps
+// are simulated nanoseconds rendered as microseconds with integer math, so
+// the output is byte-stable across hosts and runs — the property the
+// exporter golden test pins down.
+namespace ksr::obs {
+
+/// Streaming multi-process writer: construct on an open stream, add_process()
+/// once per simulation *in submission order*, then finish() (or let the
+/// destructor do it). Processes stream out as they are added, so merged
+/// sweep traces never hold more than one job's records.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& os);
+  ~ChromeTraceWriter();
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  /// Emit every retained record of `t` as one process track named
+  /// `process_name`. Returns the pid assigned.
+  int add_process(const Tracer& t, std::string_view process_name);
+
+  /// Write the closing bracket. Idempotent.
+  void finish();
+
+ private:
+  void event_prefix();
+
+  std::ostream& os_;
+  int next_pid_ = 0;
+  bool any_event_ = false;
+  bool finished_ = false;
+};
+
+/// One-shot convenience: a complete JSON document for a single tracer.
+void write_chrome_trace(const Tracer& t, std::ostream& os,
+                        std::string_view process_name = "sim");
+
+}  // namespace ksr::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "ksr/cache/perf_monitor.hpp"
+#include "ksr/machine/machine.hpp"
+#include "ksr/sim/time.hpp"
+
+// Machine-wide metrics: the whole-machine view the paper's authors got from
+// the KSR-1's hardware performance monitor, plus interval time series.
+//
+// MetricsRegistry aggregates the per-cell PerfMonitor counters across every
+// cell and, when attached, samples them periodically *on the simulated
+// clock* through the engine's observer lane — so a 100 us sampling period
+// means one sample per 100 us of simulated time, bit-identical wall-clock
+// independent, and provably non-perturbing (observers never touch the main
+// event queue or events_dispatched()).
+namespace ksr::obs {
+
+/// One point of the interval time series.
+struct MetricsSample {
+  sim::Time t = 0;
+  cache::PerfMonitor pmon;        // cumulative, summed over all cells
+  machine::NetSnapshot net;       // cumulative + instantaneous ring state
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr sim::Duration kDefaultPeriodNs = 100'000;  // 100 us
+
+  /// Sum the per-cell performance monitors of `m` (the machine-wide view).
+  [[nodiscard]] static cache::PerfMonitor aggregate(machine::Machine& m);
+
+  /// Start sampling `m` every `period_ns` of simulated time. Call before
+  /// Machine::run(); the sampling chain ends with the run. A registry
+  /// observes exactly one machine.
+  void attach(machine::Machine& m, sim::Duration period_ns = kDefaultPeriodNs);
+
+  /// Take the final sample at the machine's current simulated time (the
+  /// observer lane drops samples past the last event, so the tail interval
+  /// is captured here). Call after Machine::run().
+  void finish();
+
+  [[nodiscard]] const std::vector<MetricsSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Interval time series as CSV: per-interval deltas of the interconnect
+  /// counters plus instantaneous slot utilization. `label`, when non-empty,
+  /// is prepended as a first "job" column (the SweepRunner merge format);
+  /// `header` controls whether the header row is emitted.
+  void write_csv(std::ostream& os, std::string_view label = {},
+                 bool header = true) const;
+
+ private:
+  void sample_now();
+  void arm();
+
+  machine::Machine* machine_ = nullptr;
+  sim::Duration period_ = kDefaultPeriodNs;
+  std::vector<MetricsSample> samples_;
+};
+
+}  // namespace ksr::obs

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ksr/machine/machine.hpp"
+#include "ksr/obs/export.hpp"
+#include "ksr/obs/metrics.hpp"
+#include "ksr/obs/tracer.hpp"
+
+// Observability wiring shared by the bench binaries and ksrsim.
+//
+// A Session owns the output files named by --trace-out / --metrics-csv and
+// hands out one JobObs per simulation. Jobs may run on SweepRunner pool
+// threads: JobObs is self-contained (its own Tracer + MetricsRegistry, no
+// shared state), travels through the job's result struct, and the caller
+// collect()s it on the main thread *in submission order* — so merged trace
+// and metrics files are byte-identical for any --jobs value, exactly like
+// the tables themselves. collect() streams the job out and frees its
+// buffer, so a long sweep never holds more than the in-flight jobs' traces.
+//
+// Everything a Session prints goes to files or stderr; stdout (the tables /
+// --csv output) stays byte-for-byte identical with observability on or off.
+namespace ksr::obs {
+
+struct SessionOptions {
+  bool trace = false;          // capture a trace (--trace)
+  std::string categories;      // comma-separated filter; empty = all
+  std::string trace_out;       // output path; empty = "<name>_trace.json"
+  std::string metrics_csv;     // metrics time-series path; empty = off
+  sim::Duration metrics_period_ns = MetricsRegistry::kDefaultPeriodNs;
+  // Per-job record capacity (40 B each). Overflow is counted, not silent.
+  std::size_t trace_capacity = 1u << 18;
+};
+
+/// Per-simulation observability handle. Default-constructed it is inert
+/// (attach()/finish() are no-ops), so result structs can always carry one.
+class JobObs {
+ public:
+  JobObs() = default;
+  JobObs(JobObs&&) noexcept = default;
+  JobObs& operator=(JobObs&&) noexcept = default;
+
+  /// Attach tracer + metrics sampler to `m`. Call right after constructing
+  /// the machine, before Machine::run().
+  void attach(machine::Machine& m) {
+    if (tracer_) m.attach_tracer(tracer_.get());
+    if (metrics_) metrics_->attach(m, period_);
+  }
+
+  /// Take the final metrics sample. Call after the last run(), while the
+  /// machine is still alive.
+  void finish() {
+    if (metrics_) metrics_->finish();
+  }
+
+  [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+
+ private:
+  friend class Session;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  sim::Duration period_ = MetricsRegistry::kDefaultPeriodNs;
+};
+
+class Session {
+ public:
+  /// `name` seeds the default trace filename ("<name>_trace.json").
+  Session(SessionOptions opt, std::string name);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] bool tracing() const noexcept { return opt_.trace; }
+  [[nodiscard]] bool metrics() const noexcept {
+    return !opt_.metrics_csv.empty();
+  }
+  [[nodiscard]] bool active() const noexcept { return tracing() || metrics(); }
+
+  /// Create the observability handle for one job. Thread-safe in the trivial
+  /// way: it mutates nothing in the Session. Returns an inert handle when
+  /// neither tracing nor metrics is requested.
+  [[nodiscard]] JobObs job() const;
+
+  /// Stream one finished job into the merged outputs. Must be called on the
+  /// submitting thread, in submission order (iterate SweepRunner results in
+  /// order, exactly as the tables do).
+  void collect(JobObs obs, const std::string& label);
+
+  /// Flush and close the outputs (idempotent; the destructor calls it).
+  void close();
+
+ private:
+  [[nodiscard]] bool trace_as_csv() const;
+  [[nodiscard]] std::string trace_path() const;
+
+  SessionOptions opt_;
+  std::string name_;
+  std::ofstream trace_os_;
+  std::ofstream metrics_os_;
+  std::unique_ptr<ChromeTraceWriter> writer_;  // JSON mode
+  bool trace_header_done_ = false;             // CSV mode
+  bool metrics_header_done_ = false;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t total_dropped_ = 0;
+  std::size_t jobs_collected_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ksr::obs

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ksr/sim/time.hpp"
+
+// Allocation-free structured event tracing.
+//
+// Components log (time, category, event, subject, actor, detail) tuples when
+// a Tracer is attached; with no tracer attached the hot paths pay one
+// null-pointer test. The attached path is just as cheap: categories and
+// events are interned to small integer ids at attach/startup time, a record
+// is a fixed 40-byte POD written into a buffer preallocated up front, and a
+// per-category enable mask turns a disabled category into a single branch.
+// Tracer::log never allocates, so attaching a tracer cannot perturb host
+// behaviour mid-run (and, by construction, it never touches simulated state
+// at all — see docs/OBSERVABILITY.md for the non-perturbation contract).
+//
+// Capacity is bounded (never OOM a long run), but truncation is *accounted*:
+// records past the capacity bump dropped() instead of vanishing silently,
+// and every CSV dump ends with a "# events=N dropped=M" footer so a partial
+// trace is distinguishable from a complete one.
+namespace ksr::obs {
+
+/// Builtin trace categories. The value is both the index into the interned
+/// name table and the bit position in the tracer's category enable mask.
+enum : std::uint16_t {
+  kCatRing = 0,       // slotted-ring slot traffic
+  kCatCoherence = 1,  // directory transitions: grants, invalidates, snarfs
+  kCatSync = 2,       // lock / barrier episodes
+  kCatStall = 3,      // per-cpu stall attribution (inject waits, backoffs)
+  kBuiltinCategories = 4,
+};
+
+/// Builtin event ids (shared across categories; the (cat, ev) pair is the
+/// full event identity). Runtime-interned names continue after these.
+enum : std::uint16_t {
+  // ring
+  kEvInject = 0,
+  kEvDeliver,
+  // coherence
+  kEvInvalidate,
+  kEvNack,
+  kEvGrantShared,
+  kEvGrantExclusive,
+  kEvGrantAtomic,
+  kEvPoststore,
+  kEvSnarf,
+  // sync
+  kEvBarrierArrive,
+  kEvBarrierDepart,
+  kEvLockAcquire,
+  kEvLockAcquired,
+  kEvLockRelease,
+  // stall
+  kEvInjectWait,
+  kEvNackBackoff,
+  kEvRemoteAcquire,
+  kBuiltinEvents,
+};
+
+class Tracer {
+ public:
+  /// One logged event: 40 bytes, trivially copyable, no indirection.
+  struct Record {
+    sim::Time t = 0;
+    std::uint64_t subject = 0;  // sub-page id, slot id, episode, ...
+    std::uint64_t actor = 0;    // cell id, ring position, ...
+    std::int64_t detail = 0;    // wait ns, holder mask, duration ns, ...
+    std::uint16_t cat = 0;
+    std::uint16_t ev = 0;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(Record) == 40);
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Hot path: one mask test, one bounds test, one 40-byte store. Never
+  /// allocates; over-capacity records are counted in dropped().
+  void log(sim::Time t, std::uint16_t cat, std::uint16_t ev,
+           std::uint64_t subject, std::uint64_t actor,
+           std::int64_t detail = 0) noexcept {
+    if (((mask_ >> mask_bit(cat)) & 1u) == 0) return;
+    if (size_ == cap_) {
+      ++dropped_;
+      return;
+    }
+    records_[size_++] = Record{t, subject, actor, detail, cat, ev, 0};
+  }
+
+  /// Name-based convenience overload (string lookup per call — for cold
+  /// paths and tests; unknown names are interned on first use).
+  void log(sim::Time t, std::string_view category, std::string_view event,
+           std::uint64_t subject, std::uint64_t actor,
+           std::int64_t detail = 0);
+
+  [[nodiscard]] const Record* begin() const noexcept { return records_.get(); }
+  [[nodiscard]] const Record* end() const noexcept {
+    return records_.get() + size_;
+  }
+  [[nodiscard]] const Record& operator[](std::size_t i) const noexcept {
+    return records_[i];
+  }
+
+  /// Records retained in the buffer.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Records rejected because the buffer was full (the truncation that used
+  /// to be silent).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Every log() call that passed the category mask: size() + dropped().
+  [[nodiscard]] std::uint64_t total_logged() const noexcept {
+    return size_ + dropped_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  void clear() noexcept {
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Resize the preallocated buffer (existing records are discarded — call
+  /// before the run). The allocation happens here, never in log().
+  void set_capacity(std::size_t cap);
+
+  // --- Category filtering ---
+
+  /// Enable exactly the categories named in a comma-separated list (e.g.
+  /// "ring,sync"); empty enables everything. Unknown names are interned so a
+  /// filter can be installed before any custom category is first logged.
+  void set_enabled_categories(std::string_view csv);
+  void enable_all_categories() noexcept { mask_ = ~0ull; }
+  [[nodiscard]] bool category_enabled(std::uint16_t cat) const noexcept {
+    return ((mask_ >> mask_bit(cat)) & 1u) != 0;
+  }
+
+  // --- Interning ---
+
+  /// Resolve (interning on first use) a category / event name to its id.
+  /// Intended for setup time, not per-record.
+  [[nodiscard]] std::uint16_t intern_category(std::string_view name);
+  [[nodiscard]] std::uint16_t intern_event(std::string_view name);
+
+  [[nodiscard]] std::string_view category_name(std::uint16_t cat) const;
+  [[nodiscard]] std::string_view event_name(std::uint16_t ev) const;
+
+  /// Count retained events matching a category (and optionally an event
+  /// name). Names unknown to this tracer count zero.
+  [[nodiscard]] std::size_t count(std::string_view category,
+                                  std::string_view event = {}) const;
+
+  /// CSV dump: the classic header/rows plus a trailing
+  /// "# events=N dropped=M" footer so truncation is always visible.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] static constexpr unsigned mask_bit(std::uint16_t cat) noexcept {
+    return cat < 64 ? cat : 63u;
+  }
+  [[nodiscard]] static std::uint16_t find_or_add(std::vector<std::string>& v,
+                                                 std::string_view name);
+
+  std::unique_ptr<Record[]> records_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t mask_ = ~0ull;  // all categories enabled by default
+  std::vector<std::string> cat_names_;
+  std::vector<std::string> ev_names_;
+};
+
+}  // namespace ksr::obs

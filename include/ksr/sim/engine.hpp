@@ -59,6 +59,20 @@ class Engine {
   /// Schedule `fn` after duration `d`.
   void in(Duration d, InlineFn fn) { at(now_ + d, std::move(fn)); }
 
+  /// Schedule a host-side *observer* callback at simulated time `t`. The
+  /// observer lane is a second queue drained just before the main event at
+  /// or after `t` dispatches: observers never count toward
+  /// events_dispatched(), never perturb the main queue's (time, seq) order,
+  /// and must not mutate simulated state — they exist so instrumentation
+  /// (e.g. obs::MetricsRegistry sampling on the simulated clock) is
+  /// non-perturbing by construction. Observers still pending when the main
+  /// queue drains are dropped without running (take a final sample
+  /// explicitly instead of relying on one).
+  void observe_at(Time t, InlineFn fn);
+
+  /// observe_at(now() + d, fn).
+  void observe_in(Duration d, InlineFn fn) { observe_at(now_ + d, std::move(fn)); }
+
   /// Create a fiber that starts running at time `start`.
   FiberId spawn(std::function<void()> body, Time start = 0,
                 std::size_t stack_bytes = kDefaultStackBytes);
@@ -152,7 +166,11 @@ class Engine {
     return pool_[s / kPoolChunk][s % kPoolChunk];
   }
 
+  std::uint32_t claim_slot(InlineFn fn);
+  void drain_observers(Time horizon);
+
   EventQueue<Event, EventEarlier, 4> events_;
+  EventQueue<Event, EventEarlier, 4> observers_;  // see observe_at()
   std::vector<std::unique_ptr<InlineFn[]>> pool_;  // chunked callback slots
   std::vector<std::uint32_t> free_slots_;          // recycled pool slots
   std::uint32_t pool_used_ = 0;                    // slots ever allocated

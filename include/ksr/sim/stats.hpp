@@ -54,9 +54,12 @@ class Samples {
     return sum / static_cast<double>(xs_.size());
   }
 
-  /// Quantile in [0,1] with linear interpolation on a sorted copy.
+  /// Quantile with linear interpolation on a sorted copy. `q` is clamped to
+  /// [0,1]: a negative q would otherwise cast a negative position to
+  /// std::size_t (UB), and q > 1 would interpolate past the maximum.
   [[nodiscard]] double quantile(double q) const {
     if (xs_.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
     std::vector<double> sorted = xs_;
     std::sort(sorted.begin(), sorted.end());
     const double pos = q * static_cast<double>(sorted.size() - 1);

@@ -1,71 +1,12 @@
 #pragma once
 
-#include <cstdint>
-#include <iostream>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "ksr/obs/tracer.hpp"
 
-#include "ksr/sim/time.hpp"
-
-// Structured event tracing.
-//
-// Components log (time, category, event, subject, actor, detail) tuples
-// when a Tracer is attached; with no tracer attached the hot paths pay one
-// null-pointer test. Traces dump as CSV for offline inspection — the
-// equivalent of putting a logic analyser on the ring, which is how one
-// audits e.g. a barrier episode's exact coherence traffic.
+// Compatibility shim: structured tracing moved into the observability layer
+// (ksr/obs/tracer.hpp) when it grew interned ids, drop accounting, category
+// masks and exporters. Machine-facing code keeps saying sim::Tracer.
 namespace ksr::sim {
 
-class Tracer {
- public:
-  struct Event {
-    Time t = 0;
-    std::string category;  // "ring", "coherence", "atomic", ...
-    std::string event;     // "inject", "deliver", "invalidate", ...
-    std::uint64_t subject = 0;  // sub-page id, slot id, ...
-    std::uint64_t actor = 0;    // cell id, position, ...
-    std::int64_t detail = 0;    // wait ns, holder mask, ...
-  };
-
-  void log(Time t, std::string_view category, std::string_view event,
-           std::uint64_t subject, std::uint64_t actor,
-           std::int64_t detail = 0) {
-    if (events_.size() >= cap_) return;  // bounded: never OOM a long run
-    events_.push_back(Event{t, std::string(category), std::string(event),
-                            subject, actor, detail});
-  }
-
-  [[nodiscard]] const std::vector<Event>& events() const noexcept {
-    return events_;
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
-  void clear() noexcept { events_.clear(); }
-
-  /// Maximum retained events (default 1M); further logs are dropped.
-  void set_capacity(std::size_t cap) noexcept { cap_ = cap; }
-
-  /// Count events matching a category (and optionally an event name).
-  [[nodiscard]] std::size_t count(std::string_view category,
-                                  std::string_view event = {}) const {
-    std::size_t n = 0;
-    for (const auto& e : events_) {
-      if (e.category == category && (event.empty() || e.event == event)) ++n;
-    }
-    return n;
-  }
-
-  void write_csv(std::ostream& os) const {
-    os << "time_ns,category,event,subject,actor,detail\n";
-    for (const auto& e : events_) {
-      os << e.t << ',' << e.category << ',' << e.event << ',' << e.subject
-         << ',' << e.actor << ',' << e.detail << '\n';
-    }
-  }
-
- private:
-  std::vector<Event> events_;
-  std::size_t cap_ = 1'000'000;
-};
+using Tracer = obs::Tracer;
 
 }  // namespace ksr::sim

@@ -88,31 +88,80 @@ class TextTable {
 /// `--quick`/`--full` pick a scale, and `--jobs N` shards the sweep over N
 /// host threads (0 = one per hardware core; results are bit-identical for
 /// any value — see ksr/host/sweep_runner.hpp).
+///
+/// Observability (see docs/OBSERVABILITY.md): `--trace[=cat,...]` captures a
+/// structured event trace, `--trace-out FILE` picks its output (.json =
+/// Chrome/Perfetto trace events, .csv = merged CSV; default
+/// <bench>_trace.json), `--metrics-csv FILE` writes the sampled machine-wide
+/// metrics time series. None of these change simulated timing or the
+/// events_dispatched fingerprints — enforced by test and bench_host.sh.
+///
+/// Unrecognized arguments warn on stderr (fail-soft: a typo like `--job=4`
+/// must not silently run with defaults).
 struct BenchOptions {
   bool csv = false;
-  bool quick = false;  // reduced sizes for smoke runs
-  bool full = false;   // paper-like sizes (slow)
-  unsigned jobs = 0;   // host shards; 0 = hardware concurrency
+  bool quick = false;       // reduced sizes for smoke runs
+  bool full = false;        // paper-like sizes (slow)
+  unsigned jobs = 0;        // host shards; 0 = hardware concurrency
+  bool trace = false;       // capture a structured event trace
+  std::string trace_cats;   // category filter; empty = all
+  std::string trace_out;    // trace output path; empty = default
+  std::string metrics_csv;  // metrics time-series path; empty = off
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
+    auto parse_jobs = [&o](const char* s) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || errno == ERANGE ||
+          v > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "warning: ignoring invalid --jobs value '" << s
+                  << "' (expected a non-negative integer)\n";
+      } else {
+        o.jobs = static_cast<unsigned>(v);
+      }
+    };
+    // "--flag=VALUE" match; returns the value through `out`.
+    auto eq_value = [](const std::string& a, const std::string& flag,
+                       std::string* out) {
+      if (a.size() <= flag.size() + 1 || a.compare(0, flag.size(), flag) != 0 ||
+          a[flag.size()] != '=') {
+        return false;
+      }
+      *out = a.substr(flag.size() + 1);
+      return true;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      if (a == "--csv") o.csv = true;
-      if (a == "--quick") o.quick = true;
-      if (a == "--full") o.full = true;
-      if (a == "--jobs" && i + 1 < argc) {
-        const char* s = argv[++i];
-        char* end = nullptr;
-        errno = 0;
-        const unsigned long v = std::strtoul(s, &end, 10);
-        if (end == s || *end != '\0' || errno == ERANGE ||
-            v > std::numeric_limits<unsigned>::max()) {
-          std::cerr << "warning: ignoring invalid --jobs value '" << s
-                    << "' (expected a non-negative integer)\n";
-        } else {
-          o.jobs = static_cast<unsigned>(v);
-        }
+      std::string v;
+      if (a == "--csv") {
+        o.csv = true;
+      } else if (a == "--quick") {
+        o.quick = true;
+      } else if (a == "--full") {
+        o.full = true;
+      } else if (a == "--jobs" && i + 1 < argc) {
+        parse_jobs(argv[++i]);
+      } else if (eq_value(a, "--jobs", &v)) {
+        parse_jobs(v.c_str());
+      } else if (a == "--trace") {
+        o.trace = true;
+      } else if (eq_value(a, "--trace", &v)) {
+        o.trace = true;
+        o.trace_cats = v;
+      } else if (a == "--trace-out" && i + 1 < argc) {
+        o.trace = true;
+        o.trace_out = argv[++i];
+      } else if (eq_value(a, "--trace-out", &v)) {
+        o.trace = true;
+        o.trace_out = v;
+      } else if (a == "--metrics-csv" && i + 1 < argc) {
+        o.metrics_csv = argv[++i];
+      } else if (eq_value(a, "--metrics-csv", &v)) {
+        o.metrics_csv = v;
+      } else {
+        std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
       }
     }
     return o;

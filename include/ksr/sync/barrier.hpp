@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -67,13 +68,36 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  /// Block until every cell of the machine has arrived.
-  virtual void arrive(machine::Cpu& cpu) = 0;
+  /// Block until every cell of the machine has arrived. When a tracer is
+  /// attached to the cpu's machine, the episode is bracketed with
+  /// sync/barrier-arrive + barrier-depart events (subject = this cpu's
+  /// episode number, detail of the depart = episode duration in ns); with no
+  /// tracer attached this is one null test around do_arrive().
+  void arrive(machine::Cpu& cpu) {
+    obs::Tracer* tr = cpu.machine().tracer();
+    if (tr == nullptr) {
+      do_arrive(cpu);
+      return;
+    }
+    const std::uint32_t episode = ++episode_[cpu.id()];
+    const sim::Time t0 = cpu.now();
+    tr->log(t0, obs::kCatSync, obs::kEvBarrierArrive, episode, cpu.id());
+    do_arrive(cpu);
+    tr->log(cpu.now(), obs::kCatSync, obs::kEvBarrierDepart, episode, cpu.id(),
+            static_cast<std::int64_t>(cpu.now() - t0));
+  }
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
  protected:
-  Barrier() = default;
+  explicit Barrier(unsigned nproc) : episode_(nproc, 0) {}
+
+  /// The barrier algorithm itself (timestamps come from the cpu's local
+  /// clock, so the logged episode bounds are exactly what the paper times).
+  virtual void do_arrive(machine::Cpu& cpu) = 0;
+
+ private:
+  std::vector<std::uint32_t> episode_;  // per-cpu trace episode counters
 };
 
 /// Build a barrier of `kind` for all nproc cells of `m`. `use_poststore`

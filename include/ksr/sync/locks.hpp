@@ -17,8 +17,24 @@ class HardwareLock {
   explicit HardwareLock(machine::Machine& m, std::string_view name = "hwlock")
       : word_(m, name, 1) {}
 
-  void acquire(machine::Cpu& cpu) { cpu.get_subpage(word_.addr(0)); }
-  void release(machine::Cpu& cpu) { cpu.release_subpage(word_.addr(0)); }
+  void acquire(machine::Cpu& cpu) {
+    obs::Tracer* tr = cpu.machine().tracer();
+    if (tr == nullptr) {
+      cpu.get_subpage(word_.addr(0));
+      return;
+    }
+    const sim::Time t0 = cpu.now();
+    tr->log(t0, obs::kCatSync, obs::kEvLockAcquire, 0, cpu.id());
+    cpu.get_subpage(word_.addr(0));
+    tr->log(cpu.now(), obs::kCatSync, obs::kEvLockAcquired, 0, cpu.id(),
+            static_cast<std::int64_t>(cpu.now() - t0));
+  }
+  void release(machine::Cpu& cpu) {
+    cpu.release_subpage(word_.addr(0));
+    if (obs::Tracer* tr = cpu.machine().tracer()) {
+      tr->log(cpu.now(), obs::kCatSync, obs::kEvLockRelease, 0, cpu.id());
+    }
+  }
 
  private:
   Padded<std::uint32_t> word_;
@@ -34,12 +50,16 @@ class TicketRwLock {
   explicit TicketRwLock(machine::Machine& m, std::string_view name = "rwlock",
                         bool use_poststore = true);
 
+  // Tracing: acquisitions log sync/lock-acquire + lock-acquired, releases
+  // lock-release (subject: 1 = read side, 0 = write side).
   void acquire_read(machine::Cpu& cpu);
   void release_read(machine::Cpu& cpu);
   void acquire_write(machine::Cpu& cpu);
   void release_write(machine::Cpu& cpu);
 
  private:
+  void do_acquire_read(machine::Cpu& cpu);
+  void do_acquire_write(machine::Cpu& cpu);
   // All metadata fields live on ONE sub-page guarded by get_subpage; the
   // public serving counter spins on its own sub-page.
   enum Field : std::size_t {

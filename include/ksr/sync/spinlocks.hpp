@@ -55,12 +55,36 @@ class SpinLock {
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  virtual void acquire(machine::Cpu& cpu) = 0;
-  virtual void release(machine::Cpu& cpu) = 0;
+  /// With a tracer attached, acquisition is bracketed with sync/lock-acquire
+  /// (start of the attempt) and lock-acquired (lock held; detail = wait ns);
+  /// release logs lock-release. Without one, a single null test each.
+  void acquire(machine::Cpu& cpu) {
+    obs::Tracer* tr = cpu.machine().tracer();
+    if (tr == nullptr) {
+      do_acquire(cpu);
+      return;
+    }
+    const sim::Time t0 = cpu.now();
+    tr->log(t0, obs::kCatSync, obs::kEvLockAcquire, 0, cpu.id());
+    do_acquire(cpu);
+    tr->log(cpu.now(), obs::kCatSync, obs::kEvLockAcquired, 0, cpu.id(),
+            static_cast<std::int64_t>(cpu.now() - t0));
+  }
+
+  void release(machine::Cpu& cpu) {
+    do_release(cpu);
+    if (obs::Tracer* tr = cpu.machine().tracer()) {
+      tr->log(cpu.now(), obs::kCatSync, obs::kEvLockRelease, 0, cpu.id());
+    }
+  }
+
   [[nodiscard]] virtual std::string_view name() const = 0;
 
  protected:
   SpinLock() = default;
+
+  virtual void do_acquire(machine::Cpu& cpu) = 0;
+  virtual void do_release(machine::Cpu& cpu) = 0;
 };
 
 /// Build a spin lock of `kind` sized for all cells of `m`.

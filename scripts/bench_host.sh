@@ -111,11 +111,44 @@ if [ "$CHECK" = 1 ]; then
          "--jobs 1 and --jobs 4" >&2
     exit 1
   fi
+  # Observability non-perturbation: tracing + metrics on must change neither
+  # the event fingerprint nor a byte of the CSV stream, and the merged trace
+  # must be a loadable Chrome trace-event document.
+  run_paper bench_fig4_barriers_ksr1 fig4_traced \
+    --trace "--trace-out=$TMP/fig4_trace.json" \
+    "--metrics-csv=$TMP/fig4_metrics.csv"
+  fpt=$(fingerprint fig4_traced)
+  if [ -z "$fpt" ] || [ "$fp1" != "$fpt" ]; then
+    echo "bench_host.sh --check FAILED: events_dispatched changes when" \
+         "tracing is on ($fp1 vs $fpt)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/fig4.csv" "$TMP/fig4_traced.csv"; then
+    echo "bench_host.sh --check FAILED: --csv output changes when tracing" \
+         "is on" >&2
+    exit 1
+  fi
+  if ! python3 -c "
+import json, sys
+d = json.load(open('$TMP/fig4_trace.json'))
+assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
+"; then
+    echo "bench_host.sh --check FAILED: fig4 trace JSON is not loadable" >&2
+    exit 1
+  fi
+  if [ ! -s "$TMP/fig4_metrics.csv" ]; then
+    echo "bench_host.sh --check FAILED: fig4 metrics CSV is empty" >&2
+    exit 1
+  fi
+  # Host-performance gate: the simulator's hot loops must not have slowed
+  # past tolerance relative to the committed BENCH_host.json baseline.
+  python3 scripts/perf_gate.py --gbench "$TMP/gbench.json"
   python3 bench/report.py --gbench "$TMP/gbench.json" \
     --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
     --mode quick --out "$TMP/BENCH_host.json"
   echo "bench_host.sh --check OK (fingerprint $fp1 reproducible," \
-       "jobs-1/jobs-4 fingerprint $fpj1 identical)"
+       "jobs-1/jobs-4 fingerprint $fpj1 identical, traced fingerprint" \
+       "$fpt identical)"
   exit 0
 fi
 

@@ -204,6 +204,12 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
     const sim::Duration wait = transport_round_trip(sp, target_leaf);
     ++c.pmon.ring_requests;
     c.pmon.inject_wait_ns += wait;
+    if (cm_.tracer() != nullptr && wait != 0) {
+      // Stall attribution: this cpu lost `wait` ns to slot contention.
+      cm_.tracer()->log(machine_.engine().now(), obs::kCatStall,
+                        obs::kEvInjectWait, sp, id_,
+                        static_cast<std::int64_t>(wait));
+    }
 
     CoherentMachine::CommitResult res{};
     switch (kind) {
@@ -222,6 +228,12 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
       tick_ns(cm_.transaction_overhead_ns(kind, crossed));
       if (res.page_alloc) tick_ns(cfg().page_alloc_ns);
       c.pmon.ring_time_ns += local_now_ - t0;
+      if (cm_.tracer() != nullptr) {
+        // Stall attribution: total time this cpu spent in the transaction.
+        cm_.tracer()->log(machine_.engine().now(), obs::kCatStall,
+                          obs::kEvRemoteAcquire, sp, id_,
+                          static_cast<std::int64_t>(local_now_ - t0));
+      }
       return;
     }
 
@@ -233,7 +245,13 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
     consecutive_nacks = std::min(consecutive_nacks + 1, 6u);
     const sim::Duration base = cfg().atomic_backoff_ns
                                << (consecutive_nacks - 1);
-    tick_ns(base + cell().rng.below(base));
+    const sim::Duration nap = base + cell().rng.below(base);
+    if (cm_.tracer() != nullptr) {
+      cm_.tracer()->log(machine_.engine().now(), obs::kCatStall,
+                        obs::kEvNackBackoff, sp, id_,
+                        static_cast<std::int64_t>(nap));
+    }
+    tick_ns(nap);
   }
 }
 
@@ -485,7 +503,8 @@ void CoherentMachine::invalidate_at(unsigned cell, mem::SubPageId sp) {
   c.sub.invalidate_subpage(sp);
   ++c.pmon.invalidations_received;
   if (tracer_ != nullptr) {
-    tracer_->log(engine_.now(), "coherence", "invalidate", sp, cell);
+    tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvInvalidate, sp,
+                 cell);
   }
 }
 
@@ -494,13 +513,13 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
   DirEntry& e = dir_[sp];
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
     if (tracer_ != nullptr) {
-      tracer_->log(engine_.now(), "coherence", "nack", sp, cell);
+      tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
     return {false, false};
   }
   if (tracer_ != nullptr) {
-    tracer_->log(engine_.now(), "coherence", "grant-shared", sp, cell,
-                 static_cast<std::int64_t>(e.holders));
+    tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvGrantShared, sp,
+                 cell, static_cast<std::int64_t>(e.holders));
   }
   // Downgrade a previous exclusive owner.
   if (e.owner >= 0 && e.owner != static_cast<std::int16_t>(cell)) {
@@ -519,6 +538,9 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
       ph &= ph - 1;
       cells_[b].local.set_state(sp, cache::LineState::kShared);
       ++cells_[b].pmon.snarfs;
+      if (tracer_ != nullptr) {
+        tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvSnarf, sp, b);
+      }
       e.holders |= bit(b);
     }
     e.placeholders &= bit(cell);
@@ -542,14 +564,14 @@ CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
   DirEntry& e = dir_[sp];
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
     if (tracer_ != nullptr) {
-      tracer_->log(engine_.now(), "coherence", "nack", sp, cell);
+      tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
     return {false, false};
   }
   if (tracer_ != nullptr) {
-    tracer_->log(engine_.now(), "coherence",
-                 atomic ? "grant-atomic" : "grant-exclusive", sp, cell,
-                 static_cast<std::int64_t>(e.holders));
+    tracer_->log(engine_.now(), obs::kCatCoherence,
+                 atomic ? obs::kEvGrantAtomic : obs::kEvGrantExclusive, sp,
+                 cell, static_cast<std::int64_t>(e.holders));
   }
   std::uint64_t others = e.holders & ~bit(cell);
   while (others != 0) {
@@ -573,8 +595,8 @@ void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
   DirEntry& e = dir_[sp];
   std::uint64_t ph = e.placeholders & ~bit(cell);
   if (tracer_ != nullptr) {
-    tracer_->log(engine_.now(), "coherence", "poststore", sp, cell,
-                 static_cast<std::int64_t>(ph));
+    tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvPoststore, sp,
+                 cell, static_cast<std::int64_t>(ph));
   }
   if (ph == 0) return;  // pure bandwidth waste: nobody was listening
   while (ph != 0) {
@@ -582,6 +604,9 @@ void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
     ph &= ph - 1;
     cells_[b].local.set_state(sp, cache::LineState::kShared);
     ++cells_[b].pmon.snarfs;
+    if (tracer_ != nullptr) {
+      tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvSnarf, sp, b);
+    }
     e.holders |= bit(b);
   }
   e.placeholders &= bit(cell);

@@ -79,7 +79,7 @@ void SlottedRing::try_head(unsigned subring, unsigned pos) {
     ++stats_.in_flight;
     stats_.max_in_flight = std::max(stats_.max_in_flight, stats_.in_flight);
     if (tracer_ != nullptr) {
-      tracer_->log(engine_.now(), "ring", "inject",
+      tracer_->log(engine_.now(), obs::kCatRing, obs::kEvInject,
                    static_cast<std::uint64_t>(slot), pos,
                    static_cast<std::int64_t>(wait));
     }
@@ -89,7 +89,7 @@ void SlottedRing::try_head(unsigned subring, unsigned pos) {
                  subrings_[subring].occupied[static_cast<std::size_t>(slot)] = 0;
                  --stats_.in_flight;
                  if (tracer_ != nullptr) {
-                   tracer_->log(engine_.now(), "ring", "deliver",
+                   tracer_->log(engine_.now(), obs::kCatRing, obs::kEvDeliver,
                                 static_cast<std::uint64_t>(slot), pos);
                  }
                  done(wait);

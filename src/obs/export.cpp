@@ -1,0 +1,107 @@
+#include "ksr/obs/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace ksr::obs {
+
+namespace {
+
+struct PhaseInfo {
+  char ph;                 // 'B', 'E' or 'i'
+  std::string_view name;   // slice name for paired events; empty = event name
+};
+
+[[nodiscard]] PhaseInfo phase_of(std::uint16_t ev) noexcept {
+  switch (ev) {
+    case kEvBarrierArrive: return {'B', "barrier"};
+    case kEvBarrierDepart: return {'E', "barrier"};
+    case kEvLockAcquire: return {'B', "lock"};
+    case kEvLockRelease: return {'E', "lock"};
+    default: return {'i', {}};
+  }
+}
+
+[[nodiscard]] std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Nanoseconds as microseconds with three decimals, integer math only (the
+/// exporter's byte-stability depends on never touching floating point).
+[[nodiscard]] std::string ts_us(sim::Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(t / 1000),
+                static_cast<unsigned long long>(t % 1000));
+  return std::string(buf);
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::event_prefix() {
+  os_ << (any_event_ ? ",\n" : "\n");
+  any_event_ = true;
+}
+
+int ChromeTraceWriter::add_process(const Tracer& t,
+                                   std::string_view process_name) {
+  const int pid = next_pid_++;
+  event_prefix();
+  os_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"" << escaped(process_name) << "\"}}";
+  event_prefix();
+  os_ << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+
+  std::set<std::uint64_t> tids;
+  for (const Tracer::Record& r : t) {
+    if (tids.insert(r.actor).second) {
+      event_prefix();
+      os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+          << ",\"tid\":" << r.actor << ",\"args\":{\"name\":\"cell " << r.actor
+          << "\"}}";
+    }
+    const PhaseInfo p = phase_of(r.ev);
+    const std::string_view name = p.name.empty() ? t.event_name(r.ev) : p.name;
+    event_prefix();
+    os_ << "{\"ph\":\"" << p.ph << "\",\"name\":\"" << escaped(name)
+        << "\",\"cat\":\"" << escaped(t.category_name(r.cat))
+        << "\",\"ts\":" << ts_us(r.t) << ",\"pid\":" << pid
+        << ",\"tid\":" << r.actor;
+    if (p.ph == 'i') os_ << ",\"s\":\"t\"";
+    if (p.ph != 'E') {
+      os_ << ",\"args\":{\"subject\":" << r.subject
+          << ",\"detail\":" << r.detail << "}";
+    }
+    os_ << "}";
+  }
+  return pid;
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void write_chrome_trace(const Tracer& t, std::ostream& os,
+                        std::string_view process_name) {
+  ChromeTraceWriter w(os);
+  w.add_process(t, process_name);
+  w.finish();
+}
+
+}  // namespace ksr::obs

@@ -1,0 +1,76 @@
+#include "ksr/obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace ksr::obs {
+
+cache::PerfMonitor MetricsRegistry::aggregate(machine::Machine& m) {
+  cache::PerfMonitor total;
+  for (unsigned c = 0; c < m.nproc(); ++c) total.add(m.cell_pmon(c));
+  return total;
+}
+
+void MetricsRegistry::sample_now() {
+  MetricsSample s;
+  s.t = machine_->engine().now();
+  s.pmon = aggregate(*machine_);
+  s.net = machine_->net_snapshot();
+  samples_.push_back(s);
+}
+
+void MetricsRegistry::arm() {
+  machine_->engine().observe_in(period_, [this] {
+    sample_now();
+    arm();
+  });
+}
+
+void MetricsRegistry::attach(machine::Machine& m, sim::Duration period_ns) {
+  machine_ = &m;
+  period_ = period_ns ? period_ns : kDefaultPeriodNs;
+  arm();
+}
+
+void MetricsRegistry::finish() {
+  if (machine_ == nullptr) return;
+  if (samples_.empty() || samples_.back().t != machine_->engine().now()) {
+    sample_now();
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& os, std::string_view label,
+                                bool header) const {
+  if (header) {
+    if (!label.empty()) os << "job,";
+    os << "time_ns,slot_util,d_ring_requests,d_ring_nacks,nack_rate,"
+          "d_inject_wait_ns,wait_per_req_ns,d_localcache_misses,"
+          "d_invalidations,d_snarfs\n";
+  }
+  cache::PerfMonitor prev_pmon;
+  machine::NetSnapshot prev_net;
+  char buf[64];
+  auto ratio = [&buf](std::uint64_t num, std::uint64_t den) {
+    std::snprintf(buf, sizeof buf, "%.6f",
+                  den ? static_cast<double>(num) / static_cast<double>(den)
+                      : 0.0);
+    return std::string(buf);
+  };
+  for (const MetricsSample& s : samples_) {
+    const std::uint64_t d_req = s.pmon.ring_requests - prev_pmon.ring_requests;
+    const std::uint64_t d_nack = s.pmon.ring_nacks - prev_pmon.ring_nacks;
+    const sim::Duration d_wait = s.net.inject_wait_ns - prev_net.inject_wait_ns;
+    if (!label.empty()) os << label << ',';
+    os << s.t << ',' << ratio(s.net.in_flight, s.net.slots) << ',' << d_req
+       << ',' << d_nack << ',' << ratio(d_nack, d_req) << ',' << d_wait << ','
+       << ratio(d_wait, d_req) << ','
+       << s.pmon.localcache_misses - prev_pmon.localcache_misses << ','
+       << s.pmon.invalidations_received - prev_pmon.invalidations_received
+       << ',' << s.pmon.snarfs - prev_pmon.snarfs << '\n';
+    prev_pmon = s.pmon;
+    prev_net = s.net;
+  }
+}
+
+}  // namespace ksr::obs

@@ -1,0 +1,101 @@
+#include "ksr/obs/session.hpp"
+
+#include <iostream>
+#include <utility>
+
+namespace ksr::obs {
+
+Session::Session(SessionOptions opt, std::string name)
+    : opt_(std::move(opt)), name_(std::move(name)) {}
+
+Session::~Session() { close(); }
+
+bool Session::trace_as_csv() const {
+  const std::string p = trace_path();
+  return p.size() >= 4 && p.compare(p.size() - 4, 4, ".csv") == 0;
+}
+
+std::string Session::trace_path() const {
+  return opt_.trace_out.empty() ? name_ + "_trace.json" : opt_.trace_out;
+}
+
+JobObs Session::job() const {
+  JobObs o;
+  if (tracing()) {
+    o.tracer_ = std::make_unique<Tracer>(opt_.trace_capacity);
+    o.tracer_->set_enabled_categories(opt_.categories);
+  }
+  if (metrics()) {
+    o.metrics_ = std::make_unique<MetricsRegistry>();
+    o.period_ = opt_.metrics_period_ns;
+  }
+  return o;
+}
+
+void Session::collect(JobObs obs, const std::string& label) {
+  ++jobs_collected_;
+  if (obs.tracer_) {
+    const Tracer& t = *obs.tracer_;
+    total_events_ += t.size();
+    total_dropped_ += t.dropped();
+    if (!trace_os_.is_open()) {
+      trace_os_.open(trace_path(), std::ios::out | std::ios::trunc);
+      if (!trace_os_) {
+        std::cerr << "[obs] warning: cannot open trace output '"
+                  << trace_path() << "'\n";
+      }
+    }
+    if (trace_os_) {
+      if (trace_as_csv()) {
+        if (!trace_header_done_) {
+          trace_os_ << "job,time_ns,category,event,subject,actor,detail\n";
+          trace_header_done_ = true;
+        }
+        for (const Tracer::Record& r : t) {
+          trace_os_ << label << ',' << r.t << ',' << t.category_name(r.cat)
+                    << ',' << t.event_name(r.ev) << ',' << r.subject << ','
+                    << r.actor << ',' << r.detail << '\n';
+        }
+        trace_os_ << "# job=" << label << " events=" << t.size()
+                  << " dropped=" << t.dropped() << '\n';
+      } else {
+        if (!writer_) writer_ = std::make_unique<ChromeTraceWriter>(trace_os_);
+        writer_->add_process(t, label);
+      }
+    }
+  }
+  if (obs.metrics_) {
+    if (!metrics_os_.is_open()) {
+      metrics_os_.open(opt_.metrics_csv, std::ios::out | std::ios::trunc);
+      if (!metrics_os_) {
+        std::cerr << "[obs] warning: cannot open metrics output '"
+                  << opt_.metrics_csv << "'\n";
+      }
+    }
+    if (metrics_os_) {
+      obs.metrics_->write_csv(metrics_os_, label, !metrics_header_done_);
+      metrics_header_done_ = true;
+    }
+  }
+}
+
+void Session::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (writer_) {
+    writer_->finish();
+    writer_.reset();
+  }
+  if (trace_os_.is_open()) {
+    trace_os_.close();
+    std::cerr << "[obs] trace: " << total_events_ << " events ("
+              << total_dropped_ << " dropped) from " << jobs_collected_
+              << " job(s) -> " << trace_path() << "\n";
+  }
+  if (metrics_os_.is_open()) {
+    metrics_os_.close();
+    std::cerr << "[obs] metrics -> " << opt_.metrics_csv << "\n";
+  }
+}
+
+}  // namespace ksr::obs

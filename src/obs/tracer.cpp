@@ -1,0 +1,130 @@
+#include "ksr/obs/tracer.hpp"
+
+#include <ostream>
+
+namespace ksr::obs {
+
+namespace {
+
+constexpr std::string_view kBuiltinCatNames[kBuiltinCategories] = {
+    "ring",
+    "coherence",
+    "sync",
+    "stall",
+};
+
+constexpr std::string_view kBuiltinEvNames[kBuiltinEvents] = {
+    "inject",
+    "deliver",
+    "invalidate",
+    "nack",
+    "grant-shared",
+    "grant-exclusive",
+    "grant-atomic",
+    "poststore",
+    "snarf",
+    "barrier-arrive",
+    "barrier-depart",
+    "lock-acquire",
+    "lock-acquired",
+    "lock-release",
+    "inject-wait",
+    "nack-backoff",
+    "remote-acquire",
+};
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) {
+  cat_names_.reserve(kBuiltinCategories);
+  for (auto n : kBuiltinCatNames) cat_names_.emplace_back(n);
+  ev_names_.reserve(kBuiltinEvents);
+  for (auto n : kBuiltinEvNames) ev_names_.emplace_back(n);
+  set_capacity(capacity);
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  // make_unique_for_overwrite: don't zero what log() overwrites anyway.
+  records_ = std::make_unique_for_overwrite<Record[]>(cap ? cap : 1);
+  cap_ = cap;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::uint16_t Tracer::find_or_add(std::vector<std::string>& v,
+                                  std::string_view name) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  v.emplace_back(name);
+  return static_cast<std::uint16_t>(v.size() - 1);
+}
+
+std::uint16_t Tracer::intern_category(std::string_view name) {
+  return find_or_add(cat_names_, name);
+}
+
+std::uint16_t Tracer::intern_event(std::string_view name) {
+  return find_or_add(ev_names_, name);
+}
+
+std::string_view Tracer::category_name(std::uint16_t cat) const {
+  return cat < cat_names_.size() ? std::string_view(cat_names_[cat])
+                                 : std::string_view("?");
+}
+
+std::string_view Tracer::event_name(std::uint16_t ev) const {
+  return ev < ev_names_.size() ? std::string_view(ev_names_[ev])
+                               : std::string_view("?");
+}
+
+void Tracer::log(sim::Time t, std::string_view category,
+                 std::string_view event, std::uint64_t subject,
+                 std::uint64_t actor, std::int64_t detail) {
+  log(t, intern_category(category), intern_event(event), subject, actor,
+      detail);
+}
+
+void Tracer::set_enabled_categories(std::string_view csv) {
+  if (csv.empty()) {
+    enable_all_categories();
+    return;
+  }
+  std::uint64_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? csv.size() : comma;
+    std::string_view name = csv.substr(pos, end - pos);
+    while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+    while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+    if (!name.empty()) mask |= 1ull << mask_bit(intern_category(name));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  mask_ = mask;
+}
+
+std::size_t Tracer::count(std::string_view category,
+                          std::string_view event) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Record& r = records_[i];
+    if (category_name(r.cat) != category) continue;
+    if (!event.empty() && event_name(r.ev) != event) continue;
+    ++n;
+  }
+  return n;
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "time_ns,category,event,subject,actor,detail\n";
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Record& r = records_[i];
+    os << r.t << ',' << category_name(r.cat) << ',' << event_name(r.ev) << ','
+       << r.subject << ',' << r.actor << ',' << r.detail << '\n';
+  }
+  os << "# events=" << size_ << " dropped=" << dropped_ << '\n';
+}
+
+}  // namespace ksr::obs

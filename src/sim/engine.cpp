@@ -9,10 +9,7 @@ namespace ksr::sim {
 
 Engine::~Engine() = default;
 
-void Engine::at(Time t, InlineFn fn) {
-  if (t < now_) {
-    throw std::logic_error("Engine::at: scheduling into the past");
-  }
+std::uint32_t Engine::claim_slot(InlineFn fn) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -24,7 +21,36 @@ void Engine::at(Time t, InlineFn fn) {
     }
   }
   pool_slot(slot) = std::move(fn);
-  events_.push(Event{t, seq_++, slot});
+  return slot;
+}
+
+void Engine::at(Time t, InlineFn fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::at: scheduling into the past");
+  }
+  events_.push(Event{t, seq_++, claim_slot(std::move(fn))});
+}
+
+void Engine::observe_at(Time t, InlineFn fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::observe_at: scheduling into the past");
+  }
+  // Observers share the callback slab and the seq counter with the main
+  // lane; sharing seq_ keeps the code simple and cannot reorder main-lane
+  // events (their relative seq order is unchanged) nor touch
+  // events_dispatched().
+  observers_.push(Event{t, seq_++, claim_slot(std::move(fn))});
+}
+
+void Engine::drain_observers(Time horizon) {
+  while (!observers_.empty() && observers_.top().t <= horizon) {
+    const Event oe = observers_.pop_top();
+    if (oe.t > now_) now_ = oe.t;
+    InlineFn& fn = pool_slot(oe.slot);
+    fn();
+    fn.reset();
+    free_slots_.push_back(oe.slot);
+  }
 }
 
 FiberId Engine::spawn(std::function<void()> body, Time start, std::size_t stack_bytes) {
@@ -158,6 +184,9 @@ Time Engine::next_event_time() const noexcept {
 void Engine::run() {
   while (!events_.empty()) {
     const Event ev = events_.pop_top();
+    // Observers due at or before this event run first (the sample "at t"
+    // sees the world before the event at t mutates it).
+    drain_observers(ev.t);
     now_ = ev.t;
     ++dispatched_;
     // Invoke in place: chunk addresses are stable, and the slot is recycled
@@ -171,6 +200,14 @@ void Engine::run() {
       pending_exception_ = nullptr;
       std::rethrow_exception(ex);
     }
+  }
+  // Drop (without running) observers scheduled past the last main event:
+  // simulated time never reaches them. Their slots are recycled so a later
+  // run() on the same engine starts clean.
+  while (!observers_.empty()) {
+    const Event oe = observers_.pop_top();
+    pool_slot(oe.slot).reset();
+    free_slots_.push_back(oe.slot);
   }
   if (live_fibers_ != 0) {
     throw std::runtime_error(

@@ -28,11 +28,12 @@ using machine::Machine;
 class CounterBarrier final : public Barrier {
  public:
   explicit CounterBarrier(Machine& m)
-      : nproc_(m.nproc()),
+      : Barrier(m.nproc()),
+        nproc_(m.nproc()),
         meta_(m.alloc<std::uint32_t>("bar.counter", 2)),
         epoch_(m.nproc(), 0) {}
 
-  void arrive(Cpu& cpu) override {
+  void do_arrive(Cpu& cpu) override {
     const std::uint32_t e = ++epoch_[cpu.id()];
     cpu.get_subpage(meta_.addr(0));
     const std::uint32_t arrived = cpu.read(meta_, 0) + 1;
@@ -64,7 +65,8 @@ class TreeBarrier final : public Barrier {
  public:
   TreeBarrier(Machine& m, bool global_flag, bool use_poststore,
               std::string_view label)
-      : nproc_(m.nproc()),
+      : Barrier(m.nproc()),
+        nproc_(m.nproc()),
         global_flag_(global_flag),
         post_(use_poststore && m.config().has_poststore),
         label_(label),
@@ -86,7 +88,7 @@ class TreeBarrier final : public Barrier {
     global_ = Padded<std::uint32_t>(m, std::string(label) + ".flag", 1);
   }
 
-  void arrive(Cpu& cpu) override {
+  void do_arrive(Cpu& cpu) override {
     const std::uint32_t e = ++epoch_[cpu.id()];
     if (nproc_ == 1) return;
 
@@ -158,14 +160,15 @@ class TreeBarrier final : public Barrier {
 class DisseminationBarrier final : public Barrier {
  public:
   explicit DisseminationBarrier(Machine& m)
-      : nproc_(m.nproc()),
+      : Barrier(m.nproc()),
+        nproc_(m.nproc()),
         rounds_(log2_ceil(m.nproc())),
         flags_(m, "bar.diss", static_cast<std::size_t>(m.nproc()) *
                                   std::max(rounds_, 1u),
                std::max(rounds_, 1u)),
         epoch_(m.nproc(), 0) {}
 
-  void arrive(Cpu& cpu) override {
+  void do_arrive(Cpu& cpu) override {
     const std::uint32_t e = ++epoch_[cpu.id()];
     const unsigned me = cpu.id();
     for (unsigned r = 0; r < rounds_; ++r) {
@@ -197,7 +200,8 @@ class TournamentBarrier final : public Barrier {
  public:
   TournamentBarrier(Machine& m, bool global_flag, bool use_poststore,
                     std::string_view label)
-      : nproc_(m.nproc()),
+      : Barrier(m.nproc()),
+        nproc_(m.nproc()),
         rounds_(log2_ceil(m.nproc())),
         global_flag_(global_flag),
         post_(use_poststore && m.config().has_poststore),
@@ -209,7 +213,7 @@ class TournamentBarrier final : public Barrier {
         global_(m, std::string(label) + ".flag", 1),
         epoch_(m.nproc(), 0) {}
 
-  void arrive(Cpu& cpu) override {
+  void do_arrive(Cpu& cpu) override {
     const std::uint32_t e = ++epoch_[cpu.id()];
     const unsigned me = cpu.id();
     unsigned lost_round = rounds_;
@@ -276,7 +280,8 @@ class McsBarrier final : public Barrier {
  public:
   McsBarrier(Machine& m, bool global_flag, bool use_poststore,
              std::string_view label)
-      : nproc_(m.nproc()),
+      : Barrier(m.nproc()),
+        nproc_(m.nproc()),
         global_flag_(global_flag),
         post_(use_poststore && m.config().has_poststore),
         label_(label),
@@ -290,7 +295,7 @@ class McsBarrier final : public Barrier {
         global_(m, std::string(label) + ".flag", 1),
         epoch_(m.nproc(), 0) {}
 
-  void arrive(Cpu& cpu) override {
+  void do_arrive(Cpu& cpu) override {
     const std::uint32_t e = ++epoch_[cpu.id()];
     const unsigned me = cpu.id();
     const auto marker = static_cast<std::uint8_t>(e);
@@ -348,9 +353,10 @@ class McsBarrier final : public Barrier {
 class SystemBarrier final : public Barrier {
  public:
   explicit SystemBarrier(Machine& m)
-      : inner_(m, /*global_flag=*/true, /*use_poststore=*/true, "bar.system") {}
+      : Barrier(m.nproc()),
+        inner_(m, /*global_flag=*/true, /*use_poststore=*/true, "bar.system") {}
 
-  void arrive(Cpu& cpu) override {
+  void do_arrive(Cpu& cpu) override {
     cpu.work(120);  // library entry: argument checks, descriptor lookup
     inner_.arrive(cpu);
     cpu.work(80);  // library exit

@@ -35,7 +35,40 @@ void TicketRwLock::advance(machine::Cpu& cpu) {
   }
 }
 
+namespace {
+
+/// Bracket an acquisition with sync/lock-acquire + lock-acquired events.
+template <typename Body>
+void traced_acquire(machine::Cpu& cpu, std::uint64_t subject, Body body) {
+  obs::Tracer* tr = cpu.machine().tracer();
+  if (tr == nullptr) {
+    body();
+    return;
+  }
+  const sim::Time t0 = cpu.now();
+  tr->log(t0, obs::kCatSync, obs::kEvLockAcquire, subject, cpu.id());
+  body();
+  tr->log(cpu.now(), obs::kCatSync, obs::kEvLockAcquired, subject, cpu.id(),
+          static_cast<std::int64_t>(cpu.now() - t0));
+}
+
+void traced_release(machine::Cpu& cpu, std::uint64_t subject) {
+  if (obs::Tracer* tr = cpu.machine().tracer()) {
+    tr->log(cpu.now(), obs::kCatSync, obs::kEvLockRelease, subject, cpu.id());
+  }
+}
+
+}  // namespace
+
 void TicketRwLock::acquire_read(machine::Cpu& cpu) {
+  traced_acquire(cpu, 1, [&] { do_acquire_read(cpu); });
+}
+
+void TicketRwLock::acquire_write(machine::Cpu& cpu) {
+  traced_acquire(cpu, 0, [&] { do_acquire_write(cpu); });
+}
+
+void TicketRwLock::do_acquire_read(machine::Cpu& cpu) {
   lock_meta(cpu);
   const std::uint32_t serving = cpu.read(meta_, kServing);
   std::uint32_t my_ticket;
@@ -69,6 +102,7 @@ void TicketRwLock::acquire_read(machine::Cpu& cpu) {
 }
 
 void TicketRwLock::release_read(machine::Cpu& cpu) {
+  traced_release(cpu, 1);
   lock_meta(cpu);
   const std::uint32_t active = cpu.read(meta_, kActiveReaders) - 1;
   cpu.write(meta_, kActiveReaders, active);
@@ -83,7 +117,7 @@ void TicketRwLock::release_read(machine::Cpu& cpu) {
   unlock_meta(cpu);
 }
 
-void TicketRwLock::acquire_write(machine::Cpu& cpu) {
+void TicketRwLock::do_acquire_write(machine::Cpu& cpu) {
   lock_meta(cpu);
   const std::uint32_t my_ticket = cpu.read(meta_, kNextTicket);
   cpu.write(meta_, kNextTicket, my_ticket + 1);
@@ -93,6 +127,7 @@ void TicketRwLock::acquire_write(machine::Cpu& cpu) {
 }
 
 void TicketRwLock::release_write(machine::Cpu& cpu) {
+  traced_release(cpu, 0);
   lock_meta(cpu);
   advance(cpu);
   unlock_meta(cpu);

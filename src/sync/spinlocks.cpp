@@ -20,7 +20,7 @@ class TasLock final : public SpinLock {
   TasLock(Machine& m, bool backoff)
       : backoff_(backoff), word_(m, backoff ? "tasb" : "tas", 1) {}
 
-  void acquire(Cpu& cpu) override {
+  void do_acquire(Cpu& cpu) override {
     std::uint64_t delay = 200;  // cycles
     for (;;) {
       cpu.get_subpage(word_.addr(0));
@@ -41,7 +41,7 @@ class TasLock final : public SpinLock {
     }
   }
 
-  void release(Cpu& cpu) override { word_.write(cpu, 0, 0); }
+  void do_release(Cpu& cpu) override { word_.write(cpu, 0, 0); }
 
   [[nodiscard]] std::string_view name() const override {
     return backoff_ ? "test&set+backoff" : "test&set";
@@ -62,7 +62,7 @@ class TicketLock final : public SpinLock {
   explicit TicketLock(Machine& m)
       : next_(m, "ticket.next", 1), serving_(m, "ticket.serving", 1) {}
 
-  void acquire(Cpu& cpu) override {
+  void do_acquire(Cpu& cpu) override {
     const std::uint32_t me = fetch_add(cpu, next_, 0, 1u);
     for (;;) {
       const std::uint32_t s = serving_.read(cpu, 0);
@@ -72,7 +72,7 @@ class TicketLock final : public SpinLock {
     }
   }
 
-  void release(Cpu& cpu) override {
+  void do_release(Cpu& cpu) override {
     serving_.write(cpu, 0, serving_.read(cpu, 0) + 1);
   }
 
@@ -97,14 +97,14 @@ class AndersonLock final : public SpinLock {
     flags_.set_value(0, 1);  // slot 0 starts granted
   }
 
-  void acquire(Cpu& cpu) override {
+  void do_acquire(Cpu& cpu) override {
     const std::uint32_t slot = fetch_add(cpu, tail_, 0, 1u) % nslots_;
     my_slot_[cpu.id()] = slot;
     spin_until(cpu, [&] { return flags_.read(cpu, slot) != 0; });
     flags_.write(cpu, slot, 0);  // consume the grant
   }
 
-  void release(Cpu& cpu) override {
+  void do_release(Cpu& cpu) override {
     const std::uint32_t next = (my_slot_[cpu.id()] + 1) % nslots_;
     flags_.write(cpu, next, 1);
   }
@@ -132,7 +132,7 @@ class McsQueueLock final : public SpinLock {
     tail_.set_value(0, kNil);
   }
 
-  void acquire(Cpu& cpu) override {
+  void do_acquire(Cpu& cpu) override {
     const std::uint32_t me = cpu.id();
     next_.write(cpu, me, kNil);
     locked_.write(cpu, me, 1);
@@ -146,7 +146,7 @@ class McsQueueLock final : public SpinLock {
     spin_until(cpu, [&] { return locked_.read(cpu, me) == 0; });
   }
 
-  void release(Cpu& cpu) override {
+  void do_release(Cpu& cpu) override {
     const std::uint32_t me = cpu.id();
     if (next_.read(cpu, me) == kNil) {
       // compare&swap(tail, me -> nil)

@@ -1,12 +1,13 @@
 // Event-tracer tests: ring and coherence activity is captured with the
-// right categories, timestamps are monotone, CSV renders, capacity bounds
-// hold, and an untraced machine behaves identically (timing unchanged).
+// right categories, timestamps are monotone, CSV renders with the drop
+// footer, over-capacity logging is accounted (not silent), category masks
+// filter, and an untraced machine behaves identically (timing unchanged).
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "ksr/machine/ksr_machine.hpp"
-#include "ksr/sim/trace.hpp"
+#include "ksr/obs/tracer.hpp"
 #include "ksr/sync/barrier.hpp"
 
 namespace ksr {
@@ -18,7 +19,7 @@ using machine::MachineConfig;
 
 TEST(Trace, CapturesRingAndCoherenceEvents) {
   KsrMachine m(MachineConfig::ksr1(2));
-  sim::Tracer tracer;
+  obs::Tracer tracer;
   m.attach_tracer(&tracer);
   auto arr = m.alloc<int>("a", 16);
   auto flag = m.alloc<int>("f", 1);
@@ -39,23 +40,49 @@ TEST(Trace, CapturesRingAndCoherenceEvents) {
   EXPECT_GT(tracer.count("coherence", "invalidate"), 0u);
 }
 
-TEST(Trace, TimestampsAreMonotone) {
+TEST(Trace, RingAndCoherenceTimestampsAreMonotone) {
+  // Ring and coherence events carry the global engine clock, so they are
+  // non-decreasing in log order. (Sync/stall events use the logging cpu's
+  // local clock, which runs ahead of the engine — so the whole-buffer
+  // property deliberately does NOT hold; restrict to the global-clock
+  // categories.)
   KsrMachine m(MachineConfig::ksr1(4));
-  sim::Tracer tracer;
+  obs::Tracer tracer;
+  tracer.set_enabled_categories("ring,coherence");
   m.attach_tracer(&tracer);
   auto barrier = sync::make_barrier(m, sync::BarrierKind::kTournamentM);
   m.run([&](Cpu& cpu) {
     for (int e = 0; e < 3; ++e) barrier->arrive(cpu);
   });
   ASSERT_GT(tracer.size(), 0u);
-  for (std::size_t i = 1; i < tracer.events().size(); ++i) {
-    EXPECT_GE(tracer.events()[i].t, tracer.events()[i - 1].t);
+  for (std::size_t i = 1; i < tracer.size(); ++i) {
+    EXPECT_GE(tracer[i].t, tracer[i - 1].t);
   }
 }
 
-TEST(Trace, AtomicContentionProducesNacks) {
+TEST(Trace, BarrierEpisodesAreBracketed) {
   KsrMachine m(MachineConfig::ksr1(4));
-  sim::Tracer tracer;
+  obs::Tracer tracer;
+  m.attach_tracer(&tracer);
+  auto barrier = sync::make_barrier(m, sync::BarrierKind::kTournamentM);
+  m.run([&](Cpu& cpu) {
+    for (int e = 0; e < 3; ++e) barrier->arrive(cpu);
+  });
+  // Every arrive gets a depart: 3 episodes x 4 cpus each.
+  EXPECT_EQ(tracer.count("sync", "barrier-arrive"), 12u);
+  EXPECT_EQ(tracer.count("sync", "barrier-arrive"),
+            tracer.count("sync", "barrier-depart"));
+  // Departs carry the episode wait in detail (>= 0).
+  for (const obs::Tracer::Record& r : tracer) {
+    if (r.cat == obs::kCatSync && r.ev == obs::kEvBarrierDepart) {
+      EXPECT_GE(r.detail, 0);
+    }
+  }
+}
+
+TEST(Trace, AtomicContentionProducesNacksAndStallEvents) {
+  KsrMachine m(MachineConfig::ksr1(4));
+  obs::Tracer tracer;
   m.attach_tracer(&tracer);
   auto lock = m.alloc<int>("lock", 1);
   m.run([&](Cpu& cpu) {
@@ -67,29 +94,65 @@ TEST(Trace, AtomicContentionProducesNacks) {
   });
   EXPECT_GT(tracer.count("coherence", "grant-atomic"), 0u);
   EXPECT_GT(tracer.count("coherence", "nack"), 0u);
+  // Stall attribution: every NACKed attempt logs its backoff nap, and every
+  // completed get_subpage its total acquire latency.
+  EXPECT_GT(tracer.count("stall", "nack-backoff"), 0u);
+  EXPECT_GT(tracer.count("stall", "remote-acquire"), 0u);
 }
 
-TEST(Trace, CsvHasHeaderAndRows) {
-  sim::Tracer tracer;
+TEST(Trace, CsvHasHeaderRowsAndDropFooter) {
+  obs::Tracer tracer;
   tracer.log(5, "ring", "inject", 1, 2, 3);
   std::ostringstream os;
   tracer.write_csv(os);
   EXPECT_EQ(os.str(),
             "time_ns,category,event,subject,actor,detail\n"
-            "5,ring,inject,1,2,3\n");
+            "5,ring,inject,1,2,3\n"
+            "# events=1 dropped=0\n");
 }
 
-TEST(Trace, CapacityBound) {
-  sim::Tracer tracer;
+TEST(Trace, OverCapacityLoggingIsAccounted) {
+  // The PR-3 bugfix: a full buffer used to swallow records silently, making
+  // a truncated trace indistinguishable from a complete one.
+  obs::Tracer tracer;
   tracer.set_capacity(10);
   for (int i = 0; i < 100; ++i) tracer.log(1, "x", "y", 0, 0);
   EXPECT_EQ(tracer.size(), 10u);
+  EXPECT_EQ(tracer.dropped(), 90u);
+  EXPECT_EQ(tracer.total_logged(), 100u);
+  std::ostringstream os;
+  tracer.write_csv(os);
+  EXPECT_NE(os.str().find("# events=10 dropped=90"), std::string::npos);
+}
+
+TEST(Trace, CategoryMaskFilters) {
+  obs::Tracer tracer;
+  tracer.set_enabled_categories("ring");
+  EXPECT_TRUE(tracer.category_enabled(obs::kCatRing));
+  EXPECT_FALSE(tracer.category_enabled(obs::kCatSync));
+  tracer.log(1, obs::kCatRing, obs::kEvInject, 0, 0);
+  tracer.log(2, obs::kCatSync, obs::kEvBarrierArrive, 0, 0);
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.dropped(), 0u);  // masked records are skipped, not dropped
+  tracer.enable_all_categories();
+  tracer.log(3, obs::kCatSync, obs::kEvBarrierArrive, 0, 0);
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+TEST(Trace, InterningRoundTrips) {
+  obs::Tracer tracer;
+  EXPECT_EQ(tracer.intern_category("ring"), obs::kCatRing);
+  EXPECT_EQ(tracer.intern_event("grant-shared"), obs::kEvGrantShared);
+  const std::uint16_t custom = tracer.intern_category("my-subsystem");
+  EXPECT_GE(custom, obs::kBuiltinCategories);
+  EXPECT_EQ(tracer.category_name(custom), "my-subsystem");
+  EXPECT_EQ(tracer.intern_category("my-subsystem"), custom);
 }
 
 TEST(Trace, TracingDoesNotPerturbTiming) {
   auto run_once = [](bool traced) {
     KsrMachine m(MachineConfig::ksr1(4));
-    sim::Tracer tracer;
+    obs::Tracer tracer;
     if (traced) m.attach_tracer(&tracer);
     auto arr = m.alloc<int>("a", 1024);
     auto res = m.run([&](Cpu& cpu) {

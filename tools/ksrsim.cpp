@@ -27,6 +27,7 @@
 #include "ksr/nas/ep.hpp"
 #include "ksr/nas/is.hpp"
 #include "ksr/nas/sp.hpp"
+#include "ksr/obs/session.hpp"
 #include "ksr/study/metrics.hpp"
 #include "ksr/study/table.hpp"
 #include "ksr/sync/barrier.hpp"
@@ -42,15 +43,47 @@ using namespace ksr;  // NOLINT
 class Args {
  public:
   Args(int argc, char** argv) {
+    // Union of the keys any command understands; a typo ("--job 4",
+    // "--proc 8") warns instead of silently running with defaults.
+    static const std::map<std::string, int> known = {
+        {"machine", 1},  {"procs", 1},        {"scale", 1},
+        {"no-snarf", 1}, {"csv", 1},          {"kind", 1},
+        {"episodes", 1}, {"ops", 1},          {"read-pct", 1},
+        {"name", 1},     {"n", 1},            {"nnz-per-row", 1},
+        {"iters", 1},    {"log2-pairs", 1},   {"log2-keys", 1},
+        {"log2-buckets", 1}, {"no-padding", 1}, {"no-prefetch", 1},
+        {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
+        {"metrics-csv", 1}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
-      if (a.rfind("--", 0) == 0) {
-        const std::string key = a.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          kv_[key] = argv[++i];
-        } else {
-          kv_[key] = "1";
+      if (a.rfind("--", 0) != 0) {
+        std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
+        continue;
+      }
+      std::string key = a.substr(2);
+      std::string val;
+      bool has_val = false;
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        val = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        has_val = true;
+      }
+      if (known.find(key) == known.end()) {
+        std::cerr << "warning: ignoring unknown argument '--" << key << "'\n";
+        if (!has_val && i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          ++i;  // swallow the typo'd flag's value too
         }
+        continue;
+      }
+      if (has_val) {
+        kv_[key] = val;
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[key] = argv[++i];
+      } else {
+        kv_[key] = "1";
       }
     }
   }
@@ -95,6 +128,20 @@ class Args {
   std::map<std::string, std::string> kv_;
 };
 
+/// Observability session from the common flags (see docs/OBSERVABILITY.md):
+/// `--trace [cat,...]` captures a structured trace, `--trace-out FILE` names
+/// the output (default ksrsim_<cmd>_trace.json), `--metrics-csv FILE` the
+/// sampled metrics time series.
+obs::Session make_session(const Args& args, const std::string& cmd) {
+  obs::SessionOptions s;
+  s.trace = args.has("trace") || args.has("trace-out");
+  const std::string cats = args.get("trace");
+  if (cats != "1") s.categories = cats;  // bare --trace = all categories
+  s.trace_out = args.get("trace-out");
+  s.metrics_csv = args.get("metrics-csv");
+  return obs::Session(std::move(s), "ksrsim_" + cmd);
+}
+
 machine::MachineConfig make_config(const Args& args, unsigned procs) {
   const std::string name = args.get("machine", "ksr1");
   machine::MachineConfig cfg = machine::MachineConfig::ksr1(procs);
@@ -112,6 +159,9 @@ machine::MachineConfig make_config(const Args& args, unsigned procs) {
 int cmd_probe(const Args& args) {
   const unsigned procs = args.get_u("procs", 2);
   auto m = machine::make_machine(make_config(args, std::max(procs, 2u)));
+  obs::Session session = make_session(args, "probe");
+  obs::JobObs jo = session.job();
+  jo.attach(*m);
   auto arr = m->alloc<double>("probe", 4096);
   auto flag = m->alloc<int>("flag", 1);
   double sub = 0, local = 0, remote = 0;
@@ -137,6 +187,8 @@ int cmd_probe(const Args& args) {
       remote = (cpu.seconds() - t0) / static_cast<double>(k);
     }
   });
+  jo.finish();
+  if (session.active()) session.collect(std::move(jo), "probe");
   std::printf("machine: %s, %u cells\n",
               machine::to_string(m->config().kind), m->nproc());
   std::printf("  repeat-read (sub-cache)   : %7.3f us\n", sub * 1e6);
@@ -165,9 +217,9 @@ int cmd_barrier(const Args& args) {
   const int episodes = static_cast<int>(args.get_u("episodes", 25));
   auto m = machine::make_machine(make_config(args, procs));
   auto barrier = sync::make_barrier(*m, it->second);
-  sim::Tracer tracer;
-  const std::string trace_path = args.get("trace");
-  if (!trace_path.empty()) m->attach_tracer(&tracer);
+  obs::Session session = make_session(args, "barrier");
+  obs::JobObs jo = session.job();
+  jo.attach(*m);
   double total = 0;
   auto res = m->run([&](machine::Cpu& cpu) {
     barrier->arrive(cpu);
@@ -178,18 +230,16 @@ int cmd_barrier(const Args& args) {
     }
     if (cpu.seconds() - t0 > total) total = cpu.seconds() - t0;
   });
+  jo.finish();
+  if (session.active()) {
+    session.collect(std::move(jo), std::string(barrier->name()));
+  }
   std::printf("%s on %s, %u procs: %.1f us/episode "
               "(%llu network transactions total)\n",
               std::string(barrier->name()).c_str(),
               machine::to_string(m->config().kind), procs,
               total / episodes * 1e6,
               static_cast<unsigned long long>(res.pmon.ring_requests));
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    tracer.write_csv(out);
-    std::printf("wrote %zu trace events to %s\n", tracer.size(),
-                trace_path.c_str());
-  }
   return 0;
 }
 
@@ -199,6 +249,9 @@ int cmd_lock(const Args& args) {
   const std::string kind = args.get("kind", "hw");
   const unsigned read_pct = args.get_u("read-pct", 0);
   auto m = machine::make_machine(make_config(args, procs));
+  obs::Session session = make_session(args, "lock");
+  obs::JobObs jo = session.job();
+  jo.attach(*m);
   double t = 0;
   if (kind == "rw") {
     sync::TicketRwLock lock(*m);
@@ -252,56 +305,69 @@ int cmd_lock(const Args& args) {
       if (cpu.seconds() > t) t = cpu.seconds();
     });
   }
+  jo.finish();
+  if (session.active()) session.collect(std::move(jo), kind);
   std::printf("%s lock, %u procs, %d ops/proc: %.4f s total, %.1f us/op\n",
               kind.c_str(), procs, ops, t,
               t / ops * 1e6);
   return 0;
 }
 
-double run_kernel_once(const Args& args, const std::string& name,
-                       unsigned procs) {
+struct KernelRun {
+  double seconds = 0.0;
+  obs::JobObs obs;
+};
+
+KernelRun run_kernel_once(const obs::Session& session, const Args& args,
+                          const std::string& name, unsigned procs) {
   auto m = machine::make_machine(make_config(args, procs));
+  KernelRun r;
+  r.obs = session.job();
+  r.obs.attach(*m);
   if (name == "ep") {
     nas::EpConfig c;
     c.log2_pairs = args.get_u("log2-pairs", 13);
-    return run_ep(*m, c).seconds;
-  }
-  if (name == "cg") {
+    r.seconds = run_ep(*m, c).seconds;
+  } else if (name == "cg") {
     nas::CgConfig c;
     c.n = args.get_u("n", 1000);
     c.nnz_per_row = args.get_u("nnz-per-row", 24);
     c.iterations = args.get_u("iters", 4);
-    return run_cg(*m, c).seconds;
-  }
-  if (name == "is") {
+    r.seconds = run_cg(*m, c).seconds;
+  } else if (name == "is") {
     nas::IsConfig c;
     c.log2_keys = args.get_u("log2-keys", 15);
     c.log2_buckets = args.get_u("log2-buckets", 10);
-    return run_is(*m, c).seconds;
-  }
-  if (name == "sp") {
+    r.seconds = run_is(*m, c).seconds;
+  } else if (name == "sp") {
     nas::SpConfig c;
     c.n = args.get_u("n", 16);
     c.iterations = args.get_u("iters", 2);
     c.padded_layout = !args.has("no-padding");
     c.use_prefetch = !args.has("no-prefetch");
-    return run_sp(*m, c).total_seconds;
-  }
-  if (name == "bt") {
+    r.seconds = run_sp(*m, c).total_seconds;
+  } else if (name == "bt") {
     nas::BtConfig c;
     c.n = args.get_u("n", 10);
     c.iterations = args.get_u("iters", 2);
-    return run_bt(*m, c).total_seconds;
+    r.seconds = run_bt(*m, c).total_seconds;
+  } else {
+    throw std::runtime_error("unknown kernel '" + name + "'");
   }
-  throw std::runtime_error("unknown kernel '" + name + "'");
+  r.obs.finish();
+  return r;
 }
 
 int cmd_kernel(const Args& args) {
   const std::string name = args.get("name", "cg");
   const unsigned procs = args.get_u("procs", 8);
-  const double t = run_kernel_once(args, name, procs);
+  obs::Session session = make_session(args, "kernel");
+  KernelRun r = run_kernel_once(session, args, name, procs);
+  if (session.active()) {
+    session.collect(std::move(r.obs), name + " p=" + std::to_string(procs));
+  }
   std::printf("%s on %u procs: %.5f simulated seconds\n", name.c_str(), procs,
-              t);
+              r.seconds);
   return 0;
 }
 
@@ -313,17 +379,22 @@ int cmd_sweep(const Args& args) {
   // host threads (--jobs N, default one per core). Results merge in
   // submission order, so the table is bit-identical for any --jobs value.
   host::SweepRunner runner(args.get_u("jobs", 0));
-  std::vector<std::function<double()>> jobs;
+  obs::Session session = make_session(args, "sweep");
+  std::vector<std::function<KernelRun()>> jobs;
   jobs.reserve(procs.size());
   for (unsigned p : procs) {
-    jobs.emplace_back([&args, name, p] {
-      return run_kernel_once(args, name, p);
+    jobs.emplace_back([&args, &session, name, p] {
+      return run_kernel_once(session, args, name, p);
     });
   }
-  const std::vector<double> seconds = runner.run(jobs);
+  std::vector<KernelRun> seconds = runner.run(jobs);
   std::vector<std::pair<unsigned, double>> measured;
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    measured.emplace_back(procs[i], seconds[i]);
+    if (session.active()) {
+      session.collect(std::move(seconds[i].obs),
+                      name + " p=" + std::to_string(procs[i]));
+    }
+    measured.emplace_back(procs[i], seconds[i].seconds);
   }
   study::TextTable t({"procs", "time (s)", "speedup", "efficiency",
                       "serial fraction"});
@@ -365,6 +436,14 @@ int cmd_help() {
       "  --scale N      shrink caches by N (pair with smaller problems)\n"
       "  --no-snarf     disable read-snarfing\n"
       "  --csv          CSV output where applicable\n"
+      "\n"
+      "observability (docs/OBSERVABILITY.md; never perturbs simulated time):\n"
+      "  --trace [cat,...]    capture a structured event trace (categories:\n"
+      "                       ring,coherence,sync,stall; default all)\n"
+      "  --trace-out FILE     trace output (.json = Chrome/Perfetto trace\n"
+      "                       events, .csv = CSV; default\n"
+      "                       ksrsim_<cmd>_trace.json)\n"
+      "  --metrics-csv FILE   sampled machine-wide metrics time series\n"
       "\n"
       "kernel size flags: --log2-pairs (ep), --n/--nnz-per-row/--iters (cg),\n"
       "  --log2-keys/--log2-buckets (is), --n/--iters/--no-padding/\n"
