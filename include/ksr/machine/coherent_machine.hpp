@@ -116,8 +116,15 @@ class CoherentMachine : public Machine {
   [[nodiscard]] unsigned responder_leaf(unsigned cell, const DirEntry& e) const;
 
   /// Protocol commits (state changes at transaction completion time).
-  CommitResult commit_shared(unsigned cell, mem::SubPageId sp);
-  CommitResult commit_exclusive(unsigned cell, mem::SubPageId sp, bool atomic);
+  /// `witness` is 1 + the byte offset (within the sub-page) of the demand
+  /// access that triggered the transaction, or 0 when there is none
+  /// (prefetch). It is pure trace metadata — logged as the grant record's
+  /// aux word for the sharing-pattern classifier, never read by the
+  /// protocol itself.
+  CommitResult commit_shared(unsigned cell, mem::SubPageId sp,
+                             std::uint32_t witness = 0);
+  CommitResult commit_exclusive(unsigned cell, mem::SubPageId sp, bool atomic,
+                                std::uint32_t witness = 0);
   void commit_poststore(unsigned cell, mem::SubPageId sp);
 
   /// Insert/refresh the line in `cell`'s local cache; handles page

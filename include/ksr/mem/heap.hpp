@@ -55,6 +55,11 @@ class Heap {
   [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
   [[nodiscard]] std::size_t bytes_allocated() const noexcept { return next_ - kPageBytes; }
 
+  /// Region record by allocation order, for diagnostics and trace reports.
+  [[nodiscard]] const Region& region(std::size_t i) const {
+    return *regions_.at(i);
+  }
+
   /// Region containing `a`, for diagnostics. Throws if unmapped.
   [[nodiscard]] const Region& region_of(Sva a) const {
     for (const auto& r : regions_) {

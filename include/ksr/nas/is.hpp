@@ -33,6 +33,11 @@ struct IsConfig {
   // The paper's implementation "used [prefetch] quite extensively": pull the
   // other processors' local counts ahead of phase 2's all-to-all reduction.
   bool use_prefetch = true;
+  // Start each processor's keyden portion on a fresh sub-page. The default
+  // (false) keeps the paper's layout, where neighbouring portions share the
+  // sub-page at their boundary — false sharing whenever the portion size is
+  // not a multiple of 32 buckets (e.g. any non-power-of-two P).
+  bool pad_buckets = false;
 };
 
 struct IsResult {

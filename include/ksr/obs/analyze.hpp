@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ksr/obs/tracer.hpp"
+
+// Trace analysis and simulated-time profiling.
+//
+// analyze() folds a Tracer record stream (in-process buffer or records
+// re-parsed from an exported CSV — see tools/ksrprof) into three reports:
+//
+//  * a per-subpage contention profile that classifies each sub-page's
+//    sharing pattern (read-only, migratory, producer-consumer,
+//    falsely-shared, lock) from the coherence event stream, ranked by
+//    invalidations + nacks + snarfs. False sharing is detected from the
+//    demand-access witnesses carried in the grant records' aux word: two or
+//    more writers whose witnessed byte offsets never overlap, with ownership
+//    ping-ponging between them, are fighting over the coherence unit rather
+//    than the data — the paper's IS bucket-array diagnosis, automated.
+//
+//  * a sync critical-path report: per-episode barrier arrival skew with
+//    last-arriver attribution, and per-lock hold-vs-wait decomposition with
+//    contention depth (max concurrently-waiting cpus).
+//
+//  * a stall profile folding the per-cpu stall events (inject-wait,
+//    nack-backoff, remote-acquire) into simulated-ns attribution by
+//    (cpu, kind, region), exportable as collapsed stacks for
+//    speedscope / inferno flamegraph tools.
+//
+// All rendering is integer-math only, so reports are byte-identical across
+// hosts for the same trace. Sync and stall events carry cpu-local clocks
+// that run ahead of the global engine clock (docs/OBSERVABILITY.md); the
+// analyzer only ever compares those timestamps *within* one episode or one
+// lock subject, where the skew itself is the quantity being measured.
+namespace ksr::obs {
+
+/// Named SVA range (a heap region) used to resolve sub-page ids to
+/// human-readable names. Spans must be non-overlapping; heap allocation
+/// order (ascending base) is the natural input.
+struct RegionSpan {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  std::string name;
+};
+
+enum class SharingPattern : std::uint8_t {
+  kPrivate,           // at most one cell ever touched it
+  kReadOnly,          // >= 2 readers, nobody writes
+  kProducerConsumer,  // exactly one writer, >= 1 distinct reader
+  kMigratory,         // >= 2 writers to the *same* words (true sharing)
+  kFalselyShared,     // >= 2 writers to provably disjoint words, ownership
+                      // ping-pong: the 128-B coherence unit is the conflict
+  kLock,              // atomic (get_subpage) protocol traffic dominates
+};
+
+[[nodiscard]] std::string_view to_string(SharingPattern p) noexcept;
+
+struct SubpageProfile {
+  std::uint64_t subpage = 0;
+  std::string region;               // resolved name; "" when unmapped
+  std::uint64_t region_offset = 0;  // sub-page base offset within the region
+  SharingPattern pattern = SharingPattern::kPrivate;
+  unsigned readers = 0;  // distinct cells granted a readable copy
+  unsigned writers = 0;  // distinct cells granted exclusive (non-atomic)
+  std::uint64_t grants_shared = 0;
+  std::uint64_t grants_exclusive = 0;
+  std::uint64_t grants_atomic = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t snarfs = 0;
+  std::uint64_t poststores = 0;
+  std::uint64_t owner_changes = 0;  // exclusive ownership moved cells
+  std::uint64_t score = 0;          // invalidations + nacks + snarfs
+  bool disjoint_writes = false;     // writers' witnessed offsets never overlap
+};
+
+struct BarrierEpisode {
+  std::uint64_t index = 0;  // k-th global episode in the trace
+  sim::Time first_arrive = 0;
+  sim::Time last_arrive = 0;
+  sim::Duration skew = 0;  // last_arrive - first_arrive
+  unsigned last_cpu = 0;   // the straggler this episode waited for
+  unsigned arrivals = 0;
+};
+
+struct BarrierReport {
+  std::vector<BarrierEpisode> episodes;
+  std::vector<std::uint64_t> last_arriver;  // episodes lost to cpu i
+  sim::Duration total_skew = 0;
+  sim::Duration max_skew = 0;
+};
+
+struct LockProfile {
+  std::uint64_t subject = 0;  // lock id as logged (0 = write, 1 = read side
+                              // for the rw-lock family)
+  std::uint64_t acquisitions = 0;
+  std::uint64_t wait_ns = 0;  // summed acquire latency across cpus
+  std::uint64_t hold_ns = 0;  // summed acquired->release time
+  std::uint64_t max_wait_ns = 0;
+  unsigned max_depth = 0;  // max cpus waiting simultaneously
+};
+
+struct StallEntry {
+  unsigned cpu = 0;
+  std::uint16_t ev = 0;  // kEvInjectWait / kEvNackBackoff / kEvRemoteAcquire
+  std::string kind;      // its name ("inject-wait", ...)
+  std::string region;    // region of the stalled-on sub-page; "" unmapped
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+struct Analysis {
+  std::uint64_t events = 0;   // records analyzed
+  std::uint64_t dropped = 0;  // source-tracer drop count, when known
+  unsigned cpus = 0;          // 1 + highest cpu id seen
+  std::vector<SubpageProfile> subpages;  // score desc, then subpage asc
+  BarrierReport barriers;
+  std::vector<LockProfile> locks;   // subject asc
+  std::vector<StallEntry> stalls;   // total_ns desc, then cpu/ev/region asc
+  std::vector<RegionSpan> regions;  // as passed in (for the report header)
+};
+
+/// Analyze a record stream. `regions` maps sub-pages to names (may be
+/// empty); `dropped` is carried into the report so truncated traces stay
+/// visibly truncated.
+[[nodiscard]] Analysis analyze(const Tracer::Record* begin,
+                               const Tracer::Record* end,
+                               std::vector<RegionSpan> regions = {},
+                               std::uint64_t dropped = 0);
+
+[[nodiscard]] Analysis analyze(const Tracer& t,
+                               std::vector<RegionSpan> regions = {});
+
+struct ReportOptions {
+  std::size_t top_n = 10;  // hot sub-pages listed in the ranking table
+};
+
+/// Render the human-readable profile. Integer math only: byte-identical
+/// across hosts for identical traces.
+void write_report(std::ostream& os, const Analysis& a,
+                  const ReportOptions& opt = {});
+
+/// Collapsed-stack stall attribution ("cpu0;remote-acquire;is.keyden 1234"
+/// per line, value = simulated ns), loadable by speedscope and inferno.
+void write_collapsed_stacks(std::ostream& os, const Analysis& a);
+
+}  // namespace ksr::obs

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <set>
 #include <string_view>
 #include <utility>
 
@@ -18,6 +17,13 @@
 // are simulated nanoseconds rendered as microseconds with integer math, so
 // the output is byte-stable across hosts and runs — the property the
 // exporter golden test pins down.
+//
+// Normalization: records mix two clocks (ring/coherence use the global
+// engine clock; sync/stall use the logging cpu's local clock, which runs
+// ahead), so each thread track is emitted sorted by timestamp — monotone
+// per track, which is what Perfetto needs for well-formed slices. Each
+// process also carries a "process_labels" metadata event with its
+// "events=N dropped=M" accounting, mirroring the CSV footer.
 namespace ksr::obs {
 
 /// Streaming multi-process writer: construct on an open stream, add_process()

@@ -6,7 +6,10 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "ksr/machine/machine.hpp"
+#include "ksr/obs/analyze.hpp"
 #include "ksr/obs/export.hpp"
 #include "ksr/obs/metrics.hpp"
 #include "ksr/obs/tracer.hpp"
@@ -31,8 +34,11 @@ struct SessionOptions {
   std::string categories;      // comma-separated filter; empty = all
   std::string trace_out;       // output path; empty = "<name>_trace.json"
   std::string metrics_csv;     // metrics time-series path; empty = off
+  std::string report;          // ksrprof profile report path; empty = off
+                               // (implies trace capture, not trace output)
   sim::Duration metrics_period_ns = MetricsRegistry::kDefaultPeriodNs;
   // Per-job record capacity (40 B each). Overflow is counted, not silent.
+  // Overridable via --trace-cap.
   std::size_t trace_capacity = 1u << 18;
 };
 
@@ -49,20 +55,37 @@ class JobObs {
   void attach(machine::Machine& m) {
     if (tracer_) m.attach_tracer(tracer_.get());
     if (metrics_) metrics_->attach(m, period_);
+    machine_ = &m;
   }
 
-  /// Take the final metrics sample. Call after the last run(), while the
-  /// machine is still alive.
+  /// Take the final metrics sample and snapshot the heap's region map (the
+  /// job's allocations happen after attach(), so name resolution for
+  /// reports and offline analysis must wait until the job is done). Call
+  /// after the last run(), while the machine is still alive.
   void finish() {
     if (metrics_) metrics_->finish();
+    if (machine_ != nullptr && tracer_) {
+      const mem::Heap& h = machine_->heap();
+      regions_.reserve(h.region_count());
+      for (std::size_t i = 0; i < h.region_count(); ++i) {
+        const mem::Region& r = h.region(i);
+        regions_.push_back({r.base, r.bytes, r.name});
+      }
+    }
+    machine_ = nullptr;
   }
 
   [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const std::vector<RegionSpan>& regions() const noexcept {
+    return regions_;
+  }
 
  private:
   friend class Session;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::vector<RegionSpan> regions_;
+  machine::Machine* machine_ = nullptr;
   sim::Duration period_ = MetricsRegistry::kDefaultPeriodNs;
 };
 
@@ -78,7 +101,12 @@ class Session {
   [[nodiscard]] bool metrics() const noexcept {
     return !opt_.metrics_csv.empty();
   }
-  [[nodiscard]] bool active() const noexcept { return tracing() || metrics(); }
+  [[nodiscard]] bool reporting() const noexcept {
+    return !opt_.report.empty();
+  }
+  [[nodiscard]] bool active() const noexcept {
+    return tracing() || metrics() || reporting();
+  }
 
   /// Create the observability handle for one job. Thread-safe in the trivial
   /// way: it mutates nothing in the Session. Returns an inert handle when
@@ -101,6 +129,7 @@ class Session {
   std::string name_;
   std::ofstream trace_os_;
   std::ofstream metrics_os_;
+  std::ofstream report_os_;
   std::unique_ptr<ChromeTraceWriter> writer_;  // JSON mode
   bool trace_header_done_ = false;             // CSV mode
   bool metrics_header_done_ = false;

@@ -75,7 +75,11 @@ class Tracer {
     std::int64_t detail = 0;    // wait ns, holder mask, duration ns, ...
     std::uint16_t cat = 0;
     std::uint16_t ev = 0;
-    std::uint32_t pad_ = 0;
+    // Event-specific auxiliary word; 0 = none. Coherence grants store
+    // 1 + the byte offset (within the sub-page) of the demand access that
+    // triggered the transaction — the witness the sharing-pattern
+    // classifier uses to tell false sharing from true sharing.
+    std::uint32_t aux = 0;
   };
   static_assert(sizeof(Record) == 40);
 
@@ -90,20 +94,20 @@ class Tracer {
   /// allocates; over-capacity records are counted in dropped().
   void log(sim::Time t, std::uint16_t cat, std::uint16_t ev,
            std::uint64_t subject, std::uint64_t actor,
-           std::int64_t detail = 0) noexcept {
+           std::int64_t detail = 0, std::uint32_t aux = 0) noexcept {
     if (((mask_ >> mask_bit(cat)) & 1u) == 0) return;
     if (size_ == cap_) {
       ++dropped_;
       return;
     }
-    records_[size_++] = Record{t, subject, actor, detail, cat, ev, 0};
+    records_[size_++] = Record{t, subject, actor, detail, cat, ev, aux};
   }
 
   /// Name-based convenience overload (string lookup per call — for cold
   /// paths and tests; unknown names are interned on first use).
   void log(sim::Time t, std::string_view category, std::string_view event,
            std::uint64_t subject, std::uint64_t actor,
-           std::int64_t detail = 0);
+           std::int64_t detail = 0, std::uint32_t aux = 0);
 
   [[nodiscard]] const Record* begin() const noexcept { return records_.get(); }
   [[nodiscard]] const Record* end() const noexcept {
@@ -159,8 +163,8 @@ class Tracer {
   [[nodiscard]] std::size_t count(std::string_view category,
                                   std::string_view event = {}) const;
 
-  /// CSV dump: the classic header/rows plus a trailing
-  /// "# events=N dropped=M" footer so truncation is always visible.
+  /// CSV dump: the classic header/rows (including the aux column) plus a
+  /// trailing "# events=N dropped=M" footer so truncation is always visible.
   void write_csv(std::ostream& os) const;
 
  private:

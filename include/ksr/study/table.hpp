@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cerrno>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <iomanip>
@@ -92,9 +93,13 @@ class TextTable {
 /// Observability (see docs/OBSERVABILITY.md): `--trace[=cat,...]` captures a
 /// structured event trace, `--trace-out FILE` picks its output (.json =
 /// Chrome/Perfetto trace events, .csv = merged CSV; default
-/// <bench>_trace.json), `--metrics-csv FILE` writes the sampled machine-wide
-/// metrics time series. None of these change simulated timing or the
-/// events_dispatched fingerprints — enforced by test and bench_host.sh.
+/// <bench>_trace.json), `--trace-cap N` sizes the per-job record buffer
+/// (default 2^18; overflow is counted, never silent), `--metrics-csv FILE`
+/// writes the sampled machine-wide metrics time series, and `--report FILE`
+/// writes a ksrprof simulated-time profile (sharing patterns, sync critical
+/// paths, stall attribution — no trace file needed). None of these change
+/// simulated timing or the events_dispatched fingerprints — enforced by
+/// test and bench_host.sh.
 ///
 /// Unrecognized arguments warn on stderr (fail-soft: a typo like `--job=4`
 /// must not silently run with defaults).
@@ -107,6 +112,20 @@ struct BenchOptions {
   std::string trace_cats;   // category filter; empty = all
   std::string trace_out;    // trace output path; empty = default
   std::string metrics_csv;  // metrics time-series path; empty = off
+  std::string report;       // ksrprof profile report path; empty = off
+  std::size_t trace_cap = 0;  // records per job buffer; 0 = default
+
+  static void parse_trace_cap(BenchOptions* o, const char* s) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v == 0) {
+      std::cerr << "warning: ignoring invalid --trace-cap value '" << s
+                << "' (expected a positive record count)\n";
+    } else {
+      o->trace_cap = static_cast<std::size_t>(v);
+    }
+  }
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -160,6 +179,14 @@ struct BenchOptions {
         o.metrics_csv = argv[++i];
       } else if (eq_value(a, "--metrics-csv", &v)) {
         o.metrics_csv = v;
+      } else if (a == "--report" && i + 1 < argc) {
+        o.report = argv[++i];
+      } else if (eq_value(a, "--report", &v)) {
+        o.report = v;
+      } else if (a == "--trace-cap" && i + 1 < argc) {
+        parse_trace_cap(&o, argv[++i]);
+      } else if (eq_value(a, "--trace-cap", &v)) {
+        parse_trace_cap(&o, v.c_str());
       } else {
         std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
       }

@@ -140,6 +140,39 @@ assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
     echo "bench_host.sh --check FAILED: fig4 metrics CSV is empty" >&2
     exit 1
   fi
+  # Profile-report non-perturbation: --report drives the same tracer but
+  # must change neither the event fingerprint nor a byte of the CSV stream,
+  # and the report itself must be byte-identical for any --jobs count (the
+  # sweep merges per-job sections in submission order).
+  run_paper bench_table2_is table2_is_rep_j1 --jobs 1 \
+    "--report=$TMP/report_j1.txt"
+  run_paper bench_table2_is table2_is_rep_j4 --jobs 4 \
+    "--report=$TMP/report_j4.txt"
+  fpr=$(fingerprint table2_is_rep_j1)
+  if [ -z "$fpr" ] || [ "$fpj1" != "$fpr" ]; then
+    echo "bench_host.sh --check FAILED: events_dispatched changes when" \
+         "--report is on ($fpj1 vs $fpr)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/table2_is_j1.csv" "$TMP/table2_is_rep_j1.csv"; then
+    echo "bench_host.sh --check FAILED: --csv output changes when --report" \
+         "is on" >&2
+    exit 1
+  fi
+  if [ ! -s "$TMP/report_j1.txt" ]; then
+    echo "bench_host.sh --check FAILED: --report wrote no profile" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/report_j1.txt" "$TMP/report_j4.txt"; then
+    echo "bench_host.sh --check FAILED: profile report differs between" \
+         "--jobs 1 and --jobs 4" >&2
+    exit 1
+  fi
+  if ! grep -q '^## sharing' "$TMP/report_j1.txt"; then
+    echo "bench_host.sh --check FAILED: profile report has no sharing" \
+         "section" >&2
+    exit 1
+  fi
   # Host-performance gate: the simulator's hot loops must not have slowed
   # past tolerance relative to the committed BENCH_host.json baseline.
   python3 scripts/perf_gate.py --gbench "$TMP/gbench.json"

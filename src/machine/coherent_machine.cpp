@@ -49,8 +49,14 @@ class CoherentCpu final : public Cpu {
   }
 
   void access_one(mem::Sva a, Op op);
-  void load_line(mem::SubPageId sp, bool need_write);
-  void remote_acquire(mem::SubPageId sp, Acquire kind);
+  void load_line(mem::SubPageId sp, bool need_write, std::uint32_t witness);
+  void remote_acquire(mem::SubPageId sp, Acquire kind, std::uint32_t witness);
+
+  /// Trace witness for a demand access: 1 + byte offset within the sub-page
+  /// (0 is reserved for "no witness", e.g. prefetch).
+  [[nodiscard]] static constexpr std::uint32_t witness_of(mem::Sva a) noexcept {
+    return 1u + static_cast<std::uint32_t>(a % mem::kSubPageBytes);
+  }
   sim::Duration transport_round_trip(mem::SubPageId sp, unsigned target_leaf);
   void fill_subcache(mem::Sva a);
 
@@ -101,7 +107,7 @@ void CoherentCpu::access_one(mem::Sva a, Op op) {
       return;
     }
     ++c.pmon.subcache_misses;
-    load_line(sp, /*need_write=*/false);
+    load_line(sp, /*need_write=*/false, witness_of(a));
     fill_subcache(a);
     return;
   }
@@ -119,11 +125,12 @@ void CoherentCpu::access_one(mem::Sva a, Op op) {
     return;
   }
   ++c.pmon.subcache_misses;
-  load_line(sp, /*need_write=*/true);
+  load_line(sp, /*need_write=*/true, witness_of(a));
   fill_subcache(a);
 }
 
-void CoherentCpu::load_line(mem::SubPageId sp, bool need_write) {
+void CoherentCpu::load_line(mem::SubPageId sp, bool need_write,
+                            std::uint32_t witness) {
   auto& c = cell();
   for (;;) {
     const cache::LineState st = c.local.state(sp);
@@ -164,7 +171,8 @@ void CoherentCpu::load_line(mem::SubPageId sp, bool need_write) {
                          : cfg().localcache_read_ns);
       return;
     }
-    remote_acquire(sp, need_write ? Acquire::kExclusive : Acquire::kShared);
+    remote_acquire(sp, need_write ? Acquire::kExclusive : Acquire::kShared,
+                   witness);
     return;
   }
 }
@@ -180,7 +188,8 @@ sim::Duration CoherentCpu::transport_round_trip(mem::SubPageId sp,
   return wait;
 }
 
-void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
+void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind,
+                                 std::uint32_t witness) {
   auto& c = cell();
   constexpr unsigned kMaxRetries = 1'000'000;
   unsigned consecutive_nacks = 0;
@@ -214,13 +223,13 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind) {
     CoherentMachine::CommitResult res{};
     switch (kind) {
       case Acquire::kShared:
-        res = cm_.commit_shared(id_, sp);
+        res = cm_.commit_shared(id_, sp, witness);
         break;
       case Acquire::kExclusive:
-        res = cm_.commit_exclusive(id_, sp, /*atomic=*/false);
+        res = cm_.commit_exclusive(id_, sp, /*atomic=*/false, witness);
         break;
       case Acquire::kAtomic:
-        res = cm_.commit_exclusive(id_, sp, /*atomic=*/true);
+        res = cm_.commit_exclusive(id_, sp, /*atomic=*/true, witness);
         break;
     }
 
@@ -270,7 +279,7 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
       tick_ns(cfg().local_atomic_ns);
       return;
     }
-    remote_acquire(sp, Acquire::kAtomic);
+    remote_acquire(sp, Acquire::kAtomic, witness_of(a));
     return;
   }
 
@@ -509,7 +518,7 @@ void CoherentMachine::invalidate_at(unsigned cell, mem::SubPageId sp) {
 }
 
 CoherentMachine::CommitResult CoherentMachine::commit_shared(
-    unsigned cell, mem::SubPageId sp) {
+    unsigned cell, mem::SubPageId sp, std::uint32_t witness) {
   DirEntry& e = dir_[sp];
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
     if (tracer_ != nullptr) {
@@ -519,7 +528,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
   }
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvGrantShared, sp,
-                 cell, static_cast<std::int64_t>(e.holders));
+                 cell, static_cast<std::int64_t>(e.holders), witness);
   }
   // Downgrade a previous exclusive owner.
   if (e.owner >= 0 && e.owner != static_cast<std::int16_t>(cell)) {
@@ -560,7 +569,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
 }
 
 CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
-    unsigned cell, mem::SubPageId sp, bool atomic) {
+    unsigned cell, mem::SubPageId sp, bool atomic, std::uint32_t witness) {
   DirEntry& e = dir_[sp];
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
     if (tracer_ != nullptr) {
@@ -571,7 +580,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence,
                  atomic ? obs::kEvGrantAtomic : obs::kEvGrantExclusive, sp,
-                 cell, static_cast<std::int64_t>(e.holders));
+                 cell, static_cast<std::int64_t>(e.holders), witness);
   }
   std::uint64_t others = e.holders & ~bit(cell);
   while (others != 0) {

@@ -34,9 +34,31 @@ IsResult run_is(machine::Machine& m, const IsConfig& cfg) {
   const std::size_t chunk_ints =
       std::max<std::size_t>(nbuckets, mem::kPageBytes / sizeof(std::uint32_t));
 
+  // Bucket -> keyden slot mapping. Identity by default: neighbouring
+  // processors' portions share the sub-page at their boundary (the false
+  // sharing the profiler must catch). With cfg.pad_buckets every portion
+  // starts on a fresh sub-page, so no two portions share a coherence unit.
+  constexpr std::size_t kIntsPerSubPage =
+      mem::kSubPageBytes / sizeof(std::uint32_t);
+  std::vector<std::size_t> slot(nbuckets);
+  std::size_t keyden_ints = nbuckets;
+  if (cfg.pad_buckets) {
+    std::size_t next = 0;
+    for (unsigned p = 0; p < nproc; ++p) {
+      const std::size_t lo = nbuckets * p / nproc;
+      const std::size_t hi = nbuckets * (p + 1) / nproc;
+      for (std::size_t b = lo; b < hi; ++b) slot[b] = next + (b - lo);
+      next += (hi - lo + kIntsPerSubPage - 1) / kIntsPerSubPage *
+              kIntsPerSubPage;
+    }
+    keyden_ints = std::max<std::size_t>(next, 1);
+  } else {
+    for (std::size_t b = 0; b < nbuckets; ++b) slot[b] = b;
+  }
+
   auto keys = m.alloc<std::uint32_t>("is.keys", n);
   auto rank = m.alloc<std::uint32_t>("is.rank", n);
-  auto keyden = m.alloc<std::uint32_t>("is.keyden", nbuckets);
+  auto keyden = m.alloc<std::uint32_t>("is.keyden", keyden_ints);
   auto keyden_t = m.alloc<std::uint32_t>(
       "is.keyden_t", static_cast<std::size_t>(nproc) * chunk_ints,
       machine::Placement::blocked(chunk_ints * sizeof(std::uint32_t)));
@@ -63,7 +85,7 @@ IsResult run_is(machine::Machine& m, const IsConfig& cfg) {
     for (std::size_t b = 0; b < nbuckets; ++b) {
       cpu.write(keyden_t, my_base + b, 0);
     }
-    for (std::size_t b = b_lo; b < b_hi; ++b) cpu.write(keyden, b, 0);
+    for (std::size_t b = b_lo; b < b_hi; ++b) cpu.write(keyden, slot[b], 0);
     barrier->arrive(cpu);
     const double t0 = cpu.seconds();
 
@@ -100,15 +122,15 @@ IsResult run_is(machine::Machine& m, const IsConfig& cfg) {
         sum += cpu.read(keyden_t, static_cast<std::size_t>(p) * chunk_ints + b);
         cpu.work(2);
       }
-      cpu.write(keyden, b, sum);
+      cpu.write(keyden, slot[b], sum);
     }
     barrier->arrive(cpu);
 
     // ---- Phase 3: partial prefix sums over my portion.
     std::uint32_t running = 0;
     for (std::size_t b = b_lo; b < b_hi; ++b) {
-      running += cpu.read(keyden, b);
-      cpu.write(keyden, b, running);
+      running += cpu.read(keyden, slot[b]);
+      cpu.write(keyden, slot[b], running);
       cpu.work(2);
     }
     tmp_sum.write(cpu, me, running);
@@ -133,7 +155,7 @@ IsResult run_is(machine::Machine& m, const IsConfig& cfg) {
     if (me > 0) {
       const std::uint32_t offset = tmp_sum.read(cpu, me - 1);
       for (std::size_t b = b_lo; b < b_hi; ++b) {
-        cpu.write(keyden, b, cpu.read(keyden, b) + offset);
+        cpu.write(keyden, slot[b], cpu.read(keyden, slot[b]) + offset);
         cpu.work(2);
       }
     }
@@ -141,20 +163,27 @@ IsResult run_is(machine::Machine& m, const IsConfig& cfg) {
 
     // ---- Phase 6: atomically snapshot keyden into my local copy and
     // decrement it by my counts — one sub-page locked at a time, so the
-    // processors pipeline through the array (paper §3.3.2).
-    constexpr std::size_t kIntsPerSubPage =
-        mem::kSubPageBytes / sizeof(std::uint32_t);
-    for (std::size_t b0 = 0; b0 < nbuckets; b0 += kIntsPerSubPage) {
-      const std::size_t b1 = std::min(nbuckets, b0 + kIntsPerSubPage);
-      cpu.get_subpage(keyden.addr(b0));
+    // processors pipeline through the array (paper §3.3.2). Chunks are runs
+    // of buckets whose slots are contiguous within one sub-page: with the
+    // identity mapping that is exactly the fixed 32-bucket stride, and with
+    // padding it additionally splits at (sub-page-aligned) portion starts.
+    for (std::size_t b0 = 0; b0 < nbuckets;) {
+      const std::size_t page = slot[b0] / kIntsPerSubPage;
+      std::size_t b1 = b0 + 1;
+      while (b1 < nbuckets && slot[b1] == slot[b1 - 1] + 1 &&
+             slot[b1] / kIntsPerSubPage == page) {
+        ++b1;
+      }
+      cpu.get_subpage(keyden.addr(slot[b0]));
       for (std::size_t b = b0; b < b1; ++b) {
-        const std::uint32_t snapshot = cpu.read(keyden, b);
+        const std::uint32_t snapshot = cpu.read(keyden, slot[b]);
         const std::uint32_t mine = cpu.read(keyden_t, my_base + b);
-        cpu.write(keyden, b, snapshot - mine);
+        cpu.write(keyden, slot[b], snapshot - mine);
         cpu.write(keyden_t, my_base + b, snapshot);
         cpu.work(4);
       }
-      cpu.release_subpage(keyden.addr(b0));
+      cpu.release_subpage(keyden.addr(slot[b0]));
+      b0 = b1;
     }
     barrier->arrive(cpu);
 

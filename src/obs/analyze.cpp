@@ -1,0 +1,476 @@
+#include "ksr/obs/analyze.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "ksr/mem/geometry.hpp"
+
+namespace ksr::obs {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t bit(std::uint64_t cell) noexcept {
+  return 1ull << (cell & 63u);
+}
+
+/// Byte offsets witnessed within one 128-B sub-page, as a 128-bit set.
+struct WitnessSet {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool unknown = false;  // a grant carried no witness (e.g. prefetch)
+
+  void add(std::uint32_t aux) noexcept {
+    if (aux == 0) {
+      unknown = true;
+      return;
+    }
+    const std::uint32_t off = (aux - 1) & (mem::kSubPageBytes - 1);
+    if (off < 64) {
+      lo |= 1ull << off;
+    } else {
+      hi |= 1ull << (off - 64);
+    }
+  }
+
+  /// Conservative: unknown offsets count as overlapping everything, so a
+  /// falsely-shared verdict requires *every* write to be witnessed.
+  [[nodiscard]] bool overlaps(const WitnessSet& o) const noexcept {
+    return unknown || o.unknown || (lo & o.lo) != 0 || (hi & o.hi) != 0;
+  }
+};
+
+struct SpState {
+  std::uint64_t readers = 0;  // cell masks
+  std::uint64_t writers = 0;
+  std::uint64_t atomics = 0;
+  std::map<unsigned, WitnessSet> write_witness;
+  int last_owner = -1;
+  SubpageProfile p;
+};
+
+constexpr sim::Time kNoTime = ~0ull;
+
+struct LockKeyState {
+  sim::Time pending_acquire = kNoTime;  // kEvLockAcquire awaiting acquired
+  sim::Time acquired_at = kNoTime;      // held since (cpu-local clock)
+};
+
+struct LockState {
+  LockProfile p;
+  std::map<unsigned, LockKeyState> per_cpu;
+  // Wait intervals [start, end] on this subject, for the depth sweep.
+  std::vector<std::pair<sim::Time, sim::Time>> waits;
+};
+
+/// Index into `regions` (sorted by base) containing `sva`, or -1.
+[[nodiscard]] int region_index(const std::vector<RegionSpan>& regions,
+                               std::uint64_t sva) {
+  auto it = std::upper_bound(
+      regions.begin(), regions.end(), sva,
+      [](std::uint64_t a, const RegionSpan& r) { return a < r.base; });
+  if (it == regions.begin()) return -1;
+  --it;
+  if (sva >= it->base + it->bytes) return -1;
+  return static_cast<int>(it - regions.begin());
+}
+
+void classify(SpState& s) {
+  SubpageProfile& p = s.p;
+  const unsigned nw = static_cast<unsigned>(std::popcount(s.writers));
+  p.readers = static_cast<unsigned>(std::popcount(s.readers));
+  p.writers = nw;
+  p.score = p.invalidations + p.nacks + p.snarfs;
+  const std::uint64_t all = s.readers | s.writers | s.atomics;
+  if (std::popcount(all) <= 1) {
+    p.pattern = SharingPattern::kPrivate;
+    return;
+  }
+  if (nw >= 2) {
+    bool overlap = false;
+    for (auto i = s.write_witness.begin(); !overlap && i != s.write_witness.end();
+         ++i) {
+      for (auto j = std::next(i); j != s.write_witness.end(); ++j) {
+        if (i->second.overlaps(j->second)) {
+          overlap = true;
+          break;
+        }
+      }
+    }
+    p.disjoint_writes = !overlap;
+    p.pattern = (!overlap && p.owner_changes >= 2)
+                    ? SharingPattern::kFalselyShared
+                    : SharingPattern::kMigratory;
+    return;
+  }
+  if (nw == 1 && (s.readers & ~s.writers) != 0) {
+    p.pattern = SharingPattern::kProducerConsumer;
+    return;
+  }
+  if (p.grants_atomic > 0) {
+    p.pattern = SharingPattern::kLock;
+    return;
+  }
+  p.pattern = SharingPattern::kReadOnly;
+}
+
+/// "name+0x0080" or the bare sub-page id when unmapped.
+[[nodiscard]] std::string locus(const SubpageProfile& p) {
+  if (p.region.empty()) return "sp:" + std::to_string(p.subpage);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "+0x%04llx",
+                static_cast<unsigned long long>(p.region_offset));
+  return p.region + buf;
+}
+
+void pad_to(std::string& s, std::size_t w) {
+  if (s.size() < w) s.append(w - s.size(), ' ');
+}
+
+[[nodiscard]] std::string lpad(std::uint64_t v, std::size_t w) {
+  std::string s = std::to_string(v);
+  return s.size() < w ? std::string(w - s.size(), ' ') + s : s;
+}
+
+}  // namespace
+
+std::string_view to_string(SharingPattern p) noexcept {
+  switch (p) {
+    case SharingPattern::kPrivate: return "private";
+    case SharingPattern::kReadOnly: return "read-only";
+    case SharingPattern::kProducerConsumer: return "producer-consumer";
+    case SharingPattern::kMigratory: return "migratory";
+    case SharingPattern::kFalselyShared: return "falsely-shared";
+    case SharingPattern::kLock: return "lock";
+  }
+  return "?";
+}
+
+Analysis analyze(const Tracer::Record* begin, const Tracer::Record* end,
+                 std::vector<RegionSpan> regions, std::uint64_t dropped) {
+  Analysis a;
+  a.dropped = dropped;
+  std::sort(regions.begin(), regions.end(),
+            [](const RegionSpan& x, const RegionSpan& y) {
+              return x.base < y.base;
+            });
+
+  std::map<std::uint64_t, SpState> subpages;
+  std::map<unsigned, std::uint64_t> barrier_arrivals;  // cpu -> episodes done
+  std::vector<BarrierEpisode> episodes;
+  std::map<std::uint64_t, LockState> locks;
+  // (cpu, ev, region index) -> stall totals; -1 region sorts first.
+  std::map<std::tuple<unsigned, std::uint16_t, int>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      stalls;
+  unsigned max_cpu = 0;
+  bool any_cpu = false;
+
+  for (const Tracer::Record* r = begin; r != end; ++r) {
+    ++a.events;
+    if (r->cat == kCatCoherence || r->cat == kCatSync || r->cat == kCatStall) {
+      max_cpu = std::max(max_cpu, static_cast<unsigned>(r->actor));
+      any_cpu = true;
+    }
+    if (r->cat == kCatCoherence) {
+      SpState& s = subpages[r->subject];
+      const unsigned cell = static_cast<unsigned>(r->actor);
+      switch (r->ev) {
+        case kEvGrantShared:
+          ++s.p.grants_shared;
+          s.readers |= bit(cell);
+          s.last_owner = -1;  // grant downgrades any exclusive owner
+          break;
+        case kEvGrantExclusive:
+          ++s.p.grants_exclusive;
+          s.writers |= bit(cell);
+          s.write_witness[cell].add(r->aux);
+          if (s.last_owner >= 0 && s.last_owner != static_cast<int>(cell)) {
+            ++s.p.owner_changes;
+          }
+          s.last_owner = static_cast<int>(cell);
+          break;
+        case kEvGrantAtomic:
+          ++s.p.grants_atomic;
+          s.atomics |= bit(cell);
+          if (s.last_owner >= 0 && s.last_owner != static_cast<int>(cell)) {
+            ++s.p.owner_changes;
+          }
+          s.last_owner = static_cast<int>(cell);
+          break;
+        case kEvInvalidate: ++s.p.invalidations; break;
+        case kEvNack: ++s.p.nacks; break;
+        case kEvSnarf:
+          ++s.p.snarfs;
+          s.readers |= bit(cell);
+          break;
+        case kEvPoststore: ++s.p.poststores; break;
+        default: break;
+      }
+    } else if (r->cat == kCatSync) {
+      const unsigned cpu = static_cast<unsigned>(r->actor);
+      if (r->ev == kEvBarrierArrive) {
+        // Barriers span all cpus, so every cpu walks the same global episode
+        // sequence: its k-th arrive belongs to global episode k (robust to
+        // episode-counter collisions between distinct barrier objects).
+        const std::uint64_t k = barrier_arrivals[cpu]++;
+        if (k >= episodes.size()) episodes.resize(k + 1);
+        BarrierEpisode& e = episodes[k];
+        e.index = k;
+        if (e.arrivals == 0 || r->t < e.first_arrive) e.first_arrive = r->t;
+        if (e.arrivals == 0 || r->t > e.last_arrive) {
+          e.last_arrive = r->t;
+          e.last_cpu = cpu;
+        }
+        ++e.arrivals;
+      } else if (r->ev == kEvLockAcquire) {
+        locks[r->subject].per_cpu[cpu].pending_acquire = r->t;
+      } else if (r->ev == kEvLockAcquired) {
+        LockState& l = locks[r->subject];
+        LockKeyState& k = l.per_cpu[cpu];
+        ++l.p.acquisitions;
+        const std::uint64_t wait = static_cast<std::uint64_t>(
+            r->detail < 0 ? 0 : r->detail);
+        l.p.wait_ns += wait;
+        l.p.max_wait_ns = std::max(l.p.max_wait_ns, wait);
+        const sim::Time start =
+            k.pending_acquire != kNoTime
+                ? k.pending_acquire
+                : (r->t >= wait ? r->t - wait : 0);
+        if (r->t > start) l.waits.emplace_back(start, r->t);
+        k.pending_acquire = kNoTime;
+        k.acquired_at = r->t;
+      } else if (r->ev == kEvLockRelease) {
+        LockState& l = locks[r->subject];
+        LockKeyState& k = l.per_cpu[cpu];
+        if (k.acquired_at != kNoTime && r->t >= k.acquired_at) {
+          l.p.hold_ns += r->t - k.acquired_at;
+        }
+        k.acquired_at = kNoTime;
+      }
+    } else if (r->cat == kCatStall) {
+      const std::uint64_t sva = r->subject * mem::kSubPageBytes;
+      auto& [ns, count] = stalls[{static_cast<unsigned>(r->actor), r->ev,
+                                  region_index(regions, sva)}];
+      ns += static_cast<std::uint64_t>(r->detail < 0 ? 0 : r->detail);
+      ++count;
+    }
+  }
+  a.cpus = any_cpu ? max_cpu + 1 : 0;
+
+  // --- sub-pages: classify, resolve regions, rank ---
+  a.subpages.reserve(subpages.size());
+  for (auto& [sp, s] : subpages) {
+    s.p.subpage = sp;
+    const int ri = region_index(regions, sp * mem::kSubPageBytes);
+    if (ri >= 0) {
+      const RegionSpan& reg = regions[static_cast<std::size_t>(ri)];
+      s.p.region = reg.name;
+      s.p.region_offset = sp * mem::kSubPageBytes - reg.base;
+    }
+    classify(s);
+    a.subpages.push_back(std::move(s.p));
+  }
+  std::sort(a.subpages.begin(), a.subpages.end(),
+            [](const SubpageProfile& x, const SubpageProfile& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.subpage < y.subpage;
+            });
+
+  // --- barriers ---
+  for (BarrierEpisode& e : episodes) {
+    e.skew = e.last_arrive - e.first_arrive;
+    a.barriers.total_skew += e.skew;
+    a.barriers.max_skew = std::max(a.barriers.max_skew, e.skew);
+  }
+  a.barriers.last_arriver.assign(a.cpus, 0);
+  for (const BarrierEpisode& e : episodes) {
+    if (e.arrivals >= 2 && e.last_cpu < a.cpus) {
+      ++a.barriers.last_arriver[e.last_cpu];
+    }
+  }
+  a.barriers.episodes = std::move(episodes);
+
+  // --- locks: depth sweep over wait intervals ---
+  for (auto& [subject, l] : locks) {
+    l.p.subject = subject;
+    // +1 at wait start, -1 at wait end; ends sort before starts at the same
+    // instant so a back-to-back handoff does not count as overlap.
+    std::vector<std::pair<sim::Time, int>> sweep;
+    sweep.reserve(l.waits.size() * 2);
+    for (const auto& [s0, s1] : l.waits) {
+      sweep.emplace_back(s0, +1);
+      sweep.emplace_back(s1, -1);
+    }
+    std::sort(sweep.begin(), sweep.end());
+    int depth = 0;
+    for (const auto& [t, d] : sweep) {
+      depth += d;
+      l.p.max_depth = std::max(l.p.max_depth, static_cast<unsigned>(depth));
+    }
+    a.locks.push_back(l.p);
+  }
+
+  // --- stalls ---
+  for (const auto& [key, val] : stalls) {
+    const auto& [cpu, ev, ri] = key;
+    StallEntry e;
+    e.cpu = cpu;
+    e.ev = ev;
+    e.kind = ev == kEvInjectWait     ? "inject-wait"
+             : ev == kEvNackBackoff  ? "nack-backoff"
+             : ev == kEvRemoteAcquire ? "remote-acquire"
+                                      : "stall-" + std::to_string(ev);
+    if (ri >= 0) e.region = regions[static_cast<std::size_t>(ri)].name;
+    e.total_ns = val.first;
+    e.count = val.second;
+    a.stalls.push_back(std::move(e));
+  }
+  std::sort(a.stalls.begin(), a.stalls.end(),
+            [](const StallEntry& x, const StallEntry& y) {
+              if (x.total_ns != y.total_ns) return x.total_ns > y.total_ns;
+              if (x.cpu != y.cpu) return x.cpu < y.cpu;
+              if (x.ev != y.ev) return x.ev < y.ev;
+              return x.region < y.region;
+            });
+
+  a.regions = std::move(regions);
+  return a;
+}
+
+Analysis analyze(const Tracer& t, std::vector<RegionSpan> regions) {
+  return analyze(t.begin(), t.end(), std::move(regions), t.dropped());
+}
+
+void write_report(std::ostream& os, const Analysis& a,
+                  const ReportOptions& opt) {
+  os << "# ksrprof simulated-time profile\n"
+     << "events=" << a.events << " dropped=" << a.dropped
+     << " cpus=" << a.cpus << " subpages=" << a.subpages.size()
+     << " regions=" << a.regions.size() << "\n";
+
+  // --- sharing ---
+  const std::size_t top =
+      std::min(opt.top_n, a.subpages.size());
+  os << "\n## sharing: top " << top << " of " << a.subpages.size()
+     << " sub-pages by contention (invalidations+nacks+snarfs)\n";
+  if (top != 0) {
+    os << "  locus                     pattern            rd  wr   gr-s   gr-x"
+          "   gr-a    inv   nack  snarf   post  own-chg\n";
+    for (std::size_t i = 0; i < top; ++i) {
+      const SubpageProfile& p = a.subpages[i];
+      std::string l = "  " + locus(p);
+      pad_to(l, 28);
+      std::string pat(to_string(p.pattern));
+      pad_to(pat, 17);
+      os << l << pat << lpad(p.readers, 4) << lpad(p.writers, 4)
+         << lpad(p.grants_shared, 7) << lpad(p.grants_exclusive, 7)
+         << lpad(p.grants_atomic, 7) << lpad(p.invalidations, 7)
+         << lpad(p.nacks, 7) << lpad(p.snarfs, 7) << lpad(p.poststores, 7)
+         << lpad(p.owner_changes, 9) << "\n";
+    }
+  }
+  std::size_t nfalse = 0;
+  for (const SubpageProfile& p : a.subpages) {
+    if (p.pattern == SharingPattern::kFalselyShared) ++nfalse;
+  }
+  os << "falsely-shared sub-pages: " << nfalse << "\n";
+  for (const SubpageProfile& p : a.subpages) {
+    if (p.pattern != SharingPattern::kFalselyShared) continue;
+    os << "  " << locus(p) << ": " << p.writers
+       << " writers on disjoint offsets, " << p.owner_changes
+       << " owner changes, " << p.invalidations << " invalidations\n";
+  }
+
+  // --- barriers ---
+  os << "\n## barriers\n";
+  const std::size_t neps = a.barriers.episodes.size();
+  os << "episodes=" << neps << " max-skew-ns=" << a.barriers.max_skew
+     << " avg-skew-ns=" << (neps != 0 ? a.barriers.total_skew /
+                                            static_cast<sim::Duration>(neps)
+                                      : 0)
+     << "\n";
+  if (neps != 0) {
+    os << "last arriver:";
+    bool first = true;
+    for (std::size_t c = 0; c < a.barriers.last_arriver.size(); ++c) {
+      if (a.barriers.last_arriver[c] == 0) continue;
+      os << (first ? " " : ", ") << "cpu" << c << " x"
+         << a.barriers.last_arriver[c];
+      first = false;
+    }
+    if (first) os << " (none)";
+    os << "\n";
+    std::vector<const BarrierEpisode*> worst;
+    worst.reserve(neps);
+    for (const BarrierEpisode& e : a.barriers.episodes) worst.push_back(&e);
+    std::sort(worst.begin(), worst.end(),
+              [](const BarrierEpisode* x, const BarrierEpisode* y) {
+                if (x->skew != y->skew) return x->skew > y->skew;
+                return x->index < y->index;
+              });
+    const std::size_t wt = std::min(opt.top_n, worst.size());
+    os << "worst episodes (top " << wt << "):\n"
+       << "  episode  arrivals  skew-ns  last-cpu\n";
+    for (std::size_t i = 0; i < wt; ++i) {
+      const BarrierEpisode& e = *worst[i];
+      os << lpad(e.index, 9) << lpad(e.arrivals, 10)
+         << lpad(static_cast<std::uint64_t>(e.skew), 9)
+         << lpad(e.last_cpu, 10) << "\n";
+    }
+  }
+
+  // --- locks ---
+  os << "\n## locks\n";
+  if (a.locks.empty()) {
+    os << "(no lock episodes)\n";
+  } else {
+    os << "  lock       acq    wait-ns    hold-ns  max-wait-ns  max-depth\n";
+    for (const LockProfile& l : a.locks) {
+      os << lpad(l.subject, 6) << lpad(l.acquisitions, 10)
+         << lpad(l.wait_ns, 11) << lpad(l.hold_ns, 11)
+         << lpad(l.max_wait_ns, 13) << lpad(l.max_depth, 11) << "\n";
+    }
+  }
+
+  // --- stalls ---
+  os << "\n## stalls (simulated ns lost, by cpu / kind / region)\n";
+  if (a.stalls.empty()) {
+    os << "(no stall events)\n";
+  } else {
+    std::uint64_t inject = 0, backoff = 0, remote = 0;
+    for (const StallEntry& e : a.stalls) {
+      if (e.ev == kEvInjectWait) inject += e.total_ns;
+      if (e.ev == kEvNackBackoff) backoff += e.total_ns;
+      if (e.ev == kEvRemoteAcquire) remote += e.total_ns;
+    }
+    // remote-acquire is the end-to-end transaction latency and *contains*
+    // its inject-wait, so the kinds are reported side by side, never summed.
+    os << "inject-wait-ns=" << inject << " nack-backoff-ns=" << backoff
+       << " remote-acquire-ns=" << remote << "\n";
+    const std::size_t st = std::min(opt.top_n, a.stalls.size());
+    os << "top " << st << " of " << a.stalls.size() << ":\n"
+       << "  cpu  kind            region                  total-ns    count\n";
+    for (std::size_t i = 0; i < st; ++i) {
+      const StallEntry& e = a.stalls[i];
+      std::string kind = e.kind;
+      pad_to(kind, 16);
+      std::string reg = e.region.empty() ? "(unmapped)" : e.region;
+      pad_to(reg, 20);
+      os << lpad(e.cpu, 5) << "  " << kind << reg << lpad(e.total_ns, 12)
+         << lpad(e.count, 9) << "\n";
+    }
+  }
+}
+
+void write_collapsed_stacks(std::ostream& os, const Analysis& a) {
+  for (const StallEntry& e : a.stalls) {
+    os << "cpu" << e.cpu << ';' << e.kind << ';'
+       << (e.region.empty() ? "(unmapped)" : e.region) << ' ' << e.total_ns
+       << '\n';
+  }
+}
+
+}  // namespace ksr::obs

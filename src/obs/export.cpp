@@ -1,8 +1,11 @@
 #include "ksr/obs/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace ksr::obs {
 
@@ -65,28 +68,49 @@ int ChromeTraceWriter::add_process(const Tracer& t,
   event_prefix();
   os_ << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << pid
       << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+  // Drop accounting as metadata: a truncated JSON trace must be as visibly
+  // truncated as the CSV footer makes the CSV dump.
+  event_prefix();
+  os_ << "{\"ph\":\"M\",\"name\":\"process_labels\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"labels\":\"events=" << t.size()
+      << " dropped=" << t.dropped() << "\"}}";
 
-  std::set<std::uint64_t> tids;
-  for (const Tracer::Record& r : t) {
-    if (tids.insert(r.actor).second) {
-      event_prefix();
-      os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
-          << ",\"tid\":" << r.actor << ",\"args\":{\"name\":\"cell " << r.actor
-          << "\"}}";
-    }
-    const PhaseInfo p = phase_of(r.ev);
-    const std::string_view name = p.name.empty() ? t.event_name(r.ev) : p.name;
+  // Group records by thread track and sort each track by timestamp (stable:
+  // log order breaks ties). Sync/stall records carry cpu-local clocks that
+  // run ahead of the global engine clock, so in raw log order a track can
+  // step backwards in time — Perfetto renders that as negative-duration or
+  // overlapping slices. Every clock *within* one track is monotone, so a
+  // per-track sort restores a well-formed timeline without altering any
+  // recorded timestamp (see docs/OBSERVABILITY.md, clock semantics).
+  std::map<std::uint64_t, std::vector<const Tracer::Record*>> tracks;
+  for (const Tracer::Record& r : t) tracks[r.actor].push_back(&r);
+  for (auto& [tid, recs] : tracks) {
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const Tracer::Record* a, const Tracer::Record* b) {
+                       return a->t < b->t;
+                     });
     event_prefix();
-    os_ << "{\"ph\":\"" << p.ph << "\",\"name\":\"" << escaped(name)
-        << "\",\"cat\":\"" << escaped(t.category_name(r.cat))
-        << "\",\"ts\":" << ts_us(r.t) << ",\"pid\":" << pid
-        << ",\"tid\":" << r.actor;
-    if (p.ph == 'i') os_ << ",\"s\":\"t\"";
-    if (p.ph != 'E') {
-      os_ << ",\"args\":{\"subject\":" << r.subject
-          << ",\"detail\":" << r.detail << "}";
+    os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"cell " << tid
+        << "\"}}";
+    for (const Tracer::Record* r : recs) {
+      const PhaseInfo p = phase_of(r->ev);
+      const std::string_view name =
+          p.name.empty() ? t.event_name(r->ev) : p.name;
+      event_prefix();
+      os_ << "{\"ph\":\"" << p.ph << "\",\"name\":\"" << escaped(name)
+          << "\",\"cat\":\"" << escaped(t.category_name(r->cat))
+          << "\",\"ts\":" << ts_us(r->t) << ",\"pid\":" << pid
+          << ",\"tid\":" << tid;
+      if (p.ph == 'i') os_ << ",\"s\":\"t\"";
+      if (p.ph != 'E') {
+        os_ << ",\"args\":{\"subject\":" << r->subject
+            << ",\"detail\":" << r->detail;
+        if (r->aux != 0) os_ << ",\"aux\":" << r->aux;
+        os_ << "}";
+      }
+      os_ << "}";
     }
-    os_ << "}";
   }
   return pid;
 }

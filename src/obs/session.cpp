@@ -21,7 +21,7 @@ std::string Session::trace_path() const {
 
 JobObs Session::job() const {
   JobObs o;
-  if (tracing()) {
+  if (tracing() || reporting()) {
     o.tracer_ = std::make_unique<Tracer>(opt_.trace_capacity);
     o.tracer_->set_enabled_categories(opt_.categories);
   }
@@ -38,29 +38,56 @@ void Session::collect(JobObs obs, const std::string& label) {
     const Tracer& t = *obs.tracer_;
     total_events_ += t.size();
     total_dropped_ += t.dropped();
-    if (!trace_os_.is_open()) {
-      trace_os_.open(trace_path(), std::ios::out | std::ios::trunc);
-      if (!trace_os_) {
-        std::cerr << "[obs] warning: cannot open trace output '"
-                  << trace_path() << "'\n";
+    if (tracing()) {
+      if (!trace_os_.is_open()) {
+        trace_os_.open(trace_path(), std::ios::out | std::ios::trunc);
+        if (!trace_os_) {
+          std::cerr << "[obs] warning: cannot open trace output '"
+                    << trace_path() << "'\n";
+        }
+      }
+      if (trace_os_) {
+        if (trace_as_csv()) {
+          if (!trace_header_done_) {
+            trace_os_
+                << "job,time_ns,category,event,subject,actor,detail,aux\n";
+            trace_header_done_ = true;
+          }
+          for (const Tracer::Record& r : t) {
+            trace_os_ << label << ',' << r.t << ',' << t.category_name(r.cat)
+                      << ',' << t.event_name(r.ev) << ',' << r.subject << ','
+                      << r.actor << ',' << r.detail << ',' << r.aux << '\n';
+          }
+          // Region map + drop accounting as comment footers, so offline
+          // analysis (tools/ksrprof) can resolve sub-pages to region names.
+          for (const RegionSpan& reg : obs.regions_) {
+            trace_os_ << "# region job=" << label << " base=" << reg.base
+                      << " bytes=" << reg.bytes << " name=" << reg.name
+                      << '\n';
+          }
+          trace_os_ << "# job=" << label << " events=" << t.size()
+                    << " dropped=" << t.dropped() << '\n';
+        } else {
+          if (!writer_) {
+            writer_ = std::make_unique<ChromeTraceWriter>(trace_os_);
+          }
+          writer_->add_process(t, label);
+        }
       }
     }
-    if (trace_os_) {
-      if (trace_as_csv()) {
-        if (!trace_header_done_) {
-          trace_os_ << "job,time_ns,category,event,subject,actor,detail\n";
-          trace_header_done_ = true;
+    if (reporting()) {
+      if (!report_os_.is_open()) {
+        report_os_.open(opt_.report, std::ios::out | std::ios::trunc);
+        if (!report_os_) {
+          std::cerr << "[obs] warning: cannot open report output '"
+                    << opt_.report << "'\n";
         }
-        for (const Tracer::Record& r : t) {
-          trace_os_ << label << ',' << r.t << ',' << t.category_name(r.cat)
-                    << ',' << t.event_name(r.ev) << ',' << r.subject << ','
-                    << r.actor << ',' << r.detail << '\n';
-        }
-        trace_os_ << "# job=" << label << " events=" << t.size()
-                  << " dropped=" << t.dropped() << '\n';
-      } else {
-        if (!writer_) writer_ = std::make_unique<ChromeTraceWriter>(trace_os_);
-        writer_->add_process(t, label);
+      }
+      if (report_os_) {
+        const Analysis a = analyze(t, obs.regions_);
+        report_os_ << "=== job " << label << " ===\n";
+        write_report(report_os_, a);
+        report_os_ << '\n';
       }
     }
   }
@@ -95,6 +122,10 @@ void Session::close() {
   if (metrics_os_.is_open()) {
     metrics_os_.close();
     std::cerr << "[obs] metrics -> " << opt_.metrics_csv << "\n";
+  }
+  if (report_os_.is_open()) {
+    report_os_.close();
+    std::cerr << "[obs] report -> " << opt_.report << "\n";
   }
 }
 

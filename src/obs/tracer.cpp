@@ -80,9 +80,9 @@ std::string_view Tracer::event_name(std::uint16_t ev) const {
 
 void Tracer::log(sim::Time t, std::string_view category,
                  std::string_view event, std::uint64_t subject,
-                 std::uint64_t actor, std::int64_t detail) {
+                 std::uint64_t actor, std::int64_t detail, std::uint32_t aux) {
   log(t, intern_category(category), intern_event(event), subject, actor,
-      detail);
+      detail, aux);
 }
 
 void Tracer::set_enabled_categories(std::string_view csv) {
@@ -118,11 +118,12 @@ std::size_t Tracer::count(std::string_view category,
 }
 
 void Tracer::write_csv(std::ostream& os) const {
-  os << "time_ns,category,event,subject,actor,detail\n";
+  os << "time_ns,category,event,subject,actor,detail,aux\n";
   for (std::size_t i = 0; i < size_; ++i) {
     const Record& r = records_[i];
     os << r.t << ',' << category_name(r.cat) << ',' << event_name(r.ev) << ','
-       << r.subject << ',' << r.actor << ',' << r.detail << '\n';
+       << r.subject << ',' << r.actor << ',' << r.detail << ',' << r.aux
+       << '\n';
   }
   os << "# events=" << size_ << " dropped=" << dropped_ << '\n';
 }

@@ -1,0 +1,383 @@
+// Trace-analyzer tests: sharing-pattern classification on synthetic record
+// streams (read-only, migratory ping-pong, deliberate false sharing),
+// barrier skew / last-arriver attribution, lock hold-vs-wait decomposition
+// with contention depth, stall aggregation and collapsed-stack export,
+// report byte-stability, and the end-to-end payoff: the profiler flags the
+// IS bucket array as falsely shared exactly when it is unpadded.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ksr/machine/ksr_machine.hpp"
+#include "ksr/mem/geometry.hpp"
+#include "ksr/nas/is.hpp"
+#include "ksr/obs/analyze.hpp"
+#include "ksr/obs/tracer.hpp"
+
+namespace ksr {
+namespace {
+
+using machine::KsrMachine;
+using machine::MachineConfig;
+using obs::Analysis;
+using obs::SharingPattern;
+using obs::Tracer;
+
+Tracer::Record rec(sim::Time t, std::uint16_t cat, std::uint16_t ev,
+                   std::uint64_t subject, std::uint64_t actor,
+                   std::int64_t detail = 0, std::uint32_t aux = 0) {
+  Tracer::Record r;
+  r.t = t;
+  r.subject = subject;
+  r.actor = actor;
+  r.detail = detail;
+  r.cat = cat;
+  r.ev = ev;
+  r.aux = aux;
+  return r;
+}
+
+Analysis run(const std::vector<Tracer::Record>& recs,
+             std::vector<obs::RegionSpan> regions = {}) {
+  return obs::analyze(recs.data(), recs.data() + recs.size(),
+                      std::move(regions));
+}
+
+/// Witness encoding used by the coherence layer: 1 + byte offset of the
+/// demand access within its sub-page (0 = no witness).
+constexpr std::uint32_t witness(std::uint32_t byte_off) { return 1 + byte_off; }
+
+// ----------------------------------------------------------- classifier
+
+TEST(Classifier, SingleCellIsPrivate) {
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(4)),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kPrivate);
+}
+
+TEST(Classifier, SharedGrantsWithoutWritersAreReadOnly) {
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantShared, 5, 0),
+      rec(20, obs::kCatCoherence, obs::kEvGrantShared, 5, 1),
+      rec(30, obs::kCatCoherence, obs::kEvGrantShared, 5, 2),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kReadOnly);
+  EXPECT_EQ(a.subpages[0].readers, 3u);
+  EXPECT_EQ(a.subpages[0].writers, 0u);
+}
+
+TEST(Classifier, OneWriterWithReadersIsProducerConsumer) {
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantShared, 5, 1),
+      rec(30, obs::kCatCoherence, obs::kEvGrantShared, 5, 2),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kProducerConsumer);
+}
+
+TEST(Classifier, SnarfCountsTheSnarferAsAReader) {
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvSnarf, 5, 3),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kProducerConsumer);
+  EXPECT_EQ(a.subpages[0].snarfs, 1u);
+  EXPECT_EQ(a.subpages[0].score, 1u);  // snarfs count toward contention
+}
+
+TEST(Classifier, SameWordPingPongIsMigratory) {
+  // Two cells alternately take exclusive ownership witnessing the *same*
+  // byte: true sharing, not a layout artifact.
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(4)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 1, 0, witness(4)),
+      rec(30, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(4)),
+      rec(40, obs::kCatCoherence, obs::kEvInvalidate, 5, 0),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kMigratory);
+  EXPECT_FALSE(a.subpages[0].disjoint_writes);
+  EXPECT_EQ(a.subpages[0].owner_changes, 2u);
+}
+
+TEST(Classifier, DisjointWordPingPongIsFalselyShared) {
+  // Same ownership ping-pong, but the witnessed offsets never overlap: the
+  // cells are fighting over the 128-B coherence unit, not the data.
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 1, 0,
+          witness(64)),
+      rec(30, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(4)),
+      rec(40, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 1, 0,
+          witness(68)),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kFalselyShared);
+  EXPECT_TRUE(a.subpages[0].disjoint_writes);
+  EXPECT_EQ(a.subpages[0].owner_changes, 3u);
+}
+
+TEST(Classifier, UnwitnessedWriteBlocksFalseSharingVerdict) {
+  // One grant carries no witness (aux = 0, e.g. a prefetch): the classifier
+  // must stay conservative and call it migratory.
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 1, 0, 0),
+      rec(30, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kMigratory);
+  EXPECT_FALSE(a.subpages[0].disjoint_writes);
+}
+
+TEST(Classifier, SingleOwnershipHandoffIsNotFalseSharing) {
+  // Disjoint offsets but ownership moved only once — a hand-off, not a
+  // ping-pong. Stays migratory.
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 1, 0,
+          witness(64)),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kMigratory);
+  EXPECT_TRUE(a.subpages[0].disjoint_writes);
+  EXPECT_EQ(a.subpages[0].owner_changes, 1u);
+}
+
+TEST(Classifier, AtomicTrafficClassifiesAsLock) {
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantAtomic, 5, 0),
+      rec(20, obs::kCatCoherence, obs::kEvGrantAtomic, 5, 1),
+      rec(30, obs::kCatCoherence, obs::kEvGrantAtomic, 5, 0),
+  });
+  ASSERT_EQ(a.subpages.size(), 1u);
+  EXPECT_EQ(a.subpages[0].pattern, SharingPattern::kLock);
+  EXPECT_EQ(a.subpages[0].grants_atomic, 3u);
+}
+
+TEST(Classifier, RanksByContentionScoreThenSubpage) {
+  const Analysis a = run({
+      rec(10, obs::kCatCoherence, obs::kEvGrantShared, 5, 0),
+      rec(20, obs::kCatCoherence, obs::kEvGrantShared, 9, 0),
+      rec(30, obs::kCatCoherence, obs::kEvInvalidate, 9, 1),
+      rec(40, obs::kCatCoherence, obs::kEvNack, 9, 1),
+      rec(50, obs::kCatCoherence, obs::kEvInvalidate, 2, 1),
+  });
+  ASSERT_EQ(a.subpages.size(), 3u);
+  EXPECT_EQ(a.subpages[0].subpage, 9u);  // score 2
+  EXPECT_EQ(a.subpages[1].subpage, 2u);  // score 1
+  EXPECT_EQ(a.subpages[2].subpage, 5u);  // score 0
+}
+
+TEST(Classifier, ResolvesRegionNamesFromSpans) {
+  // Sub-page 2 sits at SVA 256 — inside "arr" (base 0, 512 bytes); sub-page
+  // 100 maps nowhere.
+  const Analysis a = run(
+      {
+          rec(10, obs::kCatCoherence, obs::kEvGrantShared, 2, 0),
+          rec(20, obs::kCatCoherence, obs::kEvGrantShared, 100, 0),
+      },
+      {{0, 512, "arr"}});
+  ASSERT_EQ(a.subpages.size(), 2u);
+  for (const obs::SubpageProfile& p : a.subpages) {
+    if (p.subpage == 2) {
+      EXPECT_EQ(p.region, "arr");
+      EXPECT_EQ(p.region_offset, 2 * mem::kSubPageBytes);
+    } else {
+      EXPECT_TRUE(p.region.empty());
+    }
+  }
+}
+
+// ------------------------------------------------------------- barriers
+
+TEST(Barriers, EpisodeSkewAndLastArriverAttribution) {
+  // Two cpus, two episodes. Arrivals are matched by per-cpu order (each
+  // cpu's k-th arrive is global episode k), so interleaved log order and
+  // colliding episode counters cannot confuse the grouping.
+  const Analysis a = run({
+      rec(100, obs::kCatSync, obs::kEvBarrierArrive, 0, 0),
+      rec(150, obs::kCatSync, obs::kEvBarrierArrive, 0, 1),
+      rec(300, obs::kCatSync, obs::kEvBarrierArrive, 0, 1),
+      rec(380, obs::kCatSync, obs::kEvBarrierArrive, 0, 0),
+  });
+  ASSERT_EQ(a.barriers.episodes.size(), 2u);
+  EXPECT_EQ(a.barriers.episodes[0].skew, 50u);
+  EXPECT_EQ(a.barriers.episodes[0].last_cpu, 1u);
+  EXPECT_EQ(a.barriers.episodes[0].arrivals, 2u);
+  EXPECT_EQ(a.barriers.episodes[1].skew, 80u);
+  EXPECT_EQ(a.barriers.episodes[1].last_cpu, 0u);
+  EXPECT_EQ(a.barriers.max_skew, 80u);
+  EXPECT_EQ(a.barriers.total_skew, 130u);
+  ASSERT_EQ(a.barriers.last_arriver.size(), 2u);
+  EXPECT_EQ(a.barriers.last_arriver[0], 1u);
+  EXPECT_EQ(a.barriers.last_arriver[1], 1u);
+}
+
+// ---------------------------------------------------------------- locks
+
+TEST(Locks, WaitHoldDecompositionAndContentionDepth) {
+  // cpu0 takes the lock uncontended; cpu1 and cpu2 queue behind it with
+  // overlapping wait intervals ([1100,1500] and [1200,1800] overlap on
+  // [1200,1500] -> depth 2).
+  const Analysis a = run({
+      rec(1000, obs::kCatSync, obs::kEvLockAcquire, 7, 0),
+      rec(1000, obs::kCatSync, obs::kEvLockAcquired, 7, 0, 0),
+      rec(1100, obs::kCatSync, obs::kEvLockAcquire, 7, 1),
+      rec(1200, obs::kCatSync, obs::kEvLockAcquire, 7, 2),
+      rec(1500, obs::kCatSync, obs::kEvLockRelease, 7, 0),
+      rec(1500, obs::kCatSync, obs::kEvLockAcquired, 7, 1, 400),
+      rec(1800, obs::kCatSync, obs::kEvLockRelease, 7, 1),
+      rec(1800, obs::kCatSync, obs::kEvLockAcquired, 7, 2, 600),
+      rec(2000, obs::kCatSync, obs::kEvLockRelease, 7, 2),
+  });
+  ASSERT_EQ(a.locks.size(), 1u);
+  const obs::LockProfile& l = a.locks[0];
+  EXPECT_EQ(l.subject, 7u);
+  EXPECT_EQ(l.acquisitions, 3u);
+  EXPECT_EQ(l.wait_ns, 1000u);  // 0 + 400 + 600
+  EXPECT_EQ(l.hold_ns, 1000u);  // 500 + 300 + 200
+  EXPECT_EQ(l.max_wait_ns, 600u);
+  EXPECT_EQ(l.max_depth, 2u);
+}
+
+TEST(Locks, BackToBackHandoffDoesNotInflateDepth) {
+  // cpu1's wait ends exactly when cpu2's begins; ends sort before starts at
+  // the same instant, so the depth never reads 2.
+  const Analysis a = run({
+      rec(100, obs::kCatSync, obs::kEvLockAcquire, 3, 1),
+      rec(200, obs::kCatSync, obs::kEvLockAcquired, 3, 1, 100),
+      rec(200, obs::kCatSync, obs::kEvLockAcquire, 3, 2),
+      rec(300, obs::kCatSync, obs::kEvLockAcquired, 3, 2, 100),
+  });
+  ASSERT_EQ(a.locks.size(), 1u);
+  EXPECT_EQ(a.locks[0].max_depth, 1u);
+}
+
+// --------------------------------------------------------------- stalls
+
+TEST(Stalls, AggregatesByCpuKindRegionAndExportsCollapsedStacks) {
+  const Analysis a = run(
+      {
+          rec(10, obs::kCatStall, obs::kEvRemoteAcquire, 0, 0, 100),
+          rec(20, obs::kCatStall, obs::kEvRemoteAcquire, 1, 0, 50),
+          rec(30, obs::kCatStall, obs::kEvInjectWait, 100, 1, 60),
+      },
+      {{0, 256, "arr"}});
+  ASSERT_EQ(a.stalls.size(), 2u);
+  EXPECT_EQ(a.stalls[0].kind, "remote-acquire");
+  EXPECT_EQ(a.stalls[0].region, "arr");
+  EXPECT_EQ(a.stalls[0].total_ns, 150u);
+  EXPECT_EQ(a.stalls[0].count, 2u);
+  EXPECT_EQ(a.stalls[1].kind, "inject-wait");
+  EXPECT_TRUE(a.stalls[1].region.empty());  // sub-page 100 maps nowhere
+  std::ostringstream os;
+  obs::write_collapsed_stacks(os, a);
+  EXPECT_EQ(os.str(),
+            "cpu0;remote-acquire;arr 150\n"
+            "cpu1;inject-wait;(unmapped) 60\n");
+}
+
+// --------------------------------------------------------------- report
+
+TEST(Report, ByteStableAcrossRepeatedRendering) {
+  const std::vector<Tracer::Record> recs = {
+      rec(10, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(20, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 1, 0, witness(64)),
+      rec(30, obs::kCatCoherence, obs::kEvGrantExclusive, 5, 0, 0, witness(0)),
+      rec(100, obs::kCatSync, obs::kEvBarrierArrive, 0, 0),
+      rec(150, obs::kCatSync, obs::kEvBarrierArrive, 0, 1),
+      rec(200, obs::kCatSync, obs::kEvLockAcquire, 7, 0),
+      rec(250, obs::kCatSync, obs::kEvLockAcquired, 7, 0, 50),
+      rec(300, obs::kCatSync, obs::kEvLockRelease, 7, 0),
+      rec(400, obs::kCatStall, obs::kEvNackBackoff, 5, 1, 75),
+  };
+  auto render = [&recs] {
+    std::ostringstream os;
+    obs::write_report(os, run(recs, {{0, 1024, "arr"}}));
+    return os.str();
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  EXPECT_NE(a.find("## sharing"), std::string::npos);
+  EXPECT_NE(a.find("falsely-shared sub-pages: 1"), std::string::npos);
+  EXPECT_NE(a.find("arr+0x0280"), std::string::npos);  // sub-page 5 * 128
+  EXPECT_NE(a.find("## barriers"), std::string::npos);
+  EXPECT_NE(a.find("## locks"), std::string::npos);
+  EXPECT_NE(a.find("## stalls"), std::string::npos);
+  EXPECT_NE(a.find("nack-backoff-ns=75"), std::string::npos);
+}
+
+TEST(Report, CarriesDropAccounting) {
+  std::ostringstream os;
+  const std::vector<Tracer::Record> recs = {
+      rec(10, obs::kCatCoherence, obs::kEvGrantShared, 5, 0),
+  };
+  obs::write_report(
+      os, obs::analyze(recs.data(), recs.data() + recs.size(), {}, 42));
+  EXPECT_NE(os.str().find("events=1 dropped=42"), std::string::npos);
+}
+
+// ------------------------------------------------- end-to-end IS payoff
+
+/// Run IS with a tracer attached and classify every sub-page of the global
+/// bucket array ("is.keyden").
+struct IsProfile {
+  bool ranks_valid = false;
+  std::size_t keyden_falsely_shared = 0;
+  std::size_t falsely_shared_total = 0;
+};
+
+IsProfile profile_is(bool padded) {
+  nas::IsConfig cfg;
+  cfg.log2_keys = 11;
+  cfg.log2_buckets = 7;
+  cfg.pad_buckets = padded;
+  KsrMachine m(MachineConfig::ksr1(6).scaled_by(64));
+  obs::Tracer tracer;
+  m.attach_tracer(&tracer);
+  const nas::IsResult r = nas::run_is(m, cfg);
+  std::vector<obs::RegionSpan> regions;
+  for (std::size_t i = 0; i < m.heap().region_count(); ++i) {
+    const mem::Region& reg = m.heap().region(i);
+    regions.push_back({reg.base, reg.bytes, reg.name});
+  }
+  const Analysis a = obs::analyze(tracer, std::move(regions));
+  IsProfile out;
+  out.ranks_valid = r.ranks_valid;
+  for (const obs::SubpageProfile& p : a.subpages) {
+    if (p.pattern != SharingPattern::kFalselyShared) continue;
+    ++out.falsely_shared_total;
+    if (p.region == "is.keyden") ++out.keyden_falsely_shared;
+  }
+  return out;
+}
+
+TEST(IsPayoff, UnpaddedBucketArrayIsFlaggedFalselyShared) {
+  // 128 buckets over 6 processors: every portion boundary lands mid-sub-page,
+  // so neighbouring processors' exclusive writes ping-pong each boundary
+  // sub-page while witnessing disjoint bytes. The profiler must say so.
+  const IsProfile p = profile_is(false);
+  EXPECT_TRUE(p.ranks_valid);
+  EXPECT_GE(p.keyden_falsely_shared, 1u);
+}
+
+TEST(IsPayoff, PaddingTheBucketArrayClearsTheClassification) {
+  // With each portion starting on a fresh sub-page no coherence unit is
+  // written by two processors — the falsely-shared verdict must disappear
+  // (and the sort must still be correct).
+  const IsProfile p = profile_is(true);
+  EXPECT_TRUE(p.ranks_valid);
+  EXPECT_EQ(p.falsely_shared_total, 0u);
+}
+
+}  // namespace
+}  // namespace ksr

@@ -41,6 +41,8 @@ TEST(ChromeTrace, GoldenOutputForHandLoggedRecords) {
       "\"args\":{\"name\":\"golden\"}},\n"
       "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":0,\"tid\":0,"
       "\"args\":{\"sort_index\":0}},\n"
+      "{\"ph\":\"M\",\"name\":\"process_labels\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"labels\":\"events=3 dropped=0\"}},\n"
       "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":0,"
       "\"args\":{\"name\":\"cell 0\"}},\n"
       "{\"ph\":\"i\",\"name\":\"inject\",\"cat\":\"ring\",\"ts\":1.500,"
@@ -50,6 +52,32 @@ TEST(ChromeTrace, GoldenOutputForHandLoggedRecords) {
       "{\"ph\":\"E\",\"name\":\"barrier\",\"cat\":\"sync\",\"ts\":2.500,"
       "\"pid\":0,\"tid\":0}\n"
       "],\"displayTimeUnit\":\"ns\"}\n");
+}
+
+TEST(ChromeTrace, NormalizesMixedClocksPerTrack) {
+  // Sync/stall records carry cpu-local clocks that can run ahead of the
+  // global engine clock used by ring/coherence records. In raw log order a
+  // track may step backwards in time; the exporter must sort each track so
+  // every thread timeline is monotone (without altering any timestamp).
+  obs::Tracer tracer;
+  tracer.log(9000, obs::kCatSync, obs::kEvBarrierArrive, 1, 0, 0);
+  tracer.log(4000, obs::kCatRing, obs::kEvInject, 7, 0, 3);
+  tracer.log(9500, obs::kCatSync, obs::kEvBarrierDepart, 1, 0, 500);
+  tracer.log(2000, obs::kCatRing, obs::kEvInject, 8, 1, 3, 42);
+  std::ostringstream os;
+  obs::write_chrome_trace(tracer, os, "mixed");
+  const std::string json = os.str();
+  // Track 0 replays in timestamp order: inject (4 us) before barrier (9 us).
+  const auto inject0 = json.find("\"ts\":4.000");
+  const auto arrive0 = json.find("\"ts\":9.000");
+  ASSERT_NE(inject0, std::string::npos);
+  ASSERT_NE(arrive0, std::string::npos);
+  EXPECT_LT(inject0, arrive0);
+  // A nonzero aux (coherence witness) survives into the event args.
+  EXPECT_NE(json.find("\"aux\":42"), std::string::npos);
+  // Drop accounting rides along as process metadata.
+  EXPECT_NE(json.find("\"labels\":\"events=4 dropped=0\""),
+            std::string::npos);
 }
 
 std::string traced_run_json() {
@@ -163,6 +191,60 @@ TEST(Session, MergesJobsInSubmissionOrder) {
   std::remove(path.c_str());
 }
 
+TEST(Session, ReportSectionsFollowSubmissionOrderAndCsvCarriesRegions) {
+  const std::string csv_path = testing::TempDir() + "ksr_session_trace.csv";
+  const std::string rep_path = testing::TempDir() + "ksr_session_report.txt";
+  obs::SessionOptions so;
+  so.trace = true;
+  so.trace_out = csv_path;
+  so.report = rep_path;
+  {
+    obs::Session session(so, "test");
+    ASSERT_TRUE(session.active());
+    for (const char* label : {"first", "second"}) {
+      KsrMachine m(MachineConfig::ksr1(2));
+      obs::JobObs jo = session.job();
+      jo.attach(m);
+      auto arr = m.alloc<int>("named.region", 64);
+      auto barrier = sync::make_barrier(m, sync::BarrierKind::kTournamentM);
+      m.run([&](Cpu& cpu) {
+        for (unsigned i = cpu.id(); i < 64; i += cpu.nproc()) {
+          cpu.write(arr, i, 1);
+        }
+        barrier->arrive(cpu);
+      });
+      jo.finish();
+      session.collect(std::move(jo), label);
+    }
+    session.close();
+  }
+  std::ifstream rin(rep_path);
+  ASSERT_TRUE(rin.good());
+  std::stringstream rss;
+  rss << rin.rdbuf();
+  const std::string report = rss.str();
+  const auto a = report.find("=== job first ===");
+  const auto b = report.find("=== job second ===");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(report.find("## sharing"), std::string::npos);
+  EXPECT_NE(report.find("## barriers"), std::string::npos);
+
+  std::ifstream cin_(csv_path);
+  ASSERT_TRUE(cin_.good());
+  std::stringstream css;
+  css << cin_.rdbuf();
+  const std::string csv = css.str();
+  EXPECT_EQ(csv.rfind("job,time_ns,category,event,subject,actor,detail,aux", 0),
+            0u);
+  EXPECT_NE(csv.find("name=named.region"), std::string::npos);
+  EXPECT_NE(csv.find("# region job=first "), std::string::npos);
+  EXPECT_NE(csv.find("# region job=second "), std::string::npos);
+  std::remove(csv_path.c_str());
+  std::remove(rep_path.c_str());
+}
+
 TEST(Session, InactiveSessionIsFreeAndInert) {
   obs::Session session(obs::SessionOptions{}, "idle");
   EXPECT_FALSE(session.active());
@@ -187,6 +269,27 @@ TEST(BenchOptions, ParsesObservabilityFlags) {
   EXPECT_EQ(o.trace_out, "/tmp/t.json");
   EXPECT_EQ(o.metrics_csv, "/tmp/m.csv");
   EXPECT_EQ(o.jobs, 4u);
+}
+
+TEST(BenchOptions, ParsesReportAndTraceCap) {
+  const char* argv[] = {"bench", "--report=/tmp/r.txt", "--trace-cap", "4096"};
+  const study::BenchOptions o =
+      study::BenchOptions::parse(4, const_cast<char**>(argv));
+  EXPECT_EQ(o.report, "/tmp/r.txt");
+  EXPECT_EQ(o.trace_cap, 4096u);
+  // --report alone does not force trace *output*; the session captures
+  // records internally and only writes the profile report.
+  EXPECT_FALSE(o.trace);
+}
+
+TEST(BenchOptions, RejectsZeroOrGarbageTraceCap) {
+  const char* argv[] = {"bench", "--trace-cap=0", "--trace-cap=banana"};
+  testing::internal::CaptureStderr();
+  const study::BenchOptions o =
+      study::BenchOptions::parse(3, const_cast<char**>(argv));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(o.trace_cap, 0u);  // both rejected, default kept
+  EXPECT_NE(err.find("--trace-cap"), std::string::npos);
 }
 
 TEST(BenchOptions, TraceOutImpliesTracing) {

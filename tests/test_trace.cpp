@@ -106,8 +106,8 @@ TEST(Trace, CsvHasHeaderRowsAndDropFooter) {
   std::ostringstream os;
   tracer.write_csv(os);
   EXPECT_EQ(os.str(),
-            "time_ns,category,event,subject,actor,detail\n"
-            "5,ring,inject,1,2,3\n"
+            "time_ns,category,event,subject,actor,detail,aux\n"
+            "5,ring,inject,1,2,3,0\n"
             "# events=1 dropped=0\n");
 }
 

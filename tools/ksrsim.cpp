@@ -52,8 +52,9 @@ class Args {
         {"name", 1},     {"n", 1},            {"nnz-per-row", 1},
         {"iters", 1},    {"log2-pairs", 1},   {"log2-keys", 1},
         {"log2-buckets", 1}, {"no-padding", 1}, {"no-prefetch", 1},
+        {"pad-buckets", 1},
         {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
-        {"metrics-csv", 1}};
+        {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) != 0) {
@@ -130,8 +131,9 @@ class Args {
 
 /// Observability session from the common flags (see docs/OBSERVABILITY.md):
 /// `--trace [cat,...]` captures a structured trace, `--trace-out FILE` names
-/// the output (default ksrsim_<cmd>_trace.json), `--metrics-csv FILE` the
-/// sampled metrics time series.
+/// the output (default ksrsim_<cmd>_trace.json), `--trace-cap N` sizes the
+/// per-job record buffer, `--metrics-csv FILE` the sampled metrics time
+/// series, `--report FILE` a ksrprof simulated-time profile.
 obs::Session make_session(const Args& args, const std::string& cmd) {
   obs::SessionOptions s;
   s.trace = args.has("trace") || args.has("trace-out");
@@ -139,6 +141,9 @@ obs::Session make_session(const Args& args, const std::string& cmd) {
   if (cats != "1") s.categories = cats;  // bare --trace = all categories
   s.trace_out = args.get("trace-out");
   s.metrics_csv = args.get("metrics-csv");
+  s.report = args.get("report");
+  const unsigned cap = args.get_u("trace-cap", 0);
+  if (cap != 0) s.trace_capacity = cap;
   return obs::Session(std::move(s), "ksrsim_" + cmd);
 }
 
@@ -338,6 +343,7 @@ KernelRun run_kernel_once(const obs::Session& session, const Args& args,
     nas::IsConfig c;
     c.log2_keys = args.get_u("log2-keys", 15);
     c.log2_buckets = args.get_u("log2-buckets", 10);
+    c.pad_buckets = args.has("pad-buckets");
     r.seconds = run_is(*m, c).seconds;
   } else if (name == "sp") {
     nas::SpConfig c;
@@ -443,10 +449,16 @@ int cmd_help() {
       "  --trace-out FILE     trace output (.json = Chrome/Perfetto trace\n"
       "                       events, .csv = CSV; default\n"
       "                       ksrsim_<cmd>_trace.json)\n"
+      "  --trace-cap N        records per job buffer (default 2^18;\n"
+      "                       overflow is counted in the drop footer)\n"
       "  --metrics-csv FILE   sampled machine-wide metrics time series\n"
+      "  --report FILE        ksrprof simulated-time profile (sharing\n"
+      "                       patterns, sync critical paths, stalls); see\n"
+      "                       also tools/ksrprof for offline CSV analysis\n"
       "\n"
       "kernel size flags: --log2-pairs (ep), --n/--nnz-per-row/--iters (cg),\n"
-      "  --log2-keys/--log2-buckets (is), --n/--iters/--no-padding/\n"
+      "  --log2-keys/--log2-buckets (is, --pad-buckets pads per-cpu bucket\n"
+      "  portions to sub-page boundaries), --n/--iters/--no-padding/\n"
       "  --no-prefetch (sp), --n/--iters (bt)");
   return 0;
 }
