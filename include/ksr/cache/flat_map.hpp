@@ -16,8 +16,9 @@
 // of tombstones, so probe sequences never degrade over time.
 //
 // Deliberately minimal: the coherence code only ever uses point lookups,
-// insert-or-default, erase-by-key, and clear — there is no iteration, so
-// none is offered (and hash order can never leak into simulated behaviour).
+// insert-or-default, erase-by-key, and clear. Iteration (for_each) exists
+// solely for host-side audits — the order is hash order, so simulated
+// behaviour must never depend on it.
 namespace ksr::cache {
 
 template <typename K, typename V>
@@ -82,6 +83,16 @@ class FlatMap {
           break;
         }
       }
+    }
+  }
+
+  /// Visit every (key, value) pair in unspecified (hash) order. Host-side
+  /// audits only (invariant checker, tests); the visited map must not be
+  /// mutated during the sweep.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      if (used_[i]) f(slots_[i].key, slots_[i].value);
     }
   }
 

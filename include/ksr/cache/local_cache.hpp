@@ -98,6 +98,22 @@ class LocalCache {
     }
   }
 
+  /// Visit every non-Invalid resident sub-page as f(sub_page_id, state).
+  /// Host-side audits only (invariant checker); frame order is placement
+  /// order, so simulated behaviour must never depend on it.
+  template <typename F>
+  void for_each_subpage(F&& f) const {
+    for (const Frame& fr : frames_) {
+      if (!fr.valid) continue;
+      for (std::size_t i = 0; i < fr.sp.size(); ++i) {
+        if (fr.sp[i] != LineState::kInvalid) {
+          f(static_cast<mem::SubPageId>(fr.tag * mem::kSubPagesPerPage + i),
+            fr.sp[i]);
+        }
+      }
+    }
+  }
+
   [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
   [[nodiscard]] unsigned ways() const noexcept { return static_cast<unsigned>(ways_); }
 

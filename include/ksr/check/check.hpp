@@ -1,0 +1,36 @@
+#pragma once
+
+// Compile-time switch for the ALLCACHE invariant checker's hot-path hooks.
+//
+// The checker itself (ksr/check/checker.hpp) is always built and always
+// usable — a test can construct one and call audit_all() after a run in any
+// build. What this macro gates is the *per-transition* hooks inside the
+// coherence commit paths: with KSR_CHECK=OFF (the default) those hooks
+// compile to nothing, so release benches pay zero cost — not even a null
+// test — and full-mode fingerprints are bit-identical to a tree without the
+// checker. Configure with -DKSR_CHECK=ON to audit global protocol state
+// after every coherence transition (see docs/CHECKING.md).
+//
+// The macro is defined globally by CMake (add_compile_definitions) so every
+// translation unit in a build agrees on it; this header only supplies the
+// OFF default.
+#ifndef KSR_CHECK_ENABLED
+#define KSR_CHECK_ENABLED 0
+#endif
+
+#if KSR_CHECK_ENABLED
+#define KSR_CHECK_HOOK(expr) \
+  do {                       \
+    expr;                    \
+  } while (0)
+#else
+#define KSR_CHECK_HOOK(expr) ((void)0)
+#endif
+
+namespace ksr::check {
+
+/// True when per-transition checker hooks are compiled into the coherence
+/// and ring hot paths (-DKSR_CHECK=ON).
+inline constexpr bool kHooksCompiled = KSR_CHECK_ENABLED != 0;
+
+}  // namespace ksr::check

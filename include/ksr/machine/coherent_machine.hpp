@@ -22,6 +22,10 @@
 // state); all *timing* flows from the transport model plus the fixed
 // latencies in MachineConfig. State changes commit when the transaction
 // completes, so overlapping transactions interleave realistically.
+namespace ksr::check {
+class InvariantChecker;
+}
+
 namespace ksr::machine {
 
 class CoherentMachine : public Machine {
@@ -58,8 +62,22 @@ class CoherentMachine : public Machine {
   }
   [[nodiscard]] virtual unsigned leaf_count() const noexcept { return 1; }
 
+  /// Attach an invariant checker (docs/CHECKING.md). In a -DKSR_CHECK=ON
+  /// build the machine reports every committed coherence transition to it;
+  /// in a default build the hooks compile to nothing and the checker is
+  /// only driven explicitly (audit_all). Derived machines override to also
+  /// register their interconnects for the I6 liveness audit. Pass nullptr
+  /// to detach. The checker must outlive the machine (or be detached first).
+  virtual void attach_checker(check::InvariantChecker* checker) {
+    checker_ = checker;
+  }
+  [[nodiscard]] check::InvariantChecker* checker() const noexcept {
+    return checker_;
+  }
+
  protected:
   friend class CoherentCpu;
+  friend class ::ksr::check::InvariantChecker;
 
   struct Cell {
     cache::SubCache sub;
@@ -136,6 +154,7 @@ class CoherentMachine : public Machine {
 
   std::vector<Cell> cells_;
   cache::FlatMap<mem::SubPageId, DirEntry> dir_;
+  check::InvariantChecker* checker_ = nullptr;
 };
 
 }  // namespace ksr::machine

@@ -72,6 +72,13 @@ struct MachineConfig {
   sim::Duration atomic_backoff_ns = 2000;   // base retry delay after a NACK
   sim::Duration local_atomic_ns = 300;      // get/release on an Exclusive-held line
 
+  // --- Schedule fuzzing (ksrfuzz, docs/CHECKING.md) ---
+  // Nonzero: perturb event tie-breaking order (Engine::set_tie_break_seed)
+  // and, on ring machines, the slot phase of every ring, all derived
+  // deterministically from this seed. 0 (the default) is the reference
+  // schedule every fingerprint is pinned against.
+  std::uint64_t sched_fuzz_seed = 0;
+
   // --- Symmetry / Butterfly substrate parameters (§3.2.3) ---
   sim::Duration bus_transaction_ns = 1000;
   sim::Duration bus_overhead_ns = 200;  // requester-side protocol overhead

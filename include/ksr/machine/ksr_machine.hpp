@@ -49,6 +49,9 @@ class KsrMachine final : public CoherentMachine {
     if (ring1_) ring1_->set_tracer(tracer);
   }
 
+  /// Registers the leaf rings and level-1 ring for the I6 liveness audit.
+  void attach_checker(check::InvariantChecker* checker) override;
+
   [[nodiscard]] NetSnapshot net_snapshot() const override {
     NetSnapshot s;
     auto fold = [&s](const net::SlottedRing& r) {

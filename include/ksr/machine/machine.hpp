@@ -59,7 +59,10 @@ class Machine {
  public:
   using Program = std::function<void(Cpu&)>;
 
-  explicit Machine(const MachineConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+  explicit Machine(const MachineConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+    engine_.set_tie_break_seed(cfg_.sched_fuzz_seed);
+  }
   virtual ~Machine() = default;
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -51,6 +51,11 @@ class SlottedRing {
     unsigned slots_per_subring = 12;
     unsigned subrings = 2;          // address-interleaved by sub-page id bit
     sim::Duration hop_ns = 100;     // 2 KSR-1 cycles per hop
+    // Rotate every slot coordinate by this many positions. 0 is the paper
+    // layout; the schedule fuzzer (ksrfuzz) sets nonzero values to shift
+    // which positions face an empty slot first, perturbing injection order
+    // without changing slot count, spacing, or circulation time.
+    unsigned phase = 0;
   };
 
   /// Completion callback: `inject_wait` is the time spent waiting for an
@@ -98,6 +103,15 @@ class SlottedRing {
 
   /// Attach a tracer ("ring" category: inject with its slot wait, deliver).
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Audit accessor (invariant checker, I6 liveness): reports the first
+  /// waiting queue whose head has no retry event scheduled — such an
+  /// injector would wait forever. Only meaningful between engine events
+  /// (the flag is transiently clear inside try_head itself).
+  [[nodiscard]] bool find_stranded_head(unsigned* subring,
+                                        unsigned* pos) const noexcept;
 
  private:
   struct Pending {

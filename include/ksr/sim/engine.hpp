@@ -110,6 +110,17 @@ class Engine {
   /// Total events dispatched so far (host-side instrumentation).
   [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
 
+  /// Schedule fuzzing (ksrfuzz, docs/CHECKING.md): when `seed` is nonzero,
+  /// same-time ties in the main event lane are broken by a seeded bijective
+  /// hash of the insertion sequence instead of the sequence itself. Every
+  /// legal interleaving constraint (time order) is preserved — only the
+  /// arbitrary tie order moves — and a given seed is fully deterministic.
+  /// Set before scheduling any events; 0 restores insertion order.
+  void set_tie_break_seed(std::uint64_t seed) noexcept { fuzz_seed_ = seed; }
+  [[nodiscard]] std::uint64_t tie_break_seed() const noexcept {
+    return fuzz_seed_;
+  }
+
   /// True when this build switches fibers with the hand-rolled register
   /// swap rather than swapcontext (host-performance introspection).
   [[nodiscard]] static constexpr bool fast_fibers() noexcept {
@@ -157,6 +168,7 @@ class Engine {
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t fuzz_seed_ = 0;  // see set_tie_break_seed()
   std::uint64_t dispatched_ = 0;
   // Callback slab: fixed-size chunks give every slot a stable address, so a
   // callback can be invoked in place even while it schedules new events

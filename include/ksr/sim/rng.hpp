@@ -12,13 +12,20 @@
 // guaranteed identical across standard library implementations.
 namespace ksr::sim {
 
-/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
-[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
+/// SplitMix64 finalizer as a standalone mixer. Bijective on 64-bit values
+/// (every step is invertible), so distinct inputs always map to distinct
+/// outputs — the engine's schedule fuzzer relies on this to keep seeded
+/// event tie-breaking a strict total order.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  return mix64(state);
 }
 
 /// xoshiro256** 1.0 — fast, high-quality 64-bit generator.

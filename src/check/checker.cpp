@@ -1,0 +1,341 @@
+#include "ksr/check/checker.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "ksr/cache/state.hpp"
+#include "ksr/machine/coherent_machine.hpp"
+#include "ksr/net/ring.hpp"
+
+namespace ksr::check {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t bit_of(unsigned cell) noexcept {
+  return 1ull << cell;
+}
+
+[[nodiscard]] std::uint64_t fnv1a(const std::byte* p, std::size_t n) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] std::string mask_to_string(std::uint64_t m) {
+  if (m == 0) return "{}";
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  while (m != 0) {
+    const unsigned b = static_cast<unsigned>(std::countr_zero(m));
+    m &= m - 1;
+    if (!first) os << ',';
+    os << b;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(Ev ev) noexcept {
+  switch (ev) {
+    case Ev::kGrantShared: return "grant-shared";
+    case Ev::kGrantExclusive: return "grant-exclusive";
+    case Ev::kGrantAtomic: return "grant-atomic";
+    case Ev::kNack: return "nack";
+    case Ev::kPoststore: return "poststore";
+    case Ev::kLocalAtomic: return "local-atomic";
+    case Ev::kReleaseAtomic: return "release-atomic";
+    case Ev::kFirstTouch: return "first-touch";
+    case Ev::kPageEvict: return "page-evict";
+  }
+  return "?";
+}
+
+InvariantChecker::InvariantChecker(machine::CoherentMachine& m)
+    : InvariantChecker(m, Config{}) {}
+
+InvariantChecker::InvariantChecker(machine::CoherentMachine& m, Config cfg)
+    : m_(m), cfg_(cfg) {}
+
+void InvariantChecker::add_ring(const net::SlottedRing* ring) {
+  if (ring != nullptr) rings_.push_back(ring);
+}
+
+void InvariantChecker::reset() {
+  frozen_.clear();
+  trail_len_ = 0;
+  trail_next_ = 0;
+  last_audit_time_ = 0;
+}
+
+void InvariantChecker::on_transition(Ev ev, unsigned cell, mem::SubPageId sp) {
+  ++stats_.transitions;
+  const sim::Time now = m_.engine().now();
+  trail_[trail_next_] = TrailEvent{now, ev, cell, sp};
+  trail_next_ = (trail_next_ + 1) % trail_.size();
+  if (trail_len_ < trail_.size()) ++trail_len_;
+
+  if (now < last_audit_time_) {
+    fail("I6.monotone-time", cell, sp,
+         "transition committed at t=" + std::to_string(now) +
+             " ns after an audit at t=" + std::to_string(last_audit_time_) +
+             " ns (event-queue timestamps ran backwards)");
+  }
+  last_audit_time_ = now;
+
+  if (ev == Ev::kPageEvict) {
+    // `sp` is the first sub-page of the reclaimed page: the eviction fix-up
+    // touched (up to) all 128 of its sub-pages, so audit each one the
+    // directory knows. The sub-page of the transaction that triggered the
+    // eviction belongs to a *different* page and is still mid-commit — it is
+    // audited by its own hook when the commit completes.
+    const mem::PageId pg = mem::page_of_subpage(sp);
+    for (std::size_t i = 0; i < mem::kSubPagesPerPage; ++i) {
+      const mem::SubPageId psp = pg * mem::kSubPagesPerPage + i;
+      if (m_.dir_.contains(psp)) audit_subpage(psp);
+    }
+  } else {
+    audit_subpage(sp);
+  }
+  if (cfg_.check_rings) audit_rings();
+}
+
+void InvariantChecker::audit_subpage(mem::SubPageId sp) {
+  ++stats_.audits;
+  using cache::LineState;
+  const unsigned n = m_.nproc();
+
+  std::uint64_t readable_m = 0;       // cells with a readable copy
+  std::uint64_t writable_m = 0;       // cells with Exclusive/Atomic
+  std::uint64_t atomic_m = 0;         // cells with Atomic
+  std::uint64_t invalid_frame_m = 0;  // cells with an Invalid placeholder frame
+  for (unsigned c = 0; c < n; ++c) {
+    const auto lk = m_.cells_[c].local.lookup(sp);
+    const LineState st = lk.page_present ? lk.state : LineState::kInvalid;
+    if (cache::readable(st)) readable_m |= bit_of(c);
+    if (cache::writable(st)) writable_m |= bit_of(c);
+    if (st == LineState::kAtomic) atomic_m |= bit_of(c);
+    if (lk.page_present && st == LineState::kInvalid) {
+      invalid_frame_m |= bit_of(c);
+    }
+    if (!cache::readable(st)) {
+      // I4: the first-level cache must not serve data the second level
+      // cannot read (a missed invalidation would leave stale bytes here).
+      const mem::Sva base = mem::subpage_base(sp);
+      for (std::size_t off = 0; off < mem::kSubPageBytes;
+           off += mem::kSubBlockBytes) {
+        if (m_.cells_[c].sub.contains(base + off)) {
+          fail("I4.inclusion", c, sp,
+               "sub-cache holds sub-block at +" + std::to_string(off) +
+                   " of a sub-page whose local-cache state is " +
+                   std::string(cache::to_string(st)));
+        }
+      }
+    }
+  }
+
+  const auto* e = m_.dir_.find(sp);
+  if (e == nullptr) {
+    if (readable_m != 0) {
+      fail("I3.copy-set", static_cast<unsigned>(std::countr_zero(readable_m)),
+           sp,
+           "cells " + mask_to_string(readable_m) +
+               " hold copies of a sub-page the directory does not know");
+    }
+    return;
+  }
+
+  // I1: ownership.
+  if (std::popcount(writable_m) > 1) {
+    fail("I1.ownership", static_cast<unsigned>(std::countr_zero(writable_m)),
+         sp, "two or more writable copies: " + mask_to_string(writable_m));
+  }
+  if (writable_m != 0 && readable_m != writable_m) {
+    fail("I1.ownership", static_cast<unsigned>(std::countr_zero(writable_m)),
+         sp,
+         "a writable copy must be the only copy, but readable copies are " +
+             mask_to_string(readable_m));
+  }
+  if (e->owner >= 0) {
+    const unsigned owner = static_cast<unsigned>(e->owner);
+    if (readable_m != bit_of(owner)) {
+      fail("I1.ownership", owner, sp,
+           "dir.owner=" + std::to_string(owner) +
+               " but the actual copy set is " + mask_to_string(readable_m));
+    }
+    if ((writable_m & bit_of(owner)) == 0) {
+      fail("I1.ownership", owner, sp,
+           "dir.owner=" + std::to_string(owner) +
+               " holds the line in a non-writable state");
+    }
+  } else if (writable_m != 0) {
+    fail("I1.ownership", static_cast<unsigned>(std::countr_zero(writable_m)),
+         sp, "writable copy exists but dir.owner is unset");
+  }
+
+  // I2: atomicity.
+  if (e->atomic) {
+    if (e->owner < 0 ||
+        atomic_m != bit_of(static_cast<unsigned>(e->owner))) {
+      fail("I2.atomicity",
+           e->owner >= 0 ? static_cast<unsigned>(e->owner) : 0u, sp,
+           "dir.atomic set but the Atomic line states are " +
+               mask_to_string(atomic_m));
+    }
+  } else if (atomic_m != 0) {
+    fail("I2.atomicity", static_cast<unsigned>(std::countr_zero(atomic_m)),
+         sp, "cell holds the line Atomic but dir.atomic is clear");
+  }
+
+  // I3: copy-set.
+  if (e->holders != readable_m) {
+    fail("I3.copy-set",
+         static_cast<unsigned>(std::countr_zero(e->holders ^ readable_m)), sp,
+         "dir.holders=" + mask_to_string(e->holders) +
+             " but the readable copies are " + mask_to_string(readable_m));
+  }
+  if ((e->placeholders & e->holders) != 0) {
+    fail("I3.copy-set",
+         static_cast<unsigned>(std::countr_zero(e->placeholders & e->holders)),
+         sp, "a cell is both holder and placeholder");
+  }
+  if ((e->placeholders & ~invalid_frame_m) != 0) {
+    fail("I3.copy-set",
+         static_cast<unsigned>(
+             std::countr_zero(e->placeholders & ~invalid_frame_m)),
+         sp,
+         "dir.placeholders=" + mask_to_string(e->placeholders) +
+             " but only cells " + mask_to_string(invalid_frame_m) +
+             " have an Invalid placeholder frame");
+  }
+
+  // I5: read-shared bytes are frozen until an exclusive grant.
+  if (cfg_.check_values) {
+    bool mapped = false;
+    const std::uint64_t h = subpage_hash(sp, &mapped);
+    const auto it = frozen_.find(sp);
+    if (it != frozen_.end() && mapped && it->second != h) {
+      fail("I5.values",
+           readable_m != 0 ? static_cast<unsigned>(std::countr_zero(readable_m))
+                           : 0u,
+           sp,
+           "heap bytes of a read-shared sub-page changed without an "
+           "exclusive grant (refreshed copies are no longer value-equal)");
+    }
+    if (mapped && writable_m == 0 && readable_m != 0) {
+      frozen_[sp] = h;
+    } else if (it != frozen_.end()) {
+      frozen_.erase(sp);
+    }
+  }
+}
+
+void InvariantChecker::audit_all() {
+  ++stats_.full_audits;
+  m_.dir_.for_each(
+      [this](mem::SubPageId sp, const machine::CoherentMachine::DirEntry&) {
+        audit_subpage(sp);
+      });
+  // Copies the directory does not know about: sweep every resident line.
+  const unsigned n = m_.nproc();
+  for (unsigned c = 0; c < n; ++c) {
+    m_.cells_[c].local.for_each_subpage(
+        [this, c](mem::SubPageId sp, cache::LineState st) {
+          if (cache::readable(st) && !m_.dir_.contains(sp)) {
+            fail("I3.copy-set", c, sp,
+                 "cell holds a " + std::string(cache::to_string(st)) +
+                     " copy of a sub-page the directory does not know");
+          }
+        });
+  }
+  if (cfg_.check_rings) audit_rings();
+}
+
+void InvariantChecker::audit_rings() const {
+  for (const net::SlottedRing* r : rings_) {
+    unsigned subring = 0, pos = 0;
+    if (r->find_stranded_head(&subring, &pos)) {
+      throw ViolationError(
+          "ALLCACHE invariant violated: I6.liveness — ring '" + r->name() +
+          "' sub-ring " + std::to_string(subring) + " position " +
+          std::to_string(pos) +
+          " has a waiting injector with no retry event scheduled (stranded "
+          "queue head would wait forever)\n" +
+          trail_to_string());
+    }
+  }
+}
+
+std::uint64_t InvariantChecker::subpage_hash(mem::SubPageId sp,
+                                             bool* mapped) const {
+  const mem::Sva base = mem::subpage_base(sp);
+  try {
+    const mem::Region& r = m_.heap().region_of(base);
+    const std::byte* p = r.data.get() + (base - r.base);
+    *mapped = true;
+    return fnv1a(p, mem::kSubPageBytes);
+  } catch (const std::out_of_range&) {
+    *mapped = false;
+    return 0;
+  }
+}
+
+std::string InvariantChecker::describe_subpage(mem::SubPageId sp) const {
+  std::ostringstream os;
+  const mem::Sva base = mem::subpage_base(sp);
+  os << "  sub-page " << sp << " (sva 0x" << std::hex << base << std::dec;
+  try {
+    const mem::Region& r = m_.heap().region_of(base);
+    os << " = " << r.name << "+" << (base - r.base);
+  } catch (const std::out_of_range&) {
+    os << " = <unmapped>";
+  }
+  os << ")\n";
+  if (const auto* e = m_.dir_.find(sp)) {
+    os << "  directory: holders=" << mask_to_string(e->holders)
+       << " placeholders=" << mask_to_string(e->placeholders)
+       << " owner=" << e->owner << " atomic=" << (e->atomic ? "yes" : "no")
+       << "\n";
+  } else {
+    os << "  directory: <no entry>\n";
+  }
+  os << "  cells:";
+  for (unsigned c = 0; c < m_.nproc(); ++c) {
+    const auto lk = m_.cells_[c].local.lookup(sp);
+    if (!lk.page_present) continue;  // no frame: uninteresting
+    os << ' ' << c << ':' << cache::to_string(lk.state);
+  }
+  os << " (cells without a page frame omitted)\n";
+  return os.str();
+}
+
+std::string InvariantChecker::trail_to_string() const {
+  std::ostringstream os;
+  os << "  last " << trail_len_ << " protocol events (oldest first):\n";
+  for (std::size_t i = 0; i < trail_len_; ++i) {
+    const std::size_t idx =
+        (trail_next_ + trail_.size() - trail_len_ + i) % trail_.size();
+    const TrailEvent& te = trail_[idx];
+    os << "    [" << te.t << " ns] " << to_string(te.ev) << " cpu=" << te.cell
+       << " sp=" << te.sp << "\n";
+  }
+  return os.str();
+}
+
+void InvariantChecker::fail(const std::string& invariant, unsigned cell,
+                            mem::SubPageId sp,
+                            const std::string& detail) const {
+  std::ostringstream os;
+  os << "ALLCACHE invariant violated: " << invariant << " — " << detail
+     << "\n  at t=" << m_.engine().now() << " ns, cpu=" << cell << "\n"
+     << describe_subpage(sp) << trail_to_string();
+  throw ViolationError(os.str());
+}
+
+}  // namespace ksr::check

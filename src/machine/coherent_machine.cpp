@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "ksr/check/checker.hpp"
+
 namespace ksr::machine {
 
 namespace {
@@ -167,6 +169,8 @@ void CoherentCpu::load_line(mem::SubPageId sp, bool need_write,
       if (cm_.insert_line(id_, sp, cache::LineState::kExclusive)) {
         tick_ns(cfg().page_alloc_ns);
       }
+      KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+          check::Ev::kFirstTouch, id_, sp));
       tick_ns(need_write ? cfg().localcache_write_ns
                          : cfg().localcache_read_ns);
       return;
@@ -276,6 +280,8 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
       // We already hold the only copy: lock it locally.
       e.atomic = true;
       c.local.set_state(sp, cache::LineState::kAtomic);
+      KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+          check::Ev::kLocalAtomic, id_, sp));
       tick_ns(cfg().local_atomic_ns);
       return;
     }
@@ -292,6 +298,8 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
   if (cm_.insert_line(id_, sp, cache::LineState::kAtomic)) {
     tick_ns(cfg().page_alloc_ns);
   }
+  KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+      check::Ev::kFirstTouch, id_, sp));
   tick_ns(cfg().local_atomic_ns);
 }
 
@@ -307,6 +315,8 @@ void CoherentCpu::do_release_subpage(mem::Sva a) {
   }
   e->atomic = false;
   cell().local.set_state(sp, cache::LineState::kExclusive);
+  KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+      check::Ev::kReleaseAtomic, id_, sp));
   tick_ns(cfg().local_atomic_ns);
 }
 
@@ -335,6 +345,8 @@ void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
     e.owner = static_cast<std::int16_t>(id_);
     e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
     cm_.insert_line(id_, sp, cache::LineState::kExclusive);
+    KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+        check::Ev::kFirstTouch, id_, sp));
     tick_cycles(1);
     return;
   }
@@ -440,6 +452,7 @@ void CoherentMachine::reset_memory_system() {
     c.inflight_count = 0;
   }
   dir_.clear();
+  if (checker_ != nullptr) checker_->reset();
 }
 
 CoherentMachine::DirView CoherentMachine::dir_view(mem::SubPageId sp) const {
@@ -484,6 +497,10 @@ bool CoherentMachine::insert_line(unsigned cell, mem::SubPageId sp,
     for (std::size_t b = 0; b < mem::kPageBytes / mem::kBlockBytes; ++b) {
       c.sub.invalidate_block(first_block + b);
     }
+    // The evicted page's directory fix-ups and sub-cache inclusion are both
+    // done; the *requested* sub-page is audited by its own commit hook.
+    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+        check::Ev::kPageEvict, cell, pa.evicted_page * mem::kSubPagesPerPage));
   }
   return pa.allocated;
 }
@@ -524,6 +541,8 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
+    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+        check::Ev::kNack, cell, sp));
     return {false, false};
   }
   if (tracer_ != nullptr) {
@@ -565,6 +584,8 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
     e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
   }
   const bool pa = insert_line(cell, sp, st);
+  KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+      check::Ev::kGrantShared, cell, sp));
   return {true, pa};
 }
 
@@ -575,6 +596,8 @@ CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
+    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+        check::Ev::kNack, cell, sp));
     return {false, false};
   }
   if (tracer_ != nullptr) {
@@ -597,6 +620,9 @@ CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
   const bool pa = insert_line(
       cell, sp,
       atomic ? cache::LineState::kAtomic : cache::LineState::kExclusive);
+  KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+      atomic ? check::Ev::kGrantAtomic : check::Ev::kGrantExclusive, cell,
+      sp));
   return {true, pa};
 }
 
@@ -607,7 +633,21 @@ void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
     tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvPoststore, sp,
                  cell, static_cast<std::int64_t>(ph));
   }
-  if (ph == 0) return;  // pure bandwidth waste: nobody was listening
+  if (e.atomic) {
+    // The line was locked (get_subpage) by another cell while the poststore
+    // packet was in flight — the issuer's own copy has already been
+    // invalidated by that acquisition. Refreshing placeholders now would
+    // hand out readable copies of an Atomic line, which every read and
+    // acquire path NACKs against; the update is dropped instead.
+    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+        check::Ev::kPoststore, cell, sp));
+    return;
+  }
+  if (ph == 0) {  // pure bandwidth waste: nobody was listening
+    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+        check::Ev::kPoststore, cell, sp));
+    return;
+  }
   while (ph != 0) {
     const unsigned b = static_cast<unsigned>(std::countr_zero(ph));
     ph &= ph - 1;
@@ -621,11 +661,13 @@ void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
   e.placeholders &= bit(cell);
   // Multiple copies now exist: the writer loses exclusivity — the §3.3.3
   // poststore pitfall (next-phase writers must re-invalidate).
-  if (e.owner >= 0 && !e.atomic) {
+  if (e.owner >= 0) {
     cells_[static_cast<unsigned>(e.owner)].local.set_state(
         sp, cache::LineState::kShared);
     e.owner = -1;
   }
+  KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+      check::Ev::kPoststore, cell, sp));
 }
 
 }  // namespace ksr::machine

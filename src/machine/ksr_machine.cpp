@@ -3,11 +3,17 @@
 #include <string>
 #include <utility>
 
+#include "ksr/check/checker.hpp"
+#include "ksr/sim/rng.hpp"
+
 namespace ksr::machine {
 
 KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
   const unsigned leaves = cfg_.leaf_rings();
   const bool multi = leaves > 1;
+  // Schedule fuzzing: derive a deterministic slot-phase rotation per ring
+  // from the fuzz seed (0 keeps every phase 0, the paper layout).
+  std::uint64_t phase_seed = cfg_.sched_fuzz_seed;
   leaf_rings_.reserve(leaves);
   for (unsigned l = 0; l < leaves; ++l) {
     net::SlottedRing::Config rc;
@@ -15,6 +21,10 @@ KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
     rc.slots_per_subring = cfg_.ring_slots_per_subring;
     rc.subrings = 2;
     rc.hop_ns = cfg_.ring_hop_ns;
+    if (cfg_.sched_fuzz_seed != 0) {
+      rc.phase = static_cast<unsigned>(sim::splitmix64(phase_seed) %
+                                       rc.positions);
+    }
     leaf_rings_.push_back(std::make_unique<net::SlottedRing>(
         engine_, rc, "ring0." + std::to_string(l)));
   }
@@ -24,11 +34,23 @@ KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
     rc.slots_per_subring = cfg_.ring1_slots_per_subring;
     rc.subrings = 2;
     rc.hop_ns = cfg_.ring1_hop_ns;
+    if (cfg_.sched_fuzz_seed != 0) {
+      rc.phase = static_cast<unsigned>(sim::splitmix64(phase_seed) %
+                                       rc.positions);
+    }
     ring1_ = std::make_unique<net::SlottedRing>(engine_, rc, "ring1");
   }
 }
 
 KsrMachine::~KsrMachine() = default;
+
+void KsrMachine::attach_checker(check::InvariantChecker* checker) {
+  CoherentMachine::attach_checker(checker);
+  if (checker != nullptr) {
+    for (auto& r : leaf_rings_) checker->add_ring(r.get());
+    if (ring1_) checker->add_ring(ring1_.get());
+  }
+}
 
 void KsrMachine::transport(unsigned cell, mem::SubPageId sp,
                            unsigned target_leaf,

@@ -11,15 +11,23 @@ SlottedRing::SlottedRing(sim::Engine& engine, const Config& cfg, std::string nam
   if (cfg_.positions == 0 || cfg_.subrings == 0 || cfg_.hop_ns == 0) {
     throw std::invalid_argument("SlottedRing: bad config");
   }
+  if (cfg_.slots_per_subring == 0) {
+    // A zero-slot sub-ring leaves coord_to_slot all -1 and next_pass_delta
+    // all 0, so the first inject() would re-poll forever at the same
+    // simulated time.
+    throw std::invalid_argument(
+        "SlottedRing: slots_per_subring must be > 0");
+  }
   const unsigned n = cfg_.positions;
   const unsigned s = std::min(cfg_.slots_per_subring, n);
   subrings_.resize(cfg_.subrings);
   for (auto& sr : subrings_) {
     sr.coord_to_slot.assign(n, -1);
-    // Equally spaced slot coordinates around the ring.
+    // Equally spaced slot coordinates around the ring, rotated by the
+    // configured phase (0 = paper layout).
     for (unsigned i = 0; i < s; ++i) {
       const unsigned coord = static_cast<unsigned>(
-          (static_cast<std::uint64_t>(i) * n) / s);
+          ((static_cast<std::uint64_t>(i) * n) / s + cfg_.phase) % n);
       if (sr.coord_to_slot[coord] < 0) {
         sr.coord_to_slot[coord] = static_cast<std::int32_t>(i);
       }
@@ -104,6 +112,22 @@ void SlottedRing::try_head(unsigned subring, unsigned pos) {
     engine_.at(next * cfg_.hop_ns,
                [this, subring, pos] { try_head(subring, pos); });
   }
+}
+
+bool SlottedRing::find_stranded_head(unsigned* subring,
+                                     unsigned* pos) const noexcept {
+  for (unsigned s = 0; s < subrings_.size(); ++s) {
+    const SubRing& sr = subrings_[s];
+    for (unsigned p = 0; p < sr.waiting.size(); ++p) {
+      const auto& q = sr.waiting[p];
+      if (!q.empty() && !q.front().polling) {
+        *subring = s;
+        *pos = p;
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace ksr::net

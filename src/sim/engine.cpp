@@ -1,6 +1,8 @@
 #include "ksr/sim/engine.hpp"
 
 #include <cstdlib>
+
+#include "ksr/sim/rng.hpp"
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -28,7 +30,12 @@ void Engine::at(Time t, InlineFn fn) {
   if (t < now_) {
     throw std::logic_error("Engine::at: scheduling into the past");
   }
-  events_.push(Event{t, seq_++, claim_slot(std::move(fn))});
+  // Schedule fuzzing: a nonzero seed replaces the insertion sequence with a
+  // seeded bijective hash of it, permuting same-time tie order while the
+  // injectivity of mix64 keeps (t, seq) a strict total order.
+  const std::uint64_t c = seq_++;
+  const std::uint64_t seq = fuzz_seed_ == 0 ? c : mix64(fuzz_seed_ + c);
+  events_.push(Event{t, seq, claim_slot(std::move(fn))});
 }
 
 void Engine::observe_at(Time t, InlineFn fn) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "ksr/mem/geometry.hpp"
 #include "ksr/mem/heap.hpp"
@@ -63,6 +65,40 @@ TEST(Heap, RegionLookupFindsOwner) {
   const auto& r1 = heap.alloc(100, "alpha");
   (void)heap.alloc(100, "beta");
   EXPECT_EQ(heap.region_of(r1.base + 50).name, "alpha");
+}
+
+TEST(Heap, RegionLookupBoundaryAddresses) {
+  mem::Heap heap;
+  const auto& a = heap.alloc(1, "a");
+  const auto& b = heap.alloc(3 * mem::kPageBytes, "b");
+  const auto& c = heap.alloc(10, "c");
+  // First and last byte of every region resolve to that region.
+  EXPECT_EQ(&heap.region_of(a.base), &a);
+  EXPECT_EQ(&heap.region_of(a.base + a.bytes - 1), &a);
+  EXPECT_EQ(&heap.region_of(b.base), &b);
+  EXPECT_EQ(&heap.region_of(b.base + b.bytes - 1), &b);
+  EXPECT_EQ(&heap.region_of(c.base), &c);
+  EXPECT_EQ(&heap.region_of(c.base + c.bytes - 1), &c);
+  // Bump allocation: one past a region's end is the next region's base;
+  // past the high-water mark is unmapped.
+  EXPECT_EQ(&heap.region_of(a.base + a.bytes), &b);
+  EXPECT_THROW((void)heap.region_of(c.base + c.bytes), std::out_of_range);
+  // The guard page below the first region stays unmapped.
+  EXPECT_THROW((void)heap.region_of(a.base - 1), std::out_of_range);
+}
+
+TEST(Heap, RegionLookupBinarySearchOverManyRegions) {
+  mem::Heap heap;
+  std::vector<const mem::Region*> regions;
+  for (int i = 0; i < 100; ++i) {
+    regions.push_back(&heap.alloc(1 + static_cast<std::size_t>(i) * 57,
+                                  "r" + std::to_string(i)));
+  }
+  for (const mem::Region* r : regions) {
+    EXPECT_EQ(&heap.region_of(r->base), r);
+    EXPECT_EQ(&heap.region_of(r->base + r->bytes / 2), r);
+    EXPECT_EQ(&heap.region_of(r->base + r->bytes - 1), r);
+  }
 }
 
 TEST(SharedArray, ValueRoundTrip) {

@@ -123,6 +123,40 @@ TEST(SlottedRing, InvalidInjectionRejected) {
   EXPECT_THROW(ring.inject(0, 7, [](sim::Duration) {}), std::out_of_range);
 }
 
+TEST(SlottedRing, ZeroSlotsPerSubringRejected) {
+  // A slotless sub-ring has no coordinate to wait for: the first injection
+  // would re-poll at the same simulated instant forever. Must be rejected
+  // at construction, not discovered as a hang.
+  sim::Engine eng;
+  SlottedRing::Config cfg;
+  cfg.slots_per_subring = 0;
+  EXPECT_THROW(SlottedRing(eng, cfg, "t"), std::invalid_argument);
+}
+
+TEST(SlottedRing, PhaseRotationPreservesServiceGuarantees) {
+  // The fuzzer's phase offset shifts which coordinates are slots, not how
+  // many there are or how long a circulation takes: every phase must still
+  // complete a transaction in wait + one circulation, with bounded wait.
+  for (unsigned phase : {1u, 7u, 31u}) {
+    sim::Engine eng;
+    SlottedRing::Config cfg;
+    cfg.phase = phase;
+    SlottedRing ring(eng, cfg, "t");
+    sim::Time done_at = 0;
+    sim::Duration wait = 0;
+    eng.at(0, [&] {
+      ring.inject(5, 0, [&](sim::Duration w) {
+        wait = w;
+        done_at = eng.now();
+      });
+    });
+    eng.run();
+    EXPECT_EQ(done_at, wait + ring.circulation_ns()) << "phase=" << phase;
+    EXPECT_LT(wait, static_cast<sim::Duration>(cfg.positions) * cfg.hop_ns)
+        << "phase=" << phase;
+  }
+}
+
 // ------------------------------------------------------------------ Bus ----
 
 TEST(Bus, SerializesFcfs) {

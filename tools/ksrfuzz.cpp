@@ -1,0 +1,301 @@
+// ksrfuzz — deterministic schedule fuzzer for the ALLCACHE protocol.
+//
+// The simulator's event engine breaks same-time ties by insertion order and
+// the rings start at the paper's phase alignment, so every run explores one
+// schedule. This tool perturbs both (MachineConfig::sched_fuzz_seed seeds a
+// bijective hash over the tie-break order and rotates each ring's slot
+// phase), runs the contended workloads the paper measures — Fig. 3 style
+// lock ping-pong, Fig. 4 style barrier episodes, NAS IS class S — with the
+// invariant checker attached (docs/CHECKING.md), and verifies both the
+// protocol invariants and the workload's semantic result (lock counter
+// total, barrier episode agreement, IS ranking validity).
+//
+// Everything is a pure function of the seed: a failure replays exactly with
+//   ksrfuzz --workload <w> --procs <p> --seed-base <seed> --seeds 1
+// and the same seed reproduces the same schedule in any build mode (the
+// checker hooks never schedule events). In a -DKSR_CHECK=ON build every
+// coherence transition is audited as it commits; in a default build the
+// checker still audits the complete machine state at end of run.
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ksr/check/checker.hpp"
+#include "ksr/machine/coherent_machine.hpp"
+#include "ksr/machine/factory.hpp"
+#include "ksr/nas/is.hpp"
+#include "ksr/sync/barrier.hpp"
+#include "ksr/sync/locks.hpp"
+#include "ksr/sync/padded.hpp"
+
+namespace {
+
+using namespace ksr;
+
+struct Options {
+  std::string workload = "all";  // locks | barriers | is | all
+  std::uint64_t seeds = 32;      // number of consecutive seeds to run
+  std::uint64_t seed_base = 1;   // first seed (0 is the reference schedule)
+  unsigned procs = 8;
+  bool verbose = false;
+};
+
+struct RunOutcome {
+  bool ok = true;
+  std::string detail;             // failure diagnostic when !ok
+  std::uint64_t events = 0;       // engine events dispatched (determinism)
+  check::InvariantChecker::Stats stats;
+};
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// One machine per run: fresh caches, fresh directory, fresh heap, and the
+// seed folded into both the event tie-breaking and the ring phases.
+std::unique_ptr<machine::Machine> make_fuzz_machine(std::uint64_t seed,
+                                                    unsigned procs,
+                                                    unsigned scale = 1) {
+  machine::MachineConfig cfg = machine::MachineConfig::ksr1(procs);
+  if (scale > 1) cfg = cfg.scaled_by(scale);
+  cfg.sched_fuzz_seed = seed;
+  return machine::make_machine(cfg);
+}
+
+// Fig. 3 style: every cell hammers one hardware lock (get_subpage /
+// release_subpage) and increments a shared counter under it. The Atomic
+// state, NACK-and-retry, and owner migration paths all light up. Semantic
+// check: the counter ends at exactly procs * ops.
+RunOutcome run_locks(std::uint64_t seed, unsigned procs) {
+  RunOutcome out;
+  auto m = make_fuzz_machine(seed, procs);
+  auto& cm = dynamic_cast<machine::CoherentMachine&>(*m);
+  check::InvariantChecker checker(cm);
+  cm.attach_checker(&checker);
+
+  constexpr std::uint32_t kOps = 24;
+  sync::HardwareLock lock(*m, "fuzz.lock");
+  sync::Padded<std::uint32_t> counter(*m, "fuzz.counter", 1);
+
+  try {
+    m->run([&](machine::Cpu& cpu) {
+      for (std::uint32_t i = 0; i < kOps; ++i) {
+        lock.acquire(cpu);
+        counter.write(cpu, 0, counter.read(cpu, 0) + 1);
+        lock.release(cpu);
+        cpu.work(cpu.rng().below(800));
+      }
+    });
+    checker.audit_all();
+  } catch (const check::ViolationError& e) {
+    out.ok = false;
+    out.detail = e.what();
+  }
+  const std::uint32_t want = static_cast<std::uint32_t>(procs) * kOps;
+  if (out.ok && counter.value(0) != want) {
+    out.ok = false;
+    out.detail = "semantic: lock-protected counter ended at " +
+                 std::to_string(counter.value(0)) + ", expected " +
+                 std::to_string(want) + " (lost update under HardwareLock)";
+  }
+  out.events = m->engine().events_dispatched();
+  out.stats = checker.stats();
+  return out;
+}
+
+// Fig. 4 style: barrier episodes with a cross-check that the barrier
+// actually separates them. Before episode e every cell publishes e in its
+// own sub-page-padded slot; after the barrier every cell reads all slots and
+// demands agreement; a second barrier closes the read phase before anyone
+// starts episode e+1. The MCS(M) kind uses the intentionally false-shared
+// packed flag word plus a poststore wake-up flag, the two riskiest protocol
+// paths the barrier suite has.
+RunOutcome run_barriers(std::uint64_t seed, unsigned procs) {
+  RunOutcome out;
+  auto m = make_fuzz_machine(seed, procs);
+  auto& cm = dynamic_cast<machine::CoherentMachine&>(*m);
+  check::InvariantChecker checker(cm);
+  cm.attach_checker(&checker);
+
+  constexpr std::uint32_t kEpisodes = 12;
+  auto barrier = sync::make_barrier(*m, sync::BarrierKind::kMcsM);
+  sync::Padded<std::uint32_t> slots(*m, "fuzz.slots", procs);
+  std::string mismatch;  // cells run as fibers, one at a time: plain is fine
+
+  try {
+    m->run([&](machine::Cpu& cpu) {
+      const std::size_t me = cpu.id();
+      for (std::uint32_t e = 1; e <= kEpisodes; ++e) {
+        cpu.work(cpu.rng().below(500));
+        slots.write(cpu, me, e);
+        barrier->arrive(cpu);
+        for (unsigned j = 0; j < procs; ++j) {
+          const std::uint32_t v = slots.read(cpu, j);
+          if (v != e && mismatch.empty()) {
+            mismatch = "semantic: after barrier episode " +
+                       std::to_string(e) + " cpu " + std::to_string(me) +
+                       " read slot[" + std::to_string(j) + "] = " +
+                       std::to_string(v) + " (barrier admitted a straggler)";
+          }
+        }
+        barrier->arrive(cpu);
+      }
+    });
+    checker.audit_all();
+  } catch (const check::ViolationError& e) {
+    out.ok = false;
+    out.detail = e.what();
+  }
+  if (out.ok && !mismatch.empty()) {
+    out.ok = false;
+    out.detail = mismatch;
+  }
+  out.events = m->engine().events_dispatched();
+  out.stats = checker.stats();
+  return out;
+}
+
+// NAS IS, class S sized down for a 32-seed smoke run: the bucket histogram
+// phase is all read-modify-write sharing, the ranking phase is lock plus
+// barrier plus prefetch traffic. Semantic check: run_is verifies the final
+// ranks itself (ranks_valid).
+RunOutcome run_is(std::uint64_t seed, unsigned procs) {
+  RunOutcome out;
+  // Caches scaled down with the problem (as the NAS smoke tests do) so the
+  // run also fuzzes capacity evictions (kPageEvict) and re-fetch paths.
+  auto m = make_fuzz_machine(seed, procs, /*scale=*/64);
+  auto& cm = dynamic_cast<machine::CoherentMachine&>(*m);
+  check::InvariantChecker checker(cm);
+  cm.attach_checker(&checker);
+
+  nas::IsConfig cfg;
+  cfg.log2_keys = 11;
+  cfg.log2_buckets = 7;
+
+  try {
+    const nas::IsResult res = nas::run_is(*m, cfg);
+    if (!res.ranks_valid) {
+      out.ok = false;
+      out.detail = "semantic: IS full_verify failed (ranks out of order)";
+    }
+    checker.audit_all();
+  } catch (const check::ViolationError& e) {
+    out.ok = false;
+    out.detail = e.what();
+  }
+  out.events = m->engine().events_dispatched();
+  out.stats = checker.stats();
+  return out;
+}
+
+RunOutcome run_workload(const std::string& w, std::uint64_t seed,
+                        unsigned procs) {
+  if (w == "locks") return run_locks(seed, procs);
+  if (w == "barriers") return run_barriers(seed, procs);
+  return run_is(seed, procs);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload locks|barriers|is|all] [--seeds N]\n"
+      "          [--seed-base S] [--procs P] [--verbose]\n"
+      "\n"
+      "Runs N consecutive schedule seeds (S, S+1, ...) of each workload on\n"
+      "a KSR-1 machine with the ALLCACHE invariant checker attached.\n"
+      "Seed 0 is the reference schedule the published fingerprints use;\n"
+      "every nonzero seed is a distinct, exactly reproducible schedule.\n"
+      "\n"
+      "Replay a failure: --workload <w> --procs <p> --seed-base <seed> "
+      "--seeds 1\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (a == "--workload" && val != nullptr) {
+      opt.workload = val;
+      ++i;
+    } else if (a == "--seeds" && val != nullptr) {
+      if (!parse_u64(val, &opt.seeds)) return usage(argv[0]);
+      ++i;
+    } else if (a == "--seed-base" && val != nullptr) {
+      if (!parse_u64(val, &opt.seed_base)) return usage(argv[0]);
+      ++i;
+    } else if (a == "--procs" && val != nullptr) {
+      std::uint64_t p = 0;
+      if (!parse_u64(val, &p) || p == 0 || p > 1088) return usage(argv[0]);
+      opt.procs = static_cast<unsigned>(p);
+      ++i;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<std::string> workloads;
+  if (opt.workload == "all") {
+    workloads = {"locks", "barriers", "is"};
+  } else if (opt.workload == "locks" || opt.workload == "barriers" ||
+             opt.workload == "is") {
+    workloads = {opt.workload};
+  } else {
+    return usage(argv[0]);
+  }
+
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t audits = 0;
+  for (const std::string& w : workloads) {
+    for (std::uint64_t k = 0; k < opt.seeds; ++k) {
+      const std::uint64_t seed = opt.seed_base + k;
+      const RunOutcome out = run_workload(w, seed, opt.procs);
+      ++runs;
+      transitions += out.stats.transitions;
+      audits += out.stats.audits;
+      if (!out.ok) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL workload=%s seed=%" PRIu64 " procs=%u\n%s\n"
+                     "replay: ksrfuzz --workload %s --procs %u "
+                     "--seed-base %" PRIu64 " --seeds 1\n",
+                     w.c_str(), seed, opt.procs, out.detail.c_str(),
+                     w.c_str(), opt.procs, seed);
+      } else if (opt.verbose) {
+        std::fprintf(stdout,
+                     "ok workload=%s seed=%" PRIu64 " procs=%u events=%" PRIu64
+                     " transitions=%" PRIu64 " audits=%" PRIu64 "\n",
+                     w.c_str(), seed, opt.procs, out.events,
+                     out.stats.transitions, out.stats.audits);
+      }
+    }
+  }
+
+  std::fprintf(stdout,
+               "ksrfuzz: %" PRIu64 " runs (%zu workloads x %" PRIu64
+               " seeds, procs=%u, hooks %s), %" PRIu64
+               " failures, transitions=%" PRIu64 " audits=%" PRIu64 "\n",
+               runs, workloads.size(), opt.seeds, opt.procs,
+               check::kHooksCompiled ? "compiled-in" : "end-of-run only",
+               failures, transitions, audits);
+  return failures == 0 ? 0 : 1;
+}

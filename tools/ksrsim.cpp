@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "ksr/check/checker.hpp"
 #include "ksr/host/sweep_runner.hpp"
 #include "ksr/machine/factory.hpp"
 #include "ksr/nas/bt.hpp"
@@ -54,7 +55,8 @@ class Args {
         {"log2-buckets", 1}, {"no-padding", 1}, {"no-prefetch", 1},
         {"pad-buckets", 1},
         {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
-        {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1}};
+        {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1},
+        {"fuzz-seed", 1},    {"check", 0}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) != 0) {
@@ -94,20 +96,43 @@ class Args {
     const auto it = kv_.find(key);
     return it == kv_.end() ? def : it->second;
   }
+  /// strtoul-validated parse of one non-negative integer token; false on
+  /// malformed or overflowing input (never throws, unlike std::stoul).
+  [[nodiscard]] static bool parse_u64(const std::string& tok,
+                                      std::uint64_t* out) {
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (tok.empty() || end == s || *end != '\0' || errno == ERANGE) {
+      return false;
+    }
+    *out = v;
+    return true;
+  }
   [[nodiscard]] unsigned get_u(const std::string& key, unsigned def) const {
     const auto it = kv_.find(key);
     if (it == kv_.end()) return def;
-    const char* s = it->second.c_str();
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long v = std::strtoul(s, &end, 10);
-    if (end == s || *end != '\0' || errno == ERANGE ||
+    std::uint64_t v = 0;
+    if (!parse_u64(it->second, &v) ||
         v > std::numeric_limits<unsigned>::max()) {
-      std::cerr << "warning: ignoring invalid --" << key << " value '" << s
-                << "' (expected a non-negative integer)\n";
+      std::cerr << "warning: ignoring invalid --" << key << " value '"
+                << it->second << "' (expected a non-negative integer)\n";
       return def;
     }
     return static_cast<unsigned>(v);
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    std::uint64_t v = 0;
+    if (!parse_u64(it->second, &v)) {
+      std::cerr << "warning: ignoring invalid --" << key << " value '"
+                << it->second << "' (expected a non-negative integer)\n";
+      return def;
+    }
+    return v;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return kv_.count(key) > 0;
@@ -120,7 +145,18 @@ class Args {
     std::stringstream ss(it->second);
     std::string tok;
     while (std::getline(ss, tok, ',')) {
-      out.push_back(static_cast<unsigned>(std::stoul(tok)));
+      std::uint64_t v = 0;
+      if (!parse_u64(tok, &v) || v > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "warning: skipping invalid --" << key << " list entry '"
+                  << tok << "' (expected a non-negative integer)\n";
+        continue;
+      }
+      out.push_back(static_cast<unsigned>(v));
+    }
+    if (out.empty()) {
+      std::cerr << "warning: --" << key
+                << " has no valid entries; using the default list\n";
+      return def;
     }
     return out;
   }
@@ -156,14 +192,58 @@ machine::MachineConfig make_config(const Args& args, unsigned procs) {
   const unsigned scale = args.get_u("scale", 1);
   if (scale > 1) cfg = cfg.scaled_by(scale);
   if (args.has("no-snarf")) cfg.read_snarfing = false;
+  cfg.sched_fuzz_seed = args.get_u64("fuzz-seed", 0);
   return cfg;
 }
+
+// With --check, attach the ALLCACHE invariant checker for the lifetime of
+// the run and audit the whole machine at scope exit (docs/CHECKING.md). In
+// a -DKSR_CHECK=ON build every coherence transition is audited as it
+// commits; in a default build only the end-of-run audit runs. A violation
+// prints the trace-backed diagnostic and fails the process via
+// g_check_failed (checked in main after the command returns).
+bool g_check_failed = false;
+
+class CheckScope {
+ public:
+  CheckScope(const Args& args, machine::Machine& m) {
+    if (!args.has("check")) return;
+    cm_ = dynamic_cast<machine::CoherentMachine*>(&m);
+    if (cm_ == nullptr) {
+      std::cerr << "warning: --check: this machine model has no coherence "
+                   "directory to audit\n";
+      return;
+    }
+    checker_ = std::make_unique<check::InvariantChecker>(*cm_);
+    cm_->attach_checker(checker_.get());
+  }
+  ~CheckScope() {
+    if (checker_ == nullptr) return;
+    try {
+      checker_->audit_all();
+      std::cerr << "[check] invariants ok: transitions="
+                << checker_->stats().transitions
+                << " audits=" << checker_->stats().audits << "\n";
+    } catch (const check::ViolationError& e) {
+      std::cerr << "[check] FAIL\n" << e.what() << "\n";
+      g_check_failed = true;
+    }
+    cm_->attach_checker(nullptr);
+  }
+  CheckScope(const CheckScope&) = delete;
+  CheckScope& operator=(const CheckScope&) = delete;
+
+ private:
+  machine::CoherentMachine* cm_ = nullptr;
+  std::unique_ptr<check::InvariantChecker> checker_;
+};
 
 // ------------------------------------------------------------- commands
 
 int cmd_probe(const Args& args) {
   const unsigned procs = args.get_u("procs", 2);
   auto m = machine::make_machine(make_config(args, std::max(procs, 2u)));
+  CheckScope check(args, *m);
   obs::Session session = make_session(args, "probe");
   obs::JobObs jo = session.job();
   jo.attach(*m);
@@ -221,6 +301,7 @@ int cmd_barrier(const Args& args) {
   const unsigned procs = args.get_u("procs", 16);
   const int episodes = static_cast<int>(args.get_u("episodes", 25));
   auto m = machine::make_machine(make_config(args, procs));
+  CheckScope check(args, *m);
   auto barrier = sync::make_barrier(*m, it->second);
   obs::Session session = make_session(args, "barrier");
   obs::JobObs jo = session.job();
@@ -254,6 +335,7 @@ int cmd_lock(const Args& args) {
   const std::string kind = args.get("kind", "hw");
   const unsigned read_pct = args.get_u("read-pct", 0);
   auto m = machine::make_machine(make_config(args, procs));
+  CheckScope check(args, *m);
   obs::Session session = make_session(args, "lock");
   obs::JobObs jo = session.job();
   jo.attach(*m);
@@ -326,6 +408,7 @@ struct KernelRun {
 KernelRun run_kernel_once(const obs::Session& session, const Args& args,
                           const std::string& name, unsigned procs) {
   auto m = machine::make_machine(make_config(args, procs));
+  CheckScope check(args, *m);
   KernelRun r;
   r.obs = session.job();
   r.obs.attach(*m);
@@ -442,6 +525,12 @@ int cmd_help() {
       "  --scale N      shrink caches by N (pair with smaller problems)\n"
       "  --no-snarf     disable read-snarfing\n"
       "  --csv          CSV output where applicable\n"
+      "  --fuzz-seed N  perturb event tie-breaking and ring slot phases\n"
+      "                 (deterministic per seed; 0 = reference schedule;\n"
+      "                 see docs/CHECKING.md and tools/ksrfuzz)\n"
+      "  --check        audit ALLCACHE protocol invariants at end of run\n"
+      "                 (every transition in -DKSR_CHECK=ON builds; see\n"
+      "                 docs/CHECKING.md)\n"
       "\n"
       "observability (docs/OBSERVABILITY.md; never perturbs simulated time):\n"
       "  --trace [cat,...]    capture a structured event trace (categories:\n"
@@ -470,12 +559,14 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args(argc, argv);
   try {
-    if (cmd == "probe") return cmd_probe(args);
-    if (cmd == "barrier") return cmd_barrier(args);
-    if (cmd == "lock") return cmd_lock(args);
-    if (cmd == "kernel") return cmd_kernel(args);
-    if (cmd == "sweep") return cmd_sweep(args);
-    return cmd_help();
+    int rc = 0;
+    if (cmd == "probe") rc = cmd_probe(args);
+    else if (cmd == "barrier") rc = cmd_barrier(args);
+    else if (cmd == "lock") rc = cmd_lock(args);
+    else if (cmd == "kernel") rc = cmd_kernel(args);
+    else if (cmd == "sweep") rc = cmd_sweep(args);
+    else rc = cmd_help();
+    return g_check_failed && rc == 0 ? 1 : rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ksrsim: %s\n", e.what());
     return 1;
