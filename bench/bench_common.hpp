@@ -78,31 +78,45 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
 /// single machine-parsable line at exit:
 ///
 ///   [host] bench=<name> events_dispatched=<n> wall_ms=<ms> jobs=<j>
+///       sim_threads=<t> quanta=<q>
 ///
 /// `scripts/bench_host.sh` greps these lines into BENCH_host.json; the
 /// events_dispatched total doubles as a bit-determinism fingerprint (it must
 /// be identical across host-side optimisation work, including any `--jobs`
-/// value). The line goes to stderr so that `--csv` stdout stays
-/// byte-for-byte diffable between builds.
+/// or `--sim-threads` value). `quanta` counts conservative-quantum barriers
+/// crossed by the parallel engine (0 on the serial inline path). The line
+/// goes to stderr so that `--csv` stdout stays byte-for-byte diffable
+/// between builds.
 class HostMetrics {
  public:
   explicit HostMetrics(std::string name)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
 
-  void add(machine::Machine& m) { events_ += m.engine().events_dispatched(); }
+  void add(machine::Machine& m) {
+    events_ += m.engine().events_dispatched();
+    quanta_ += m.parallel_engine().quanta();
+  }
 
   /// Jobs run on pool threads and destroy their Machine before merging, so
   /// they report the engine's final event count through their result struct.
   void add_events(std::uint64_t n) { events_ += n; }
 
+  /// Quantum-barrier count from a pool-thread job's parallel engine.
+  void add_quanta(std::uint64_t n) { quanta_ += n; }
+
   /// Record the effective host worker count for the [host] line.
   void set_jobs(unsigned jobs) { jobs_ = jobs; }
+
+  /// Record the per-simulation engine thread count for the [host] line.
+  void set_sim_threads(unsigned n) { sim_threads_ = n; }
 
   ~HostMetrics() {
     const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start_);
     std::cerr << "[host] bench=" << name_ << " events_dispatched=" << events_
-              << " wall_ms=" << wall.count() << " jobs=" << jobs_ << "\n";
+              << " wall_ms=" << wall.count() << " jobs=" << jobs_
+              << " sim_threads=" << sim_threads_ << " quanta=" << quanta_
+              << "\n";
   }
 
   HostMetrics(const HostMetrics&) = delete;
@@ -112,7 +126,9 @@ class HostMetrics {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t events_ = 0;
+  std::uint64_t quanta_ = 0;
   unsigned jobs_ = 1;
+  unsigned sim_threads_ = 1;
 };
 
 /// Mean barrier episode time on `m` using `kind`, over `episodes` episodes

@@ -12,6 +12,7 @@ namespace {
 struct Cell {
   double seconds = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t quanta = 0;
   ksr::obs::JobObs obs;
 };
 
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   obs::Session session = make_obs_session(opt, "fig4_barriers_ksr1");
   SweepRunner runner(opt.jobs);
   host.set_jobs(runner.jobs());
+  host.set_sim_threads(opt.sim_threads);
+  const unsigned sim_threads = opt.sim_threads;
   const int episodes = opt.quick ? 5 : 20;
   print_header("Barrier performance on the 32-node KSR-1",
                "Fig. 4, Section 3.2.2");
@@ -43,14 +46,16 @@ int main(int argc, char** argv) {
   jobs.reserve(kinds.size() * procs.size());
   for (sync::BarrierKind kind : kinds) {
     for (unsigned p : procs) {
-      jobs.emplace_back([kind, p, episodes, &session] {
-        machine::KsrMachine m(machine::MachineConfig::ksr1(p));
+      jobs.emplace_back([kind, p, episodes, sim_threads, &session] {
+        machine::KsrMachine m(
+            machine::MachineConfig::ksr1(p).with_sim_threads(sim_threads));
         Cell c;
         c.obs = session.job();
         c.obs.attach(m);
         c.seconds = barrier_episode_seconds(m, kind, episodes);
         c.obs.finish();
         c.events = m.engine().events_dispatched();
+        c.quanta = m.parallel_engine().quanta();
         return c;
       });
     }
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
     for (unsigned p : procs) {
       Cell& c = cells[j++];
       host.add_events(c.events);
+      host.add_quanta(c.quanta);
       if (session.active()) {
         session.collect(std::move(c.obs), std::string(to_string(kind)) +
                                               " p=" + std::to_string(p));

@@ -4,11 +4,14 @@
 // paper-table binaries, which report simulated seconds).
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "ksr/cache/local_cache.hpp"
 #include "ksr/cache/subcache.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/net/ring.hpp"
 #include "ksr/sim/engine.hpp"
+#include "ksr/sim/parallel_engine.hpp"
 #include "ksr/sync/barrier.hpp"
 
 namespace {
@@ -40,6 +43,47 @@ void BM_FiberSwitch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_FiberSwitch);
+
+void BM_ParallelEngineDispatch(benchmark::State& state) {
+  // Conservative-quantum multi-domain dispatch (docs/PARALLEL.md): four
+  // domains each burn through a local event chain, with every 64th event
+  // crossing a boundary channel into the next domain one quantum ahead.
+  // Arg = host threads; the events_dispatched total (and every sink) is
+  // identical at any thread count — this measures barrier/merge overhead
+  // and, on multi-core hosts, the parallel speedup.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  constexpr unsigned kDomains = 4;
+  constexpr int kEventsPerDomain = 10000;
+  sim::ParallelEngine::Config cfg;
+  cfg.domains = kDomains;
+  cfg.threads = threads;
+  cfg.quantum_ns = 1000;
+  for (auto _ : state) {
+    sim::ParallelEngine pe(cfg);
+    struct alignas(64) Sink { int v = 0; };  // one cache line per domain
+    std::array<Sink, kDomains> sinks{};
+    for (unsigned d = 0; d < kDomains; ++d) {
+      Sink* sink = &sinks[d];
+      Sink* peer = &sinks[(d + 1) % kDomains];
+      for (int i = 0; i < kEventsPerDomain; ++i) {
+        const auto t = static_cast<sim::Time>(i) * 10;
+        if (i % 64 == 0) {
+          const unsigned dst = (d + 1) % kDomains;
+          pe.domain(d).at(t, [&pe, d, dst, t, sink, peer] {
+            ++sink->v;
+            pe.send(d, dst, t + 1000, [peer] { ++peer->v; });
+          });
+        } else {
+          pe.domain(d).at(t, [sink] { ++sink->v; });
+        }
+      }
+    }
+    pe.run();
+    benchmark::DoNotOptimize(sinks);
+  }
+  state.SetItemsProcessed(state.iterations() * kDomains * kEventsPerDomain);
+}
+BENCHMARK(BM_ParallelEngineDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SubCacheHit(benchmark::State& state) {
   cache::SubCache sc;

@@ -18,6 +18,7 @@ struct IsPoint {
   bool ranks_valid = true;
   double wait_per_req = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t quanta = 0;
   ksr::obs::JobObs obs;
 };
 
@@ -25,6 +26,7 @@ struct PrefetchPoint {
   double with_pf = 0.0;
   double without = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t quanta = 0;
   ksr::obs::JobObs obs_pf;     // prefetching run
   ksr::obs::JobObs obs_nopf;   // ablated run
 };
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
   obs::Session session = make_obs_session(opt, "table2_is");
   SweepRunner runner(opt.jobs);
   host.set_jobs(runner.jobs());
+  host.set_sim_threads(opt.sim_threads);
+  const unsigned sim_threads = opt.sim_threads;
   print_header("Integer Sort scalability",
                "Table 2 and Figs. 8 & 9, Section 3.3.2");
 
@@ -55,8 +59,10 @@ int main(int argc, char** argv) {
   std::vector<std::function<IsPoint()>> jobs;
   jobs.reserve(procs.size());
   for (unsigned p : procs) {
-    jobs.emplace_back([p, scale, cfg, &session] {
-      machine::KsrMachine m(machine::MachineConfig::ksr1(p).scaled_by(scale));
+    jobs.emplace_back([p, scale, cfg, sim_threads, &session] {
+      machine::KsrMachine m(machine::MachineConfig::ksr1(p)
+                                .scaled_by(scale)
+                                .with_sim_threads(sim_threads));
       IsPoint pt;
       pt.obs = session.job();
       pt.obs.attach(m);
@@ -73,6 +79,7 @@ int main(int argc, char** argv) {
                                   static_cast<double>(total.ring_requests)
                             : 0.0;
       pt.events = m.engine().events_dispatched();
+      pt.quanta = m.parallel_engine().quanta();
       return pt;
     });
   }
@@ -82,6 +89,7 @@ int main(int argc, char** argv) {
   bool all_valid = true;
   for (std::size_t i = 0; i < procs.size(); ++i) {
     host.add_events(points[i].events);
+    host.add_quanta(points[i].quanta);
     if (session.active()) {
       session.collect(std::move(points[i].obs),
                       "is p=" + std::to_string(procs[i]));
@@ -128,22 +136,28 @@ int main(int argc, char** argv) {
   std::vector<std::function<PrefetchPoint()>> ab_jobs;
   ab_jobs.reserve(ab_procs.size());
   for (unsigned p : ab_procs) {
-    ab_jobs.emplace_back([p, scale, cfg, &session] {
+    ab_jobs.emplace_back([p, scale, cfg, sim_threads, &session] {
       PrefetchPoint pt;
-      machine::KsrMachine m1(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      machine::KsrMachine m1(machine::MachineConfig::ksr1(p)
+                                 .scaled_by(scale)
+                                 .with_sim_threads(sim_threads));
       pt.obs_pf = session.job();
       pt.obs_pf.attach(m1);
       pt.with_pf = run_is(m1, cfg).seconds;
       pt.obs_pf.finish();
       pt.events = m1.engine().events_dispatched();
+      pt.quanta = m1.parallel_engine().quanta();
       nas::IsConfig c2 = cfg;
       c2.use_prefetch = false;
-      machine::KsrMachine m2(machine::MachineConfig::ksr1(p).scaled_by(scale));
+      machine::KsrMachine m2(machine::MachineConfig::ksr1(p)
+                                 .scaled_by(scale)
+                                 .with_sim_threads(sim_threads));
       pt.obs_nopf = session.job();
       pt.obs_nopf.attach(m2);
       pt.without = run_is(m2, c2).seconds;
       pt.obs_nopf.finish();
       pt.events += m2.engine().events_dispatched();
+      pt.quanta += m2.parallel_engine().quanta();
       return pt;
     });
   }
@@ -152,6 +166,7 @@ int main(int argc, char** argv) {
   TextTable ft({"Processors", "prefetch (s)", "no prefetch (s)", "gain"});
   for (std::size_t i = 0; i < ab_procs.size(); ++i) {
     host.add_events(ab[i].events);
+    host.add_quanta(ab[i].quanta);
     if (session.active()) {
       const std::string p = std::to_string(ab_procs[i]);
       session.collect(std::move(ab[i].obs_pf), "is-prefetch p=" + p);

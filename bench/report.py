@@ -20,7 +20,8 @@ Output schema (BENCH_host.json):
       ...
     },
     "paper_bench": {           # from the [host] lines
-      "table2_is": {"events_dispatched": ..., "wall_ms": ..., "jobs": ...},
+      "table2_is": {"events_dispatched": ..., "wall_ms": ..., "jobs": ...,
+                    "sim_threads": ..., "quanta": ...},
       "table2_is_jobs1": {...},   # serial baseline of the same binary; the
       ...                         # wall_ms ratio is the parallel speedup
     }
@@ -36,11 +37,11 @@ import os
 import re
 import sys
 
-# jobs= is optional so reports can still be built from pre-runner [host]
-# lines (older binaries, older branches).
+# jobs=, sim_threads= and quanta= are optional so reports can still be built
+# from pre-runner [host] lines (older binaries, older branches).
 HOST_RE = re.compile(
     r"^\[host\] bench=(\S+) events_dispatched=(\d+) wall_ms=(\d+)"
-    r"(?: jobs=(\d+))?\s*$"
+    r"(?: jobs=(\d+))?(?: sim_threads=(\d+))?(?: quanta=(\d+))?\s*$"
 )
 
 
@@ -75,6 +76,10 @@ def parse_host(spec: str) -> dict:
                 }
                 if m.group(4) is not None:
                     entry["jobs"] = int(m.group(4))
+                if m.group(5) is not None:
+                    entry["sim_threads"] = int(m.group(5))
+                if m.group(6) is not None:
+                    entry["quanta"] = int(m.group(6))
                 return {alias or m.group(1): entry}
     raise SystemExit(f"report.py: no [host] line found in {path}")
 

@@ -72,6 +72,50 @@ struct MachineConfig {
   sim::Duration atomic_backoff_ns = 2000;   // base retry delay after a NACK
   sim::Duration local_atomic_ns = 300;      // get/release on an Exclusive-held line
 
+  // --- Single-simulation host parallelism (docs/PARALLEL.md) ---
+  // sim_threads: host threads advancing this one simulation through the
+  // conservative-quantum ParallelEngine (0 = one per hardware core).
+  // Results are bit-identical at any value — the same determinism contract
+  // --jobs carries for independent simulations, now inside one machine.
+  // The build can move the default off the serial inline path
+  // (-DKSR_SIM_THREADS_DEFAULT=N); CI's build-parallel job soaks the whole
+  // tier-1 suite that way.
+#ifndef KSR_SIM_THREADS_DEFAULT
+#define KSR_SIM_THREADS_DEFAULT 1
+#endif
+  unsigned sim_threads = KSR_SIM_THREADS_DEFAULT;
+  // cells_per_domain: requested partition width, 0 = all cells in one
+  // domain. Coherent machine models currently *require* a single domain:
+  // the ALLCACHE directory is machine-global functional state whose
+  // invalidations commit with zero simulated latency, so splitting cells
+  // across domains would change the simulated protocol (and the pinned
+  // fingerprints). The field, the quantum derivation and the engine are in
+  // place so the distributed-directory work (ROADMAP item 2) can turn the
+  // partition on without another refactor.
+  unsigned cells_per_domain = 0;
+
+  /// Domains the requested partition would produce for this machine size.
+  [[nodiscard]] unsigned requested_domains() const noexcept {
+    if (cells_per_domain == 0 || cells_per_domain >= nproc) return 1;
+    return (nproc + cells_per_domain - 1) / cells_per_domain;
+  }
+
+  /// Conservative quantum Δ for a partitioned run: the minimum cross-domain
+  /// latency of the transport model. On the slotted ring any cross-cell
+  /// interaction costs at least one full leaf circulation — a packet
+  /// injected in quantum k cannot be delivered before quantum k+1 — so
+  /// Δ = positions × hop_ns (the paper layout: 32 × 100 ns = 3.2 us).
+  [[nodiscard]] sim::Duration sim_quantum_ns() const noexcept {
+    return static_cast<sim::Duration>(cells_per_leaf) * ring_hop_ns;
+  }
+
+  /// Fluent copy for sweep call sites: cfg.with_sim_threads(o.sim_threads).
+  [[nodiscard]] MachineConfig with_sim_threads(unsigned n) const {
+    MachineConfig c = *this;
+    c.sim_threads = n;
+    return c;
+  }
+
   // --- Schedule fuzzing (ksrfuzz, docs/CHECKING.md) ---
   // Nonzero: perturb event tie-breaking order (Engine::set_tie_break_seed)
   // and, on ring machines, the slot phase of every ring, all derived

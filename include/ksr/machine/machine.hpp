@@ -10,6 +10,7 @@
 #include "ksr/machine/cpu.hpp"
 #include "ksr/mem/heap.hpp"
 #include "ksr/sim/engine.hpp"
+#include "ksr/sim/parallel_engine.hpp"
 #include "ksr/sim/trace.hpp"
 
 // The whole-machine abstraction.
@@ -59,9 +60,10 @@ class Machine {
  public:
   using Program = std::function<void(Cpu&)>;
 
-  explicit Machine(const MachineConfig& cfg) : cfg_(cfg) {
+  explicit Machine(const MachineConfig& cfg)
+      : cfg_(cfg), par_(domain_plan(cfg_)), engine_(par_.domain(0)) {
     cfg_.validate();
-    engine_.set_tie_break_seed(cfg_.sched_fuzz_seed);
+    par_.set_tie_break_seed(cfg_.sched_fuzz_seed);
   }
   virtual ~Machine() = default;
   Machine(const Machine&) = delete;
@@ -69,7 +71,16 @@ class Machine {
 
   [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] unsigned nproc() const noexcept { return cfg_.nproc; }
+
+  /// Domain 0's serial engine. Coherent machines are single-domain (see
+  /// MachineConfig::cells_per_domain), so this is *the* event queue every
+  /// component schedules on; existing callers are unchanged.
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  /// The quantum engine advancing this machine's domains across
+  /// cfg.sim_threads host threads (docs/PARALLEL.md). run() drives it;
+  /// expose it for host-side instrumentation (quanta/boundary counts).
+  [[nodiscard]] sim::ParallelEngine& parallel_engine() noexcept { return par_; }
   [[nodiscard]] mem::Heap& heap() noexcept { return heap_; }
 
   /// Allocate a shared array of `n` elements of T (page-aligned, zeroed).
@@ -111,8 +122,15 @@ class Machine {
     (void)p;
   }
 
+  /// Map the config's partition request onto a ParallelEngine plan. Defined
+  /// out of line (machine.cpp): warns once when a cells_per_domain split is
+  /// requested that the coherent models cannot honor yet.
+  [[nodiscard]] static sim::ParallelEngine::Config domain_plan(
+      const MachineConfig& cfg);
+
   MachineConfig cfg_;
-  sim::Engine engine_;
+  sim::ParallelEngine par_;
+  sim::Engine& engine_;  // = par_.domain(0); keeps subclass call sites flat
   mem::Heap heap_;
   sim::Tracer* tracer_ = nullptr;
 };

@@ -82,6 +82,22 @@ class Engine {
   /// first exception escaping a fiber body.
   void run();
 
+  /// Dispatch every event with time < `horizon`, then return (leaving later
+  /// events, pending observers, and blocked fibers untouched). This is the
+  /// quantum slice primitive of ParallelEngine: a conservative quantum
+  /// advances each domain with run_until(quantum_end), merges boundary
+  /// events, and repeats. Dispatch order within the slice is exactly the
+  /// (time, seq) order run() would use, so slicing a run into any sequence
+  /// of horizons is bit-identical to one run() — finish_run() supplies
+  /// run()'s end-of-run checks once the last slice is done.
+  void run_until(Time horizon);
+
+  /// End-of-run bookkeeping shared by run() and the quantum loop: drops
+  /// (without running) observers scheduled past the last main event and
+  /// throws if fibers are still blocked (simulated deadlock). Call after
+  /// the final run_until() slice; run() calls it internally.
+  void finish_run();
+
   /// --- Fiber-side API (must be called from inside a running fiber). ---
 
   /// Park the current fiber until simulated time `t`.

@@ -9,6 +9,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 // Plain-text / CSV table rendering for the bench harnesses. Every bench
@@ -88,7 +89,9 @@ class TextTable {
 /// Shared bench-binary CLI: `--csv` switches the output format,
 /// `--quick`/`--full` pick a scale, and `--jobs N` shards the sweep over N
 /// host threads (0 = one per hardware core; results are bit-identical for
-/// any value — see ksr/host/sweep_runner.hpp).
+/// any value — see ksr/host/sweep_runner.hpp). `--sim-threads N` additionally
+/// threads each *single* simulation through the conservative-quantum
+/// ParallelEngine (docs/PARALLEL.md); also bit-identical for any value.
 ///
 /// Observability (see docs/OBSERVABILITY.md): `--trace[=cat,...]` captures a
 /// structured event trace, `--trace-out FILE` picks its output (.json =
@@ -114,6 +117,7 @@ struct BenchOptions {
   std::string metrics_csv;  // metrics time-series path; empty = off
   std::string report;       // ksrprof profile report path; empty = off
   std::size_t trace_cap = 0;  // records per job buffer; 0 = default
+  unsigned sim_threads = 1;   // host threads per simulation (docs/PARALLEL.md)
 
   static void parse_trace_cap(BenchOptions* o, const char* s) {
     char* end = nullptr;
@@ -141,6 +145,18 @@ struct BenchOptions {
         o.jobs = static_cast<unsigned>(v);
       }
     };
+    auto parse_sim_threads = [&o](const char* s) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || errno == ERANGE ||
+          v > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "warning: ignoring invalid --sim-threads value '" << s
+                  << "' (expected a non-negative integer)\n";
+      } else {
+        o.sim_threads = static_cast<unsigned>(v);
+      }
+    };
     // "--flag=VALUE" match; returns the value through `out`.
     auto eq_value = [](const std::string& a, const std::string& flag,
                        std::string* out) {
@@ -164,6 +180,10 @@ struct BenchOptions {
         parse_jobs(argv[++i]);
       } else if (eq_value(a, "--jobs", &v)) {
         parse_jobs(v.c_str());
+      } else if (a == "--sim-threads" && i + 1 < argc) {
+        parse_sim_threads(argv[++i]);
+      } else if (eq_value(a, "--sim-threads", &v)) {
+        parse_sim_threads(v.c_str());
       } else if (a == "--trace") {
         o.trace = true;
       } else if (eq_value(a, "--trace", &v)) {
@@ -189,6 +209,20 @@ struct BenchOptions {
         parse_trace_cap(&o, v.c_str());
       } else {
         std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
+      }
+    }
+    // jobs sweep shards × sim_threads engine threads all run at once; warn
+    // when that oversubscribes the host. Results are bit-identical either
+    // way — only wall time suffers.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0) {
+      const unsigned j = o.jobs == 0 ? hw : o.jobs;
+      const unsigned st = o.sim_threads == 0 ? hw : o.sim_threads;
+      if (static_cast<unsigned long long>(j) * st > hw) {
+        std::cerr << "warning: --jobs " << j << " x --sim-threads " << st
+                  << " = " << j * st << " host threads on " << hw
+                  << " core(s); expect oversubscription (results are "
+                     "unaffected, wall time may suffer)\n";
       }
     }
     return o;

@@ -111,6 +111,23 @@ if [ "$CHECK" = 1 ]; then
          "--jobs 1 and --jobs 4" >&2
     exit 1
   fi
+  # Single-simulation parallel engine determinism (docs/PARALLEL.md):
+  # threading one simulation over 4 host threads must change neither the
+  # event fingerprint nor a byte of the CSV output vs --sim-threads 1.
+  run_paper bench_table2_is table2_is_st1 --jobs 1 --sim-threads 1
+  run_paper bench_table2_is table2_is_st4 --jobs 1 --sim-threads 4
+  fpst1=$(fingerprint table2_is_st1)
+  fpst4=$(fingerprint table2_is_st4)
+  if [ -z "$fpst1" ] || [ "$fpst1" != "$fpst4" ]; then
+    echo "bench_host.sh --check FAILED: events_dispatched differs between" \
+         "--sim-threads 1 and --sim-threads 4 ($fpst1 vs $fpst4)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/table2_is_st1.csv" "$TMP/table2_is_st4.csv"; then
+    echo "bench_host.sh --check FAILED: --csv output differs between" \
+         "--sim-threads 1 and --sim-threads 4" >&2
+    exit 1
+  fi
   # Observability non-perturbation: tracing + metrics on must change neither
   # the event fingerprint nor a byte of the CSV stream, and the merged trace
   # must be a loadable Chrome trace-event document.
@@ -180,18 +197,22 @@ assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
     --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
     --mode quick --out "$TMP/BENCH_host.json"
   echo "bench_host.sh --check OK (fingerprint $fp1 reproducible," \
-       "jobs-1/jobs-4 fingerprint $fpj1 identical, traced fingerprint" \
-       "$fpt identical)"
+       "jobs-1/jobs-4 fingerprint $fpj1 identical, sim-threads-1/4" \
+       "fingerprint $fpst1 identical, traced fingerprint $fpt identical)"
   exit 0
 fi
 
 # Serial baseline of the heaviest binary, so BENCH_host.json records the
-# parallel speedup (table2_is wall_ms vs table2_is_jobs1 wall_ms) per PR.
+# parallel speedup (table2_is wall_ms vs table2_is_jobs1 wall_ms) per PR,
+# and a --sim-threads 4 run so the single-simulation parallel engine's
+# wall time is tracked against the same serial baseline (docs/PARALLEL.md).
 run_paper bench_table2_is table2_is_jobs1 --jobs 1
+run_paper bench_table2_is table2_is_simthreads4 --jobs 1 --sim-threads 4
 
 python3 bench/report.py --gbench "$TMP/gbench.json" \
   --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
   --host "table2_is_jobs1=$TMP/table2_is_jobs1.host" \
+  --host "table2_is_simthreads4=$TMP/table2_is_simthreads4.host" \
   --mode "$([ "$QUICK" = 1 ] && echo quick || echo full)" \
   --out "$OUT"
 echo "wrote $OUT"

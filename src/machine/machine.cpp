@@ -1,9 +1,36 @@
 #include "ksr/machine/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace ksr::machine {
+
+sim::ParallelEngine::Config Machine::domain_plan(const MachineConfig& cfg) {
+  // Coherent machine models run as one domain until the ALLCACHE directory
+  // is distributed (docs/PARALLEL.md): invalidations commit machine-wide
+  // with zero simulated latency, so no partition of the cells satisfies
+  // the conservative engine's "cross-domain effects ride >= Δ of latency"
+  // precondition without changing the simulated protocol — and with it the
+  // pinned fingerprints. The quantum is still derived and recorded so the
+  // ROADMAP item 2 topology work can flip requested_domains() on directly.
+  if (cfg.requested_domains() > 1) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: cells_per_domain=%u requests %u domains, but "
+                   "coherent machine models currently run single-domain "
+                   "(machine-global directory; see docs/PARALLEL.md)\n",
+                   cfg.cells_per_domain, cfg.requested_domains());
+    }
+  }
+  sim::ParallelEngine::Config pc;
+  pc.domains = 1;
+  pc.threads = cfg.sim_threads;
+  pc.quantum_ns = cfg.sim_quantum_ns();
+  return pc;
+}
 
 unsigned Cpu::nproc() const noexcept { return machine_.nproc(); }
 
@@ -69,7 +96,7 @@ RunResult Machine::run(const std::vector<Program>& programs) {
         [cpu, body] { (*body)(*cpu); }, epoch);
     cpu->begin_run(epoch, fid);
   }
-  engine_.run();
+  par_.run();
 
   RunResult res;
   res.cell_seconds.resize(nproc());

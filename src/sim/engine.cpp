@@ -189,7 +189,12 @@ Time Engine::next_event_time() const noexcept {
 }
 
 void Engine::run() {
-  while (!events_.empty()) {
+  run_until(std::numeric_limits<Time>::max());
+  finish_run();
+}
+
+void Engine::run_until(Time horizon) {
+  while (!events_.empty() && events_.top().t < horizon) {
     const Event ev = events_.pop_top();
     // Observers due at or before this event run first (the sample "at t"
     // sees the world before the event at t mutates it).
@@ -208,6 +213,9 @@ void Engine::run() {
       std::rethrow_exception(ex);
     }
   }
+}
+
+void Engine::finish_run() {
   // Drop (without running) observers scheduled past the last main event:
   // simulated time never reaches them. Their slots are recycled so a later
   // run() on the same engine starts clean.

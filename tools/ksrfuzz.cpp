@@ -45,6 +45,11 @@ struct Options {
   bool verbose = false;
 };
 
+// Host threads per simulation (--sim-threads, docs/PARALLEL.md). Outcomes —
+// events, checker stats, semantic results — are bit-identical for any value,
+// so a failure found at one thread count replays at any other.
+unsigned g_sim_threads = 1;
+
 struct RunOutcome {
   bool ok = true;
   std::string detail;             // failure diagnostic when !ok
@@ -70,6 +75,7 @@ std::unique_ptr<machine::Machine> make_fuzz_machine(std::uint64_t seed,
   machine::MachineConfig cfg = machine::MachineConfig::ksr1(procs);
   if (scale > 1) cfg = cfg.scaled_by(scale);
   cfg.sched_fuzz_seed = seed;
+  cfg.sim_threads = g_sim_threads;
   return machine::make_machine(cfg);
 }
 
@@ -210,7 +216,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--workload locks|barriers|is|all] [--seeds N]\n"
-      "          [--seed-base S] [--procs P] [--verbose]\n"
+      "          [--seed-base S] [--procs P] [--sim-threads T] [--verbose]\n"
       "\n"
       "Runs N consecutive schedule seeds (S, S+1, ...) of each workload on\n"
       "a KSR-1 machine with the ALLCACHE invariant checker attached.\n"
@@ -243,6 +249,11 @@ int main(int argc, char** argv) {
       std::uint64_t p = 0;
       if (!parse_u64(val, &p) || p == 0 || p > 1088) return usage(argv[0]);
       opt.procs = static_cast<unsigned>(p);
+      ++i;
+    } else if (a == "--sim-threads" && val != nullptr) {
+      std::uint64_t t = 0;
+      if (!parse_u64(val, &t) || t > 1024) return usage(argv[0]);
+      g_sim_threads = static_cast<unsigned>(t);
       ++i;
     } else if (a == "--verbose") {
       opt.verbose = true;

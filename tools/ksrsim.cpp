@@ -56,7 +56,7 @@ class Args {
         {"pad-buckets", 1},
         {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
         {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1},
-        {"fuzz-seed", 1},    {"check", 0}};
+        {"fuzz-seed", 1},    {"check", 0},    {"sim-threads", 1}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) != 0) {
@@ -193,6 +193,7 @@ machine::MachineConfig make_config(const Args& args, unsigned procs) {
   if (scale > 1) cfg = cfg.scaled_by(scale);
   if (args.has("no-snarf")) cfg.read_snarfing = false;
   cfg.sched_fuzz_seed = args.get_u64("fuzz-seed", 0);
+  cfg.sim_threads = args.get_u("sim-threads", 1);
   return cfg;
 }
 
@@ -528,6 +529,10 @@ int cmd_help() {
       "  --fuzz-seed N  perturb event tie-breaking and ring slot phases\n"
       "                 (deterministic per seed; 0 = reference schedule;\n"
       "                 see docs/CHECKING.md and tools/ksrfuzz)\n"
+      "  --sim-threads N  host threads advancing each single simulation\n"
+      "                 through the conservative-quantum engine (0 = one\n"
+      "                 per core; results are bit-identical for any N;\n"
+      "                 see docs/PARALLEL.md)\n"
       "  --check        audit ALLCACHE protocol invariants at end of run\n"
       "                 (every transition in -DKSR_CHECK=ON builds; see\n"
       "                 docs/CHECKING.md)\n"
