@@ -24,7 +24,9 @@ Output schema (BENCH_host.json):
                     "sim_threads": ..., "quanta": ...},
       "table2_is_jobs1": {...},   # serial baseline of the same binary; the
       ...                         # wall_ms ratio is the parallel speedup
-    }
+      "fig8_scaleout_st1": {...}, # 128/512/1088-cell sharded-directory CG+IS
+      "fig8_scaleout_st4": {...}  # ... same machines on 4 engine threads;
+    }                             # wall_ms ratio = multi-domain speedup
   }
 
 Only the standard library is used.

@@ -1,0 +1,240 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+// Cell-set bitmask for directory state at ring-of-rings scale.
+//
+// The seed simulator capped machines at 64 cells so a directory entry's
+// holder/placeholder sets fit one std::uint64_t. The full KSR-1 topology
+// reaches 1088 cells (34 leaf rings x 32 cells), so CellMask widens the set
+// while keeping the common case free: cells 0..63 live in an inline word,
+// and the 16 overflow words (cells 64..1087) are heap-allocated only the
+// first time such a cell is inserted. A <=64-cell machine therefore touches
+// exactly the same single word the seed did, and directory entries stay
+// small and cheap to move inside cache::FlatMap.
+//
+// Iteration order (for_each and friends) is ascending cell id — the order
+// the seed's countr_zero loops produced — so snarf/invalidate visit order,
+// and with it every pinned fingerprint, is unchanged on small machines.
+namespace ksr::cache {
+
+class CellMask {
+ public:
+  /// 34 leaf rings x 32 cells: the largest machine the ARD ring admits.
+  static constexpr unsigned kMaxCells = 1088;
+  static constexpr unsigned kHiWords = (kMaxCells - 64) / 64;  // 16
+
+  CellMask() = default;
+  CellMask(CellMask&&) noexcept = default;
+  CellMask& operator=(CellMask&&) noexcept = default;
+
+  CellMask(const CellMask& o) : lo_(o.lo_) {
+    if (o.hi_) {
+      ensure_hi();
+      for (unsigned w = 0; w < kHiWords; ++w) hi_[w] = o.hi_[w];
+    }
+  }
+  CellMask& operator=(const CellMask& o) {
+    if (this == &o) return *this;
+    lo_ = o.lo_;
+    if (o.hi_) {
+      ensure_hi();
+      for (unsigned w = 0; w < kHiWords; ++w) hi_[w] = o.hi_[w];
+    } else if (hi_) {
+      for (unsigned w = 0; w < kHiWords; ++w) hi_[w] = 0;
+    }
+    return *this;
+  }
+
+  void set(unsigned cell) { word_for(cell) |= bit_in_word(cell); }
+  void clear(unsigned cell) {
+    if (cell < 64) {
+      lo_ &= ~bit_in_word(cell);
+    } else if (hi_) {
+      hi_[cell / 64 - 1] &= ~bit_in_word(cell);
+    }
+  }
+  [[nodiscard]] bool test(unsigned cell) const noexcept {
+    if (cell < 64) return (lo_ & bit_in_word(cell)) != 0;
+    if (!hi_) return false;
+    return (hi_[cell / 64 - 1] & bit_in_word(cell)) != 0;
+  }
+
+  /// Make this mask exactly {cell}.
+  void assign_single(unsigned cell) {
+    clear_all();
+    set(cell);
+  }
+
+  void clear_all() noexcept {
+    lo_ = 0;
+    if (hi_) {
+      for (unsigned w = 0; w < kHiWords; ++w) hi_[w] = 0;
+    }
+  }
+
+  [[nodiscard]] bool none() const noexcept {
+    if (lo_ != 0) return false;
+    if (hi_) {
+      for (unsigned w = 0; w < kHiWords; ++w) {
+        if (hi_[w] != 0) return false;
+      }
+    }
+    return true;
+  }
+  [[nodiscard]] bool any() const noexcept { return !none(); }
+
+  /// True when no cell other than `cell` is set (`cell` itself may or may
+  /// not be) — the "am I the sole holder?" test.
+  [[nodiscard]] bool none_except(unsigned cell) const noexcept {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      std::uint64_t v = word(w);
+      if (cell / 64 == w) v &= ~bit_in_word(cell);
+      if (v != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool intersects(const CellMask& m) const noexcept {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      if ((word(w) & m.word(w)) != 0) return true;
+    }
+    return false;
+  }
+
+  /// intersects(m) ignoring `cell` on this side.
+  [[nodiscard]] bool intersects_except(const CellMask& m,
+                                       unsigned cell) const noexcept {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      std::uint64_t v = word(w);
+      if (cell / 64 == w) v &= ~bit_in_word(cell);
+      if ((v & m.word(w)) != 0) return true;
+    }
+    return false;
+  }
+
+  /// this &= ~m.
+  void and_not(const CellMask& m) {
+    lo_ &= ~m.lo_;
+    if (hi_) {
+      for (unsigned w = 0; w < kHiWords; ++w) hi_[w] &= ~m.word(w + 1);
+    }
+  }
+
+  /// this &= m.
+  void intersect(const CellMask& m) {
+    lo_ &= m.lo_;
+    if (hi_) {
+      for (unsigned w = 0; w < kHiWords; ++w) hi_[w] &= m.word(w + 1);
+    }
+  }
+
+  /// Keep only `cell` (if present): the seed's `mask &= bit(cell)`.
+  void retain_only(unsigned cell) {
+    const bool had = test(cell);
+    clear_all();
+    if (had) set(cell);
+  }
+
+  [[nodiscard]] unsigned count() const noexcept {
+    unsigned n = popcount64(lo_);
+    if (hi_) {
+      for (unsigned w = 0; w < kHiWords; ++w) n += popcount64(hi_[w]);
+    }
+    return n;
+  }
+
+  /// Lowest set cell, or -1 when empty.
+  [[nodiscard]] int first_set() const noexcept {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      const std::uint64_t v = word(w);
+      if (v != 0) return static_cast<int>(w * 64 + ctz64(v));
+    }
+    return -1;
+  }
+
+  /// Visit set cells in ascending order.
+  template <class F>
+  void for_each(F&& f) const {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      std::uint64_t v = word(w);
+      while (v != 0) {
+        const unsigned b = ctz64(v);
+        f(w * 64 + b);
+        v &= v - 1;
+      }
+    }
+  }
+
+  /// Visit set cells except `cell`, ascending.
+  template <class F>
+  void for_each_except(unsigned cell, F&& f) const {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      std::uint64_t v = word(w);
+      if (cell / 64 == w) v &= ~bit_in_word(cell);
+      while (v != 0) {
+        const unsigned b = ctz64(v);
+        f(w * 64 + b);
+        v &= v - 1;
+      }
+    }
+  }
+
+  /// Word `i` of the mask (0 = cells 0..63). Word 0 is the value every
+  /// <=64-cell DirView / test compares against.
+  [[nodiscard]] std::uint64_t word(unsigned i) const noexcept {
+    if (i == 0) return lo_;
+    return hi_ ? hi_[i - 1] : 0;
+  }
+  [[nodiscard]] std::uint64_t word0() const noexcept { return lo_; }
+
+  [[nodiscard]] bool operator==(const CellMask& m) const noexcept {
+    for (unsigned w = 0; w < 1 + kHiWords; ++w) {
+      if (word(w) != m.word(w)) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool operator!=(const CellMask& m) const noexcept {
+    return !(*this == m);
+  }
+
+  /// Diagnostic form: "{0,3,65}" — readable at any machine size.
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "{";
+    bool first = true;
+    for_each([&](unsigned c) {
+      if (!first) s += ',';
+      first = false;
+      s += std::to_string(c);
+    });
+    s += '}';
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t bit_in_word(unsigned cell) noexcept {
+    return std::uint64_t{1} << (cell % 64);
+  }
+  static unsigned popcount64(std::uint64_t v) noexcept {
+    return static_cast<unsigned>(__builtin_popcountll(v));
+  }
+  static unsigned ctz64(std::uint64_t v) noexcept {
+    return static_cast<unsigned>(__builtin_ctzll(v));
+  }
+
+  void ensure_hi() {
+    if (!hi_) hi_ = std::make_unique<std::uint64_t[]>(kHiWords);
+  }
+  std::uint64_t& word_for(unsigned cell) {
+    if (cell < 64) return lo_;
+    ensure_hi();
+    return hi_[cell / 64 - 1];
+  }
+
+  std::uint64_t lo_ = 0;
+  std::unique_ptr<std::uint64_t[]> hi_;  // cells 64..1087, lazily allocated
+};
+
+}  // namespace ksr::cache

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "ksr/cache/cell_mask.hpp"
 #include "ksr/cache/flat_map.hpp"
 #include "ksr/cache/local_cache.hpp"
 #include "ksr/cache/perf_monitor.hpp"
@@ -13,15 +14,35 @@
 #include "ksr/machine/machine.hpp"
 
 // Shared core of the cache-coherent machines (KSR ring hierarchy, Symmetry
-// bus): per-cell two-level caches, a machine-wide coherence directory, and
-// the protocol commit logic. What differs between machines — how a
-// transaction physically travels and what it costs — is expressed through
-// two virtual hooks (transport / transaction_overhead_ns).
+// bus): per-cell two-level caches, a *sharded* coherence directory, and the
+// protocol commit logic. What differs between machines — how a transaction
+// physically travels and what it costs — is expressed through virtual hooks
+// (transport / home_transport / transaction_overhead_ns).
 //
 // The directory is *functional* bookkeeping (who holds what, in which
 // state); all *timing* flows from the transport model plus the fixed
-// latencies in MachineConfig. State changes commit when the transaction
-// completes, so overlapping transactions interleave realistically.
+// latencies in MachineConfig.
+//
+// Directory sharding (docs/PARALLEL.md): every sub-page has a *home leaf
+// ring* — pages interleave across leaves — and its directory entry lives in
+// that leaf's shard. Two execution modes share the shards:
+//
+//  * Single-domain (the default, and the only mode for <=64-cell seed
+//    configs): every shard is reached synchronously from the one engine
+//    thread, exactly like the seed's machine-global map. Behaviour and all
+//    pinned fingerprints are bit-identical — sharding is purely structural.
+//
+//  * Multi-domain (ring machines with cells_per_domain set): each domain
+//    owns the shards of its leaf rings outright. A requester whose home is
+//    in another domain sends an explicit request over the ParallelEngine's
+//    boundary channels; the home decides (serializing all transactions on
+//    that sub-page), emits revocations (invalidate/downgrade) to holder
+//    domains, and replies with the grant. Revocations ride one quantum
+//    earlier than grants whenever both cross domains (the "two-wave" rule),
+//    so a stale reader's last host-level access is barrier-separated from
+//    the new owner's first write, and a directory entry stays `busy` until
+//    its in-flight effects land, NACKing conflicting requests meanwhile —
+//    that keeps per-sub-page effects applied in home decision order.
 namespace ksr::check {
 class InvariantChecker;
 }
@@ -40,7 +61,9 @@ class CoherentMachine : public Machine {
   /// Drop all cached state (cold start between experiments).
   virtual void reset_memory_system();
 
-  /// Directory introspection for tests.
+  /// Directory introspection for tests. The masks are word 0 of the cell
+  /// set (cells 0..63) — every <=64-cell expectation reads unchanged; use
+  /// dir_holders()/dir_placeholders() for the full masks at scale.
   struct DirView {
     std::uint64_t holders = 0;
     std::uint64_t placeholders = 0;
@@ -48,6 +71,8 @@ class CoherentMachine : public Machine {
     bool atomic = false;
   };
   [[nodiscard]] DirView dir_view(mem::SubPageId sp) const;
+  [[nodiscard]] cache::CellMask dir_holders(mem::SubPageId sp) const;
+  [[nodiscard]] cache::CellMask dir_placeholders(mem::SubPageId sp) const;
 
   /// Coherence state of `sp` in one cell's local cache (test introspection).
   [[nodiscard]] cache::LineState cell_line_state(unsigned cell,
@@ -62,12 +87,29 @@ class CoherentMachine : public Machine {
   }
   [[nodiscard]] virtual unsigned leaf_count() const noexcept { return 1; }
 
+  /// Home leaf ring of a sub-page: its directory shard's owner. Pages
+  /// interleave across leaves so shard load balances with footprint.
+  [[nodiscard]] unsigned home_leaf(mem::SubPageId sp) const noexcept {
+    const unsigned n = static_cast<unsigned>(dir_shards_.size());
+    return n <= 1 ? 0
+                  : static_cast<unsigned>(mem::page_of_subpage(sp) % n);
+  }
+
+  /// Tracing is per-machine single-writer state; a multi-domain run has
+  /// several engine threads committing transitions, so attaching a tracer
+  /// there is refused with a one-time warning (trace single-domain runs —
+  /// they are protocol-identical per domain count, not across modes).
+  void attach_tracer(sim::Tracer* tracer) override;
+
   /// Attach an invariant checker (docs/CHECKING.md). In a -DKSR_CHECK=ON
   /// build the machine reports every committed coherence transition to it;
   /// in a default build the hooks compile to nothing and the checker is
   /// only driven explicitly (audit_all). Derived machines override to also
   /// register their interconnects for the I6 liveness audit. Pass nullptr
-  /// to detach. The checker must outlive the machine (or be detached first).
+  /// to detach. The checker must outlive the machine (or be detached
+  /// first). Multi-domain runs report no per-transition events (several
+  /// threads commit concurrently); audit_all() at quiescent points — after
+  /// run() returns — still checks I1–I6 in full.
   virtual void attach_checker(check::InvariantChecker* checker) {
     checker_ = checker;
   }
@@ -96,12 +138,14 @@ class CoherentMachine : public Machine {
   };
 
   struct DirEntry {
-    std::uint64_t holders = 0;       // cells with a readable copy
-    std::uint64_t placeholders = 0;  // cells with an Invalid placeholder
-    std::int16_t owner = -1;         // holder when Exclusive/Atomic
+    cache::CellMask holders;       // cells with a readable copy
+    cache::CellMask placeholders;  // cells with an Invalid placeholder
+    std::int16_t owner = -1;       // holder when Exclusive/Atomic
     bool atomic = false;
-    std::uint8_t resident_leaf = 0;  // last leaf the data lived on (used when
-                                     // every copy has been evicted)
+    bool busy = false;  // multi-domain: effects of a prior decision are
+                        // still in flight; conflicting requests NACK
+    std::uint8_t resident_leaf = 0;  // last leaf the data lived on (used
+                                     // when every copy has been evicted)
   };
 
   enum class Acquire : std::uint8_t { kShared, kExclusive, kAtomic };
@@ -116,24 +160,77 @@ class CoherentMachine : public Machine {
   // ---- Machine-specific hooks ----
 
   /// Carry one coherence transaction from `cell` toward `target_leaf`;
-  /// `done(total_queue_or_slot_wait)` fires at completion time.
+  /// `done(total_queue_or_slot_wait)` fires at completion time. In a
+  /// multi-domain run this is only ever called for targets inside `cell`'s
+  /// own domain (cross-domain travel goes through home_transport and the
+  /// boundary channels).
   virtual void transport(unsigned cell, mem::SubPageId sp, unsigned target_leaf,
                          std::function<void(sim::Duration)> done) = 0;
+
+  /// Multi-domain home-side arrival: model the level-1 transit from
+  /// `from_leaf`'s ARD and the home ring transaction for a request that
+  /// just crossed a boundary channel; `done` fires (on the home domain's
+  /// engine) when the directory lookup may commit. Default: immediate.
+  virtual void home_transport(unsigned from_leaf, unsigned home,
+                              mem::SubPageId sp,
+                              std::function<void(sim::Duration)> done) {
+    (void)from_leaf;
+    (void)home;
+    (void)sp;
+    done(0);
+  }
 
   /// Fixed per-transaction protocol overhead charged to the requester on a
   /// successful commit (beyond the transport time itself).
   [[nodiscard]] virtual sim::Duration transaction_overhead_ns(
       Acquire kind, bool crossed_leaf) const = 0;
 
-  // ---- Shared protocol machinery ----
+  // ---- Sharded directory access ----
 
-  /// Mask of cell ids attached to `leaf`.
-  [[nodiscard]] std::uint64_t leaf_mask(unsigned leaf) const noexcept;
+  /// Size the shards and leaf masks from the (virtual) topology. Called
+  /// from make_cpu — serially, before any fiber runs — because leaf_of /
+  /// leaf_count are not available in the base constructor.
+  void ensure_topology();
 
-  /// Leaf holding a responder for `sp` from `cell`'s point of view.
+  [[nodiscard]] DirEntry* dir_find(mem::SubPageId sp) noexcept {
+    if (dir_shards_.empty()) return nullptr;
+    return dir_shards_[home_leaf(sp)].find(sp);
+  }
+  [[nodiscard]] const DirEntry* dir_find(mem::SubPageId sp) const noexcept {
+    if (dir_shards_.empty()) return nullptr;
+    return dir_shards_[home_leaf(sp)].find(sp);
+  }
+  [[nodiscard]] bool dir_contains(mem::SubPageId sp) const noexcept {
+    return dir_find(sp) != nullptr;
+  }
+  /// Insert-or-find in the home shard (topology must be initialized).
+  [[nodiscard]] DirEntry& dir_entry(mem::SubPageId sp) {
+    return dir_shards_[home_leaf(sp)][sp];
+  }
+  /// Host-side sweep over every entry in every shard (audits only; shard
+  /// then hash order, so simulated behaviour must never depend on it).
+  template <typename F>
+  void dir_for_each(F&& f) const {
+    for (const auto& shard : dir_shards_) shard.for_each(f);
+  }
+
+  /// Mask of cell ids attached to `leaf` (precomputed by ensure_topology).
+  [[nodiscard]] const cache::CellMask& leaf_mask(unsigned leaf) const noexcept {
+    return leaf_masks_[leaf];
+  }
+
+  /// Leaf holding a responder for `sp` from `cell`'s point of view
+  /// (single-domain transport targeting).
   [[nodiscard]] unsigned responder_leaf(unsigned cell, const DirEntry& e) const;
 
-  /// Protocol commits (state changes at transaction completion time).
+  /// Per-transition checker hooks fire only single-domain (multi-domain
+  /// commits happen on several threads; audits run at quiescence instead).
+  [[nodiscard]] bool hooks_on() const noexcept {
+    return checker_ != nullptr && !multi_domain_;
+  }
+
+  // ---- Single-domain protocol commits (synchronous, the seed path) ----
+
   /// `witness` is 1 + the byte offset (within the sub-page) of the demand
   /// access that triggered the transaction, or 0 when there is none
   /// (prefetch). It is pure trace metadata — logged as the grant record's
@@ -145,6 +242,50 @@ class CoherentMachine : public Machine {
                                 std::uint32_t witness = 0);
   void commit_poststore(unsigned cell, mem::SubPageId sp);
 
+  // ---- Multi-domain protocol (home-shard messages; docs/PARALLEL.md) ----
+
+  /// Reply slot living on the requesting fiber's stack; written only by
+  /// events running in the requester's domain.
+  struct MbReply {
+    bool ok = false;
+    bool page_alloc = false;
+    cache::LineState state = cache::LineState::kInvalid;
+  };
+  /// Outcome of a home-shard decision.
+  struct MbDecision {
+    bool ok = false;                // false: NACK (atomic elsewhere or busy)
+    bool deferred = false;          // cross-domain revocations were emitted;
+                                    // the grant must wait until grant_time
+    sim::Time grant_time = 0;       // earliest time the grant may apply
+    cache::LineState state = cache::LineState::kInvalid;
+  };
+
+  /// Serialize one acquire on the home shard (run on the home domain's
+  /// thread): NACK/grant bookkeeping, revocations to holder domains (wave
+  /// 1, at the current horizon), snarf refreshes (wave 2). The caller
+  /// applies the requester-side grant no earlier than grant_time.
+  MbDecision mb_decide(unsigned cell, mem::SubPageId sp, Acquire kind);
+
+  /// Home-side entry for a cross-domain acquire: home_transport, then
+  /// mb_decide, then the grant/NACK reply back over the boundary channel
+  /// (insert_line runs requester-side inside the reply event, preserving
+  /// per-sub-page effect order against later revocations).
+  void mb_home_request(unsigned cell, unsigned req_dom, mem::SubPageId sp,
+                       Acquire kind, MbReply* rep, sim::FiberId fid);
+
+  /// Home-side poststore commit: wave-1 owner downgrade, wave-2 refreshes.
+  void mb_poststore_home(unsigned cell, mem::SubPageId sp);
+
+  /// Home-side release_subpage fix-up (fire and forget from the releaser).
+  void mb_release_home(unsigned cell, mem::SubPageId sp);
+
+  /// Home-side eviction fix-up: clear `cell`'s directory bits for `sp`.
+  /// Idempotent; ordered before any later request from the same domain by
+  /// the boundary channels' FIFO discipline.
+  void mb_evict_fixup(unsigned cell, mem::SubPageId sp);
+
+  // ---- Shared cache plumbing ----
+
   /// Insert/refresh the line in `cell`'s local cache; handles page
   /// allocation and eviction fix-ups. Returns true if a page was allocated.
   bool insert_line(unsigned cell, mem::SubPageId sp, cache::LineState st);
@@ -153,7 +294,9 @@ class CoherentMachine : public Machine {
   void invalidate_at(unsigned cell, mem::SubPageId sp);
 
   std::vector<Cell> cells_;
-  cache::FlatMap<mem::SubPageId, DirEntry> dir_;
+  std::vector<cache::FlatMap<mem::SubPageId, DirEntry>> dir_shards_;
+  std::vector<cache::CellMask> leaf_masks_;
+  bool multi_domain_ = false;
   check::InvariantChecker* checker_ = nullptr;
 };
 

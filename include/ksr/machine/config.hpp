@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -85,19 +86,56 @@ struct MachineConfig {
 #endif
   unsigned sim_threads = KSR_SIM_THREADS_DEFAULT;
   // cells_per_domain: requested partition width, 0 = all cells in one
-  // domain. Coherent machine models currently *require* a single domain:
-  // the ALLCACHE directory is machine-global functional state whose
-  // invalidations commit with zero simulated latency, so splitting cells
-  // across domains would change the simulated protocol (and the pinned
-  // fingerprints). The field, the quantum derivation and the engine are in
-  // place so the distributed-directory work (ROADMAP item 2) can turn the
-  // partition on without another refactor.
+  // domain. On ring machines (KSR-1/KSR-2) the partition is rounded to
+  // whole leaf rings — the coherence directory is sharded by home leaf
+  // ring, so a domain owns its leaves' shards outright and cross-domain
+  // requests travel as explicit level-1-ring transactions through the
+  // ParallelEngine's boundary channels (docs/PARALLEL.md). Single-domain
+  // runs (the default) keep the seed's synchronous directory commit path
+  // and its pinned fingerprints bit-identical; multi-domain runs trade
+  // that compatibility for real wall-clock parallelism and home-routed
+  // protocol latency. Bus/butterfly machines still run single-domain.
   unsigned cells_per_domain = 0;
 
   /// Domains the requested partition would produce for this machine size.
   [[nodiscard]] unsigned requested_domains() const noexcept {
     if (cells_per_domain == 0 || cells_per_domain >= nproc) return 1;
     return (nproc + cells_per_domain - 1) / cells_per_domain;
+  }
+
+  /// Ring machines can shard the directory by leaf ring and therefore run
+  /// multi-domain; the bus and butterfly substrates serialize on a single
+  /// shared medium and stay single-domain.
+  [[nodiscard]] bool supports_partition() const noexcept {
+    return kind == MachineKind::kKsr1 || kind == MachineKind::kKsr2;
+  }
+
+  /// Whole leaf rings per domain for a partitioned ring-machine run:
+  /// cells_per_domain rounded *up* to the leaf size (a shard is owned by
+  /// exactly one domain, so a domain boundary can never split a leaf).
+  [[nodiscard]] unsigned planned_leaves_per_domain() const noexcept {
+    if (cells_per_leaf == 0) return 1;  // validate() rejects; avoid /0 here
+    const unsigned want = cells_per_domain == 0 ? nproc : cells_per_domain;
+    return std::max(1u, (want + cells_per_leaf - 1) / cells_per_leaf);
+  }
+
+  /// Domains a Machine built from this config actually runs: the leaf-
+  /// aligned partition for ring machines, 1 for everything else.
+  [[nodiscard]] unsigned planned_domains() const noexcept {
+    if (!supports_partition() || requested_domains() <= 1) return 1;
+    const unsigned lpd = planned_leaves_per_domain();
+    return std::max(1u, (leaf_rings() + lpd - 1) / lpd);
+  }
+
+  [[nodiscard]] unsigned domain_of_leaf(unsigned leaf) const noexcept {
+    const unsigned d = leaf / planned_leaves_per_domain();
+    const unsigned n = planned_domains();
+    return d < n ? d : n - 1;
+  }
+
+  [[nodiscard]] unsigned domain_of_cell(unsigned cell) const noexcept {
+    if (cells_per_leaf == 0) return 0;
+    return domain_of_leaf(cell / cells_per_leaf);
   }
 
   /// Conservative quantum Δ for a partitioned run: the minimum cross-domain
@@ -113,6 +151,13 @@ struct MachineConfig {
   [[nodiscard]] MachineConfig with_sim_threads(unsigned n) const {
     MachineConfig c = *this;
     c.sim_threads = n;
+    return c;
+  }
+
+  /// Fluent copy for partitioned-run call sites.
+  [[nodiscard]] MachineConfig with_cells_per_domain(unsigned n) const {
+    MachineConfig c = *this;
+    c.cells_per_domain = n;
     return c;
   }
 
@@ -184,9 +229,30 @@ struct MachineConfig {
     return c;
   }
 
+  /// The level-1 ring carries one ARD attachment point per leaf ring; the
+  /// production KSR-1 ring had 34 of them (34 x 32 = 1088 cells, the
+  /// machine's published maximum). Kept fixed so the level-1 circulation
+  /// time is a property of the machine, not of how full it is.
+  static constexpr unsigned kRing1Positions = 34;
+
   /// Number of leaf rings needed for nproc cells.
   [[nodiscard]] unsigned leaf_rings() const noexcept {
+    if (cells_per_leaf == 0) return 1;  // validate() rejects; avoid /0 here
     return (nproc + cells_per_leaf - 1) / cells_per_leaf;
+  }
+
+  /// Slotted-ring positions on one leaf ring: its cells plus, when the
+  /// machine has more than one leaf, the ARD that couples it to the
+  /// level-1 ring. Shared by KsrMachine and study::RingModel so the
+  /// analytic model can never drift from the simulated topology.
+  [[nodiscard]] unsigned leaf_ring_positions() const noexcept {
+    return cells_per_leaf + (leaf_rings() > 1 ? 1u : 0u);
+  }
+
+  /// Hop distance (in level-1 positions) from leaf `from`'s ARD to leaf
+  /// `to`'s ARD — the ring is unidirectional, so distance is modular.
+  [[nodiscard]] unsigned ring1_hops(unsigned from, unsigned to) const noexcept {
+    return (to + kRing1Positions - from) % kRing1Positions;
   }
 
   [[nodiscard]] sim::Duration cycles(std::uint64_t n) const noexcept {
@@ -195,11 +261,32 @@ struct MachineConfig {
 
   void validate() const {
     if (nproc == 0) throw std::invalid_argument("MachineConfig: nproc == 0");
-    if (nproc > 64) {
-      throw std::invalid_argument("MachineConfig: at most 64 cells supported");
-    }
     if (cycle_ns == 0 || ring_hop_ns == 0) {
       throw std::invalid_argument("MachineConfig: zero clock period");
+    }
+    if (supports_partition()) {
+      if (cells_per_leaf == 0) {
+        throw std::invalid_argument(
+            "MachineConfig: cells_per_leaf == 0 (a leaf ring needs at least "
+            "one cell position)");
+      }
+      if (leaf_rings() > kRing1Positions) {
+        throw std::invalid_argument(
+            "MachineConfig: nproc " + std::to_string(nproc) + " needs " +
+            std::to_string(leaf_rings()) + " leaf rings of " +
+            std::to_string(cells_per_leaf) +
+            " cells, but the level-1 ring has only " +
+            std::to_string(kRing1Positions) +
+            " ARD positions (max nproc for this shape is " +
+            std::to_string(kRing1Positions * cells_per_leaf) + ")");
+      }
+    } else if (nproc > 64) {
+      // The bus and butterfly substrates model machines that never shipped
+      // past this size; their directory/queue state also still uses
+      // single-word cell masks.
+      throw std::invalid_argument(
+          "MachineConfig: at most 64 cells supported on " +
+          std::string(to_string(kind)));
     }
   }
 };

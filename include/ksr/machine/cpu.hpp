@@ -116,6 +116,11 @@ class Cpu {
     fiber_ = fid;
   }
 
+  /// Internal: bind this Cpu to its domain's engine (Machine::run does this
+  /// before spawning the fiber; every sync primitive below then schedules
+  /// on the owning domain's queue).
+  void bind_engine(sim::Engine& e) noexcept { eng_ = &e; }
+
  protected:
   Cpu(Machine& m, unsigned id, cache::PerfMonitor& pmon, sim::Rng& rng)
       : machine_(m), id_(id), pmon_(&pmon), rng_(&rng) {}
@@ -144,10 +149,15 @@ class Cpu {
 
   void range(mem::Sva base, std::size_t bytes, Op op);
 
+  /// The engine owning this cell's domain (machine.cpp resolves it on
+  /// first use when Machine::run has not bound one yet).
+  [[nodiscard]] sim::Engine& eng();
+
   Machine& machine_;
   unsigned id_;
   cache::PerfMonitor* pmon_;
   sim::Rng* rng_;
+  sim::Engine* eng_ = nullptr;  // this cell's domain engine (bind_engine)
   sim::Time local_now_ = 0;
   sim::Time epoch_ = 0;
   sim::FiberId fiber_ = 0;

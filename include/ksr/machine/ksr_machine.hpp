@@ -44,9 +44,11 @@ class KsrMachine final : public CoherentMachine {
   [[nodiscard]] net::SlottedRing* level1_ring() noexcept { return ring1_.get(); }
 
   void attach_tracer(sim::Tracer* tracer) override {
-    Machine::attach_tracer(tracer);
-    for (auto& r : leaf_rings_) r->set_tracer(tracer);
-    if (ring1_) ring1_->set_tracer(tracer);
+    // The base refuses tracers on multi-domain runs; mirror whatever it
+    // kept onto the rings.
+    CoherentMachine::attach_tracer(tracer);
+    for (auto& r : leaf_rings_) r->set_tracer(tracer_);
+    if (ring1_) ring1_->set_tracer(tracer_);
   }
 
   /// Registers the leaf rings and level-1 ring for the I6 liveness audit.
@@ -70,6 +72,8 @@ class KsrMachine final : public CoherentMachine {
  protected:
   void transport(unsigned cell, mem::SubPageId sp, unsigned target_leaf,
                  std::function<void(sim::Duration)> done) override;
+  void home_transport(unsigned from_leaf, unsigned home, mem::SubPageId sp,
+                      std::function<void(sim::Duration)> done) override;
   [[nodiscard]] sim::Duration transaction_overhead_ns(
       Acquire kind, bool crossed_leaf) const override;
 

@@ -72,10 +72,30 @@ class Machine {
   [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] unsigned nproc() const noexcept { return cfg_.nproc; }
 
-  /// Domain 0's serial engine. Coherent machines are single-domain (see
-  /// MachineConfig::cells_per_domain), so this is *the* event queue every
-  /// component schedules on; existing callers are unchanged.
+  /// Domain 0's serial engine. Single-domain machines (the default) put
+  /// every component here; multi-domain ring machines use engine_of() per
+  /// leaf-ring owner and keep this as the coordinator-side default.
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  /// The serial engine owning domain `d`.
+  [[nodiscard]] sim::Engine& engine_of(unsigned d) { return par_.domain(d); }
+
+  /// How many domains this machine actually runs (1 unless a ring machine
+  /// was configured with cells_per_domain; see MachineConfig).
+  [[nodiscard]] unsigned domains() const noexcept { return par_.domains(); }
+
+  /// Domain owning `cell` (leaf-ring aligned on ring machines, always 0 on
+  /// single-domain machines).
+  [[nodiscard]] unsigned domain_of_cell(unsigned cell) const noexcept {
+    return par_.domains() == 1 ? 0 : cfg_.domain_of_cell(cell);
+  }
+
+  /// True when the machine runs more than one domain: the coherence
+  /// protocol then commits through home-shard messages rather than the
+  /// seed's synchronous path (docs/PARALLEL.md).
+  [[nodiscard]] bool multi_domain() const noexcept {
+    return par_.domains() > 1;
+  }
 
   /// The quantum engine advancing this machine's domains across
   /// cfg.sim_threads host threads (docs/PARALLEL.md). run() drives it;
@@ -122,9 +142,11 @@ class Machine {
     (void)p;
   }
 
-  /// Map the config's partition request onto a ParallelEngine plan. Defined
-  /// out of line (machine.cpp): warns once when a cells_per_domain split is
-  /// requested that the coherent models cannot honor yet.
+  /// Map the config's partition request onto a ParallelEngine plan:
+  /// leaf-aligned domains on ring machines (the sharded directory makes the
+  /// partition protocol-correct), one domain everywhere else. Defined out
+  /// of line (machine.cpp); warns once when a request is rounded to leaf
+  /// boundaries or refused (bus/butterfly).
   [[nodiscard]] static sim::ParallelEngine::Config domain_plan(
       const MachineConfig& cfg);
 

@@ -89,6 +89,14 @@ class ParallelEngine {
     return *engines_.at(d);
   }
 
+  /// Exclusive upper bound of the current quantum — the earliest legal
+  /// timestamp for a mid-run send(). Stable for the whole phase: the
+  /// coordinator writes it before releasing the workers into the phase
+  /// (the release's mutex hand-off publishes it), so any thread advancing
+  /// a domain may read it to stamp boundary packets. Between run() calls
+  /// it holds the last quantum's bound and means nothing.
+  [[nodiscard]] Time horizon() const noexcept { return horizon_; }
+
   /// Cross-domain boundary channel: run `fn` in domain `dst` at absolute
   /// simulated time `t`. Before run() any t >= 0 seeds the destination
   /// directly; during run() the caller must be the thread advancing domain

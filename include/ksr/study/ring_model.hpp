@@ -72,14 +72,39 @@ struct RingModel {
     return 2.0 * slots_per_subring / circulation_ns();
   }
 
-  /// Build from a machine config (leaf-ring parameters).
+  /// Build from a machine config (leaf-ring parameters). Position count
+  /// comes from the config's own topology accessor, so the analytic model
+  /// tracks the simulator for any N-leaf hierarchy (cells + ARD interface
+  /// whenever a level-1 ring exists).
   static RingModel from_config(const machine::MachineConfig& cfg) {
     RingModel m;
-    m.positions = cfg.cells_per_leaf + (cfg.leaf_rings() > 1 ? 1 : 0);
+    m.positions = cfg.leaf_ring_positions();
     m.slots_per_subring = cfg.ring_slots_per_subring;
     m.hop_ns = static_cast<double>(cfg.ring_hop_ns);
     m.fixed_overhead_ns = static_cast<double>(cfg.ring_fixed_ns);
     return m;
+  }
+
+  /// The level-1 (ring-of-rings) analytic model for a multi-leaf config:
+  /// fixed 34 ARD attachment positions regardless of how many are populated
+  /// (the hardware always circulates the full ring).
+  static RingModel level1_from_config(const machine::MachineConfig& cfg) {
+    RingModel m;
+    m.positions = machine::MachineConfig::kRing1Positions;
+    m.slots_per_subring = cfg.ring1_slots_per_subring;
+    m.hop_ns = static_cast<double>(cfg.ring1_hop_ns);
+    m.fixed_overhead_ns = 2.0 * static_cast<double>(cfg.ard_crossing_ns);
+    return m;
+  }
+
+  /// Closed-form uncontended latency of a cross-leaf transaction: both leaf
+  /// circulations, the level-1 circulation, and the two ARD crossings —
+  /// what TwoLeafRingsCommunicateThroughArds measures end to end.
+  static double cross_leaf_latency_ns(const machine::MachineConfig& cfg) {
+    const RingModel leaf = from_config(cfg);
+    const RingModel l1 = level1_from_config(cfg);
+    return 2.0 * leaf.uncontended_latency_ns() + l1.circulation_ns() +
+           2.0 * static_cast<double>(cfg.ard_crossing_ns);
   }
 };
 

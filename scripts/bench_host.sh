@@ -39,7 +39,8 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-for bin in bench_sim_throughput bench_table2_is bench_fig4_barriers_ksr1; do
+for bin in bench_sim_throughput bench_table2_is bench_fig4_barriers_ksr1 \
+           bench_fig8_speedup; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "bench_host.sh: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -81,6 +82,20 @@ fingerprint() {  # $1 = output tag
 run_paper bench_table2_is table2_is
 run_paper bench_fig4_barriers_ksr1 fig4
 
+if [ "$QUICK" = 0 ]; then
+  # Seed compatibility: the sharded directory in single-domain mode must
+  # reproduce the pre-shard protocol bit for bit (DESIGN.md §7). These are
+  # the full-size pinned fingerprints; --check pins the quick table2_is
+  # variant (574025) below.
+  fp_t2=$(fingerprint table2_is)
+  fp_f4=$(fingerprint fig4)
+  if [ "$fp_t2" != "16218825" ] || [ "$fp_f4" != "8844467" ]; then
+    echo "bench_host.sh FAILED: pinned seed fingerprints moved" \
+         "(table2_is=$fp_t2 want 16218825, fig4=$fp_f4 want 8844467)" >&2
+    exit 1
+  fi
+fi
+
 if [ "$CHECK" = 1 ]; then
   # Determinism smoke: a second run must reproduce the fingerprint exactly.
   run_paper bench_fig4_barriers_ksr1 fig4_rerun
@@ -101,6 +116,11 @@ if [ "$CHECK" = 1 ]; then
   run_paper bench_table2_is table2_is_j4 --jobs 4
   fpj1=$(fingerprint table2_is_j1)
   fpj4=$(fingerprint table2_is_j4)
+  if [ "$fpj1" != "574025" ]; then
+    echo "bench_host.sh --check FAILED: pinned quick table2_is fingerprint" \
+         "moved ($fpj1 want 574025)" >&2
+    exit 1
+  fi
   if [ -z "$fpj1" ] || [ "$fpj1" != "$fpj4" ]; then
     echo "bench_host.sh --check FAILED: events_dispatched differs between" \
          "--jobs 1 and --jobs 4 ($fpj1 vs $fpj4)" >&2
@@ -190,6 +210,23 @@ assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
          "section" >&2
     exit 1
   fi
+  # Scale-out determinism: a 128-cell sharded-directory machine partitioned
+  # into four domains must produce the same fingerprint and CSV bytes
+  # whether the domains run on one host thread or four (docs/PARALLEL.md).
+  run_paper bench_fig8_speedup scaleout_st1 --scale-out --jobs 1 --sim-threads 1
+  run_paper bench_fig8_speedup scaleout_st4 --scale-out --jobs 1 --sim-threads 4
+  fpso1=$(fingerprint scaleout_st1)
+  fpso4=$(fingerprint scaleout_st4)
+  if [ -z "$fpso1" ] || [ "$fpso1" != "$fpso4" ]; then
+    echo "bench_host.sh --check FAILED: scale-out events_dispatched differs" \
+         "between --sim-threads 1 and 4 ($fpso1 vs $fpso4)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/scaleout_st1.csv" "$TMP/scaleout_st4.csv"; then
+    echo "bench_host.sh --check FAILED: scale-out --csv output differs" \
+         "between --sim-threads 1 and 4" >&2
+    exit 1
+  fi
   # Host-performance gate: the simulator's hot loops must not have slowed
   # past tolerance relative to the committed BENCH_host.json baseline.
   python3 scripts/perf_gate.py --gbench "$TMP/gbench.json"
@@ -209,10 +246,19 @@ fi
 run_paper bench_table2_is table2_is_jobs1 --jobs 1
 run_paper bench_table2_is table2_is_simthreads4 --jobs 1 --sim-threads 4
 
+# Ring-of-rings scale-out (sharded coherence directory): coherent CG + IS at
+# 128/512/1088 cells, four domains, at --sim-threads 1 and 4 so
+# BENCH_host.json tracks the multi-domain engine's wall-clock trajectory on
+# the same serial baseline.
+run_paper bench_fig8_speedup fig8_scaleout_st1 --scale-out --jobs 1 --sim-threads 1
+run_paper bench_fig8_speedup fig8_scaleout_st4 --scale-out --jobs 1 --sim-threads 4
+
 python3 bench/report.py --gbench "$TMP/gbench.json" \
   --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
   --host "table2_is_jobs1=$TMP/table2_is_jobs1.host" \
   --host "table2_is_simthreads4=$TMP/table2_is_simthreads4.host" \
+  --host "fig8_scaleout_st1=$TMP/fig8_scaleout_st1.host" \
+  --host "fig8_scaleout_st4=$TMP/fig8_scaleout_st4.host" \
   --mode "$([ "$QUICK" = 1 ] && echo quick || echo full)" \
   --out "$OUT"
 echo "wrote $OUT"

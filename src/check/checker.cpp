@@ -1,8 +1,8 @@
 #include "ksr/check/checker.hpp"
 
-#include <bit>
 #include <sstream>
 
+#include "ksr/cache/cell_mask.hpp"
 #include "ksr/cache/state.hpp"
 #include "ksr/machine/coherent_machine.hpp"
 #include "ksr/net/ring.hpp"
@@ -10,10 +10,6 @@
 namespace ksr::check {
 
 namespace {
-
-[[nodiscard]] constexpr std::uint64_t bit_of(unsigned cell) noexcept {
-  return 1ull << cell;
-}
 
 [[nodiscard]] std::uint64_t fnv1a(const std::byte* p, std::size_t n) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -24,20 +20,11 @@ namespace {
   return h;
 }
 
-[[nodiscard]] std::string mask_to_string(std::uint64_t m) {
-  if (m == 0) return "{}";
-  std::ostringstream os;
-  os << '{';
-  bool first = true;
-  while (m != 0) {
-    const unsigned b = static_cast<unsigned>(std::countr_zero(m));
-    m &= m - 1;
-    if (!first) os << ',';
-    os << b;
-    first = false;
-  }
-  os << '}';
-  return os.str();
+/// First cell of a mask, clamped for diagnostics (masks here are non-empty
+/// at every call site, but a defensive 0 beats UB in an error path).
+[[nodiscard]] unsigned first_cell(const cache::CellMask& m) noexcept {
+  const int b = m.first_set();
+  return b >= 0 ? static_cast<unsigned>(b) : 0u;
 }
 
 }  // namespace
@@ -98,7 +85,7 @@ void InvariantChecker::on_transition(Ev ev, unsigned cell, mem::SubPageId sp) {
     const mem::PageId pg = mem::page_of_subpage(sp);
     for (std::size_t i = 0; i < mem::kSubPagesPerPage; ++i) {
       const mem::SubPageId psp = pg * mem::kSubPagesPerPage + i;
-      if (m_.dir_.contains(psp)) audit_subpage(psp);
+      if (m_.dir_contains(psp)) audit_subpage(psp);
     }
   } else {
     audit_subpage(sp);
@@ -108,21 +95,22 @@ void InvariantChecker::on_transition(Ev ev, unsigned cell, mem::SubPageId sp) {
 
 void InvariantChecker::audit_subpage(mem::SubPageId sp) {
   ++stats_.audits;
+  using cache::CellMask;
   using cache::LineState;
   const unsigned n = m_.nproc();
 
-  std::uint64_t readable_m = 0;       // cells with a readable copy
-  std::uint64_t writable_m = 0;       // cells with Exclusive/Atomic
-  std::uint64_t atomic_m = 0;         // cells with Atomic
-  std::uint64_t invalid_frame_m = 0;  // cells with an Invalid placeholder frame
+  CellMask readable_m;       // cells with a readable copy
+  CellMask writable_m;       // cells with Exclusive/Atomic
+  CellMask atomic_m;         // cells with Atomic
+  CellMask invalid_frame_m;  // cells with an Invalid placeholder frame
   for (unsigned c = 0; c < n; ++c) {
     const auto lk = m_.cells_[c].local.lookup(sp);
     const LineState st = lk.page_present ? lk.state : LineState::kInvalid;
-    if (cache::readable(st)) readable_m |= bit_of(c);
-    if (cache::writable(st)) writable_m |= bit_of(c);
-    if (st == LineState::kAtomic) atomic_m |= bit_of(c);
+    if (cache::readable(st)) readable_m.set(c);
+    if (cache::writable(st)) writable_m.set(c);
+    if (st == LineState::kAtomic) atomic_m.set(c);
     if (lk.page_present && st == LineState::kInvalid) {
-      invalid_frame_m |= bit_of(c);
+      invalid_frame_m.set(c);
     }
     if (!cache::readable(st)) {
       // I4: the first-level cache must not serve data the second level
@@ -140,79 +128,89 @@ void InvariantChecker::audit_subpage(mem::SubPageId sp) {
     }
   }
 
-  const auto* e = m_.dir_.find(sp);
+  const auto* e = m_.dir_find(sp);
   if (e == nullptr) {
-    if (readable_m != 0) {
-      fail("I3.copy-set", static_cast<unsigned>(std::countr_zero(readable_m)),
-           sp,
-           "cells " + mask_to_string(readable_m) +
+    if (readable_m.any()) {
+      fail("I3.copy-set", first_cell(readable_m), sp,
+           "cells " + readable_m.to_string() +
                " hold copies of a sub-page the directory does not know");
     }
     return;
   }
 
   // I1: ownership.
-  if (std::popcount(writable_m) > 1) {
-    fail("I1.ownership", static_cast<unsigned>(std::countr_zero(writable_m)),
-         sp, "two or more writable copies: " + mask_to_string(writable_m));
+  if (writable_m.count() > 1) {
+    fail("I1.ownership", first_cell(writable_m), sp,
+         "two or more writable copies: " + writable_m.to_string());
   }
-  if (writable_m != 0 && readable_m != writable_m) {
-    fail("I1.ownership", static_cast<unsigned>(std::countr_zero(writable_m)),
-         sp,
+  if (writable_m.any() && readable_m != writable_m) {
+    fail("I1.ownership", first_cell(writable_m), sp,
          "a writable copy must be the only copy, but readable copies are " +
-             mask_to_string(readable_m));
+             readable_m.to_string());
   }
   if (e->owner >= 0) {
     const unsigned owner = static_cast<unsigned>(e->owner);
-    if (readable_m != bit_of(owner)) {
+    CellMask only_owner;
+    only_owner.assign_single(owner);
+    if (readable_m != only_owner) {
       fail("I1.ownership", owner, sp,
            "dir.owner=" + std::to_string(owner) +
-               " but the actual copy set is " + mask_to_string(readable_m));
+               " but the actual copy set is " + readable_m.to_string());
     }
-    if ((writable_m & bit_of(owner)) == 0) {
+    if (!writable_m.test(owner)) {
       fail("I1.ownership", owner, sp,
            "dir.owner=" + std::to_string(owner) +
                " holds the line in a non-writable state");
     }
-  } else if (writable_m != 0) {
-    fail("I1.ownership", static_cast<unsigned>(std::countr_zero(writable_m)),
-         sp, "writable copy exists but dir.owner is unset");
+  } else if (writable_m.any()) {
+    fail("I1.ownership", first_cell(writable_m), sp,
+         "writable copy exists but dir.owner is unset");
   }
 
   // I2: atomicity.
   if (e->atomic) {
-    if (e->owner < 0 ||
-        atomic_m != bit_of(static_cast<unsigned>(e->owner))) {
+    CellMask only_owner;
+    if (e->owner >= 0) {
+      only_owner.assign_single(static_cast<unsigned>(e->owner));
+    }
+    if (e->owner < 0 || atomic_m != only_owner) {
       fail("I2.atomicity",
            e->owner >= 0 ? static_cast<unsigned>(e->owner) : 0u, sp,
            "dir.atomic set but the Atomic line states are " +
-               mask_to_string(atomic_m));
+               atomic_m.to_string());
     }
-  } else if (atomic_m != 0) {
-    fail("I2.atomicity", static_cast<unsigned>(std::countr_zero(atomic_m)),
-         sp, "cell holds the line Atomic but dir.atomic is clear");
+  } else if (atomic_m.any()) {
+    fail("I2.atomicity", first_cell(atomic_m), sp,
+         "cell holds the line Atomic but dir.atomic is clear");
   }
 
   // I3: copy-set.
   if (e->holders != readable_m) {
-    fail("I3.copy-set",
-         static_cast<unsigned>(std::countr_zero(e->holders ^ readable_m)), sp,
-         "dir.holders=" + mask_to_string(e->holders) +
-             " but the readable copies are " + mask_to_string(readable_m));
+    CellMask diff = e->holders;
+    diff.and_not(readable_m);
+    if (diff.none()) {
+      diff = readable_m;
+      diff.and_not(e->holders);
+    }
+    fail("I3.copy-set", first_cell(diff), sp,
+         "dir.holders=" + e->holders.to_string() +
+             " but the readable copies are " + readable_m.to_string());
   }
-  if ((e->placeholders & e->holders) != 0) {
-    fail("I3.copy-set",
-         static_cast<unsigned>(std::countr_zero(e->placeholders & e->holders)),
-         sp, "a cell is both holder and placeholder");
+  if (e->placeholders.intersects(e->holders)) {
+    CellMask both = e->placeholders;
+    both.intersect(e->holders);
+    fail("I3.copy-set", first_cell(both), sp,
+         "a cell is both holder and placeholder");
   }
-  if ((e->placeholders & ~invalid_frame_m) != 0) {
-    fail("I3.copy-set",
-         static_cast<unsigned>(
-             std::countr_zero(e->placeholders & ~invalid_frame_m)),
-         sp,
-         "dir.placeholders=" + mask_to_string(e->placeholders) +
-             " but only cells " + mask_to_string(invalid_frame_m) +
-             " have an Invalid placeholder frame");
+  {
+    CellMask ghost = e->placeholders;  // placeholders without a real frame
+    ghost.and_not(invalid_frame_m);
+    if (ghost.any()) {
+      fail("I3.copy-set", first_cell(ghost), sp,
+           "dir.placeholders=" + e->placeholders.to_string() +
+               " but only cells " + invalid_frame_m.to_string() +
+               " have an Invalid placeholder frame");
+    }
   }
 
   // I5: read-shared bytes are frozen until an exclusive grant.
@@ -222,13 +220,11 @@ void InvariantChecker::audit_subpage(mem::SubPageId sp) {
     const auto it = frozen_.find(sp);
     if (it != frozen_.end() && mapped && it->second != h) {
       fail("I5.values",
-           readable_m != 0 ? static_cast<unsigned>(std::countr_zero(readable_m))
-                           : 0u,
-           sp,
+           readable_m.any() ? first_cell(readable_m) : 0u, sp,
            "heap bytes of a read-shared sub-page changed without an "
            "exclusive grant (refreshed copies are no longer value-equal)");
     }
-    if (mapped && writable_m == 0 && readable_m != 0) {
+    if (mapped && writable_m.none() && readable_m.any()) {
       frozen_[sp] = h;
     } else if (it != frozen_.end()) {
       frozen_.erase(sp);
@@ -238,7 +234,11 @@ void InvariantChecker::audit_subpage(mem::SubPageId sp) {
 
 void InvariantChecker::audit_all() {
   ++stats_.full_audits;
-  m_.dir_.for_each(
+  // Multi-domain runs audit only at quiescent points — no per-transition
+  // hooks record exclusive grants in between, so a surviving freeze record
+  // would flag perfectly legal writes. Start from live state instead.
+  if (m_.multi_domain_) frozen_.clear();
+  m_.dir_for_each(
       [this](mem::SubPageId sp, const machine::CoherentMachine::DirEntry&) {
         audit_subpage(sp);
       });
@@ -247,7 +247,7 @@ void InvariantChecker::audit_all() {
   for (unsigned c = 0; c < n; ++c) {
     m_.cells_[c].local.for_each_subpage(
         [this, c](mem::SubPageId sp, cache::LineState st) {
-          if (cache::readable(st) && !m_.dir_.contains(sp)) {
+          if (cache::readable(st) && !m_.dir_contains(sp)) {
             fail("I3.copy-set", c, sp,
                  "cell holds a " + std::string(cache::to_string(st)) +
                      " copy of a sub-page the directory does not know");
@@ -297,9 +297,9 @@ std::string InvariantChecker::describe_subpage(mem::SubPageId sp) const {
     os << " = <unmapped>";
   }
   os << ")\n";
-  if (const auto* e = m_.dir_.find(sp)) {
-    os << "  directory: holders=" << mask_to_string(e->holders)
-       << " placeholders=" << mask_to_string(e->placeholders)
+  if (const auto* e = m_.dir_find(sp)) {
+    os << "  directory: holders=" << e->holders.to_string()
+       << " placeholders=" << e->placeholders.to_string()
        << " owner=" << e->owner << " atomic=" << (e->atomic ? "yes" : "no")
        << "\n";
   } else {

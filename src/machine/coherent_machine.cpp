@@ -1,7 +1,8 @@
 #include "ksr/machine/coherent_machine.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -9,12 +10,6 @@
 #include "ksr/check/checker.hpp"
 
 namespace ksr::machine {
-
-namespace {
-[[nodiscard]] constexpr std::uint64_t bit(unsigned cell) noexcept {
-  return 1ull << cell;
-}
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // CoherentCpu: the per-cell timing front end shared by KSR and Symmetry.
@@ -50,9 +45,24 @@ class CoherentCpu final : public Cpu {
     return machine_.config();
   }
 
+  /// True when this cell's domain owns the home shard of `sp` (always true
+  /// single-domain) — the gate between the synchronous protocol path and
+  /// the boundary-channel message path.
+  [[nodiscard]] bool home_is_local(mem::SubPageId sp) const {
+    return !cm_.multi_domain_ ||
+           cfg().domain_of_leaf(cm_.home_leaf(sp)) ==
+               machine_.domain_of_cell(id_);
+  }
+
   void access_one(mem::Sva a, Op op);
   void load_line(mem::SubPageId sp, bool need_write, std::uint32_t witness);
+  void first_touch(mem::SubPageId sp, bool atomic);
   void remote_acquire(mem::SubPageId sp, Acquire kind, std::uint32_t witness);
+
+  /// Erase `sp`'s in-flight prefetch record on `me` and wake every fiber
+  /// parked on it (runs on `me`'s domain engine).
+  static void finish_prefetch(CoherentMachine* cm, unsigned me,
+                              mem::SubPageId sp);
 
   /// Trace witness for a demand access: 1 + byte offset within the sub-page
   /// (0 is reserved for "no witness", e.g. prefetch).
@@ -131,6 +141,21 @@ void CoherentCpu::access_one(mem::Sva a, Op op) {
   fill_subcache(a);
 }
 
+void CoherentCpu::first_touch(mem::SubPageId sp, bool atomic) {
+  auto& e = cm_.dir_entry(sp);
+  e.holders.assign_single(id_);
+  e.owner = static_cast<std::int16_t>(id_);
+  e.atomic = atomic;
+  e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
+  if (cm_.insert_line(id_, sp,
+                      atomic ? cache::LineState::kAtomic
+                             : cache::LineState::kExclusive)) {
+    tick_ns(cfg().page_alloc_ns);
+  }
+  KSR_CHECK_HOOK(if (cm_.hooks_on()) cm_.checker_->on_transition(
+      check::Ev::kFirstTouch, id_, sp));
+}
+
 void CoherentCpu::load_line(mem::SubPageId sp, bool need_write,
                             std::uint32_t witness) {
   auto& c = cell();
@@ -159,18 +184,13 @@ void CoherentCpu::load_line(mem::SubPageId sp, bool need_write,
     }
 
     ++c.pmon.localcache_misses;
-    if (!cm_.dir_.contains(sp)) {
+    if (home_is_local(sp) && !cm_.dir_contains(sp)) {
       // First touch machine-wide: the sub-page materialises in this cell's
-      // cache with no network traffic (COMA first-touch ownership).
-      auto& e = cm_.dir_[sp];
-      e.holders = bit(id_);
-      e.owner = static_cast<std::int16_t>(id_);
-      e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
-      if (cm_.insert_line(id_, sp, cache::LineState::kExclusive)) {
-        tick_ns(cfg().page_alloc_ns);
-      }
-      KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
-          check::Ev::kFirstTouch, id_, sp));
+      // cache with no network traffic (COMA first-touch ownership). When
+      // the home shard lives in another domain only the home may decide
+      // creation (two domains could first-touch concurrently), so that
+      // case falls through to the acquire path below.
+      first_touch(sp, /*atomic=*/false);
       tick_ns(need_write ? cfg().localcache_write_ns
                          : cfg().localcache_read_ns);
       return;
@@ -186,7 +206,7 @@ sim::Duration CoherentCpu::transport_round_trip(mem::SubPageId sp,
   sim::Duration wait = 0;
   cm_.transport(id_, sp, target_leaf, [this, &wait](sim::Duration w) {
     wait = w;
-    wake_at(machine_.engine().now());
+    wake_at(eng().now());
   });
   block_until_woken();
   return wait;
@@ -206,52 +226,121 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind,
     hard_sync();
     const sim::Time t0 = local_now_;
 
-    unsigned target_leaf = 0;
-    {
-      const auto* e = cm_.dir_.find(sp);
-      target_leaf =
-          cm_.responder_leaf(id_, e != nullptr ? *e : CoherentMachine::DirEntry{});
-    }
-    const bool crossed = target_leaf != cm_.leaf_of(id_);
+    bool ok = false;
+    bool page_alloc = false;
+    bool crossed = false;
 
-    const sim::Duration wait = transport_round_trip(sp, target_leaf);
-    ++c.pmon.ring_requests;
-    c.pmon.inject_wait_ns += wait;
-    if (cm_.tracer() != nullptr && wait != 0) {
-      // Stall attribution: this cpu lost `wait` ns to slot contention.
-      cm_.tracer()->log(machine_.engine().now(), obs::kCatStall,
-                        obs::kEvInjectWait, sp, id_,
-                        static_cast<std::int64_t>(wait));
+    if (!cm_.multi_domain_) {
+      // Single-domain: the seed's synchronous path, reading the directory
+      // directly (every shard is local).
+      unsigned target_leaf = 0;
+      {
+        const auto* e = cm_.dir_find(sp);
+        target_leaf = cm_.responder_leaf(
+            id_, e != nullptr ? *e : CoherentMachine::DirEntry{});
+      }
+      crossed = target_leaf != cm_.leaf_of(id_);
+
+      const sim::Duration wait = transport_round_trip(sp, target_leaf);
+      ++c.pmon.ring_requests;
+      c.pmon.inject_wait_ns += wait;
+      if (cm_.tracer() != nullptr && wait != 0) {
+        // Stall attribution: this cpu lost `wait` ns to slot contention.
+        cm_.tracer()->log(eng().now(), obs::kCatStall, obs::kEvInjectWait, sp,
+                          id_, static_cast<std::int64_t>(wait));
+      }
+
+      CoherentMachine::CommitResult res{};
+      switch (kind) {
+        case Acquire::kShared:
+          res = cm_.commit_shared(id_, sp, witness);
+          break;
+        case Acquire::kExclusive:
+          res = cm_.commit_exclusive(id_, sp, /*atomic=*/false, witness);
+          break;
+        case Acquire::kAtomic:
+          res = cm_.commit_exclusive(id_, sp, /*atomic=*/true, witness);
+          break;
+      }
+      ok = res.ok;
+      page_alloc = res.page_alloc;
+    } else if (home_is_local(sp)) {
+      // Multi-domain, home shard in our own domain: ride the (domain-local)
+      // ring to the home leaf and decide synchronously. Cross-domain
+      // effects the decision emits ride the boundary channels; if any
+      // revocation crossed, our own grant waits for the grant wave.
+      const unsigned home = cm_.home_leaf(sp);
+      crossed = home != cm_.leaf_of(id_);
+
+      const sim::Duration wait = transport_round_trip(sp, home);
+      ++c.pmon.ring_requests;
+      c.pmon.inject_wait_ns += wait;
+
+      const auto d = cm_.mb_decide(id_, sp, kind);
+      ok = d.ok;
+      if (d.ok) {
+        // Cache state commits at decision time (single-domain semantics;
+        // deferring it to grant_time could tie with a later decision's
+        // synchronous revoke at the same instant). Only the *timing* of a
+        // deferred grant waits for the cross-domain revocation wave.
+        page_alloc = cm_.insert_line(id_, sp, d.state);
+        if (d.deferred) {
+          eng().wait_until(d.grant_time);
+          local_now_ = std::max(local_now_, eng().now());
+          // The entry's busy window ends exactly at grant_time, so the
+          // next decision's synchronous revocation can land at the very
+          // instant this wait ends — and same-time order carries no
+          // meaning. If the grant did not survive the wait, treat it as
+          // a NACK and retry.
+          const cache::LineState st = c.local.state(sp);
+          const bool kept = kind == Acquire::kShared ? cache::readable(st)
+                                                     : cache::writable(st);
+          if (!kept) ok = false;
+        }
+      }
+    } else {
+      // Multi-domain, remote home: leg 1 rides our own leaf ring to the
+      // ARD, the request crosses on a boundary channel, the home decides
+      // and replies. The reply event itself applies the grant (insert_line)
+      // before waking us, so per-channel FIFO order protects the grant
+      // against any later revocation the home emits for us.
+      crossed = true;
+      const sim::Duration wait = transport_round_trip(sp, cm_.leaf_of(id_));
+      ++c.pmon.ring_requests;
+      c.pmon.inject_wait_ns += wait;
+
+      CoherentMachine::MbReply rep;
+      CoherentMachine* cm = &cm_;
+      CoherentMachine::MbReply* rp = &rep;
+      const unsigned me = id_;
+      const unsigned dr = machine_.domain_of_cell(id_);
+      const unsigned dh = cfg().domain_of_leaf(cm_.home_leaf(sp));
+      const sim::FiberId fid = fiber_;
+      machine_.parallel_engine().send(
+          dr, dh, machine_.parallel_engine().horizon(),
+          [cm, me, dr, sp, kind, rp, fid] {
+            cm->mb_home_request(me, dr, sp, kind, rp, fid);
+          });
+      block_until_woken();
+      ok = rep.ok;
+      page_alloc = rep.page_alloc;
     }
 
-    CoherentMachine::CommitResult res{};
-    switch (kind) {
-      case Acquire::kShared:
-        res = cm_.commit_shared(id_, sp, witness);
-        break;
-      case Acquire::kExclusive:
-        res = cm_.commit_exclusive(id_, sp, /*atomic=*/false, witness);
-        break;
-      case Acquire::kAtomic:
-        res = cm_.commit_exclusive(id_, sp, /*atomic=*/true, witness);
-        break;
-    }
-
-    if (res.ok) {
+    if (ok) {
       tick_ns(cm_.transaction_overhead_ns(kind, crossed));
-      if (res.page_alloc) tick_ns(cfg().page_alloc_ns);
+      if (page_alloc) tick_ns(cfg().page_alloc_ns);
       c.pmon.ring_time_ns += local_now_ - t0;
       if (cm_.tracer() != nullptr) {
         // Stall attribution: total time this cpu spent in the transaction.
-        cm_.tracer()->log(machine_.engine().now(), obs::kCatStall,
-                          obs::kEvRemoteAcquire, sp, id_,
-                          static_cast<std::int64_t>(local_now_ - t0));
+        cm_.tracer()->log(eng().now(), obs::kCatStall, obs::kEvRemoteAcquire,
+                          sp, id_, static_cast<std::int64_t>(local_now_ - t0));
       }
       return;
     }
 
-    // NACK: the sub-page is held Atomic somewhere. Back off (bounded
-    // exponential, randomized) and retry.
+    // NACK: the sub-page is held Atomic somewhere (or its home entry is
+    // busy applying a previous decision). Back off (bounded exponential,
+    // randomized) and retry.
     ++c.pmon.ring_nacks;
     ++c.pmon.atomic_retries;
     c.pmon.ring_time_ns += local_now_ - t0;
@@ -260,9 +349,8 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind,
                                << (consecutive_nacks - 1);
     const sim::Duration nap = base + cell().rng.below(base);
     if (cm_.tracer() != nullptr) {
-      cm_.tracer()->log(machine_.engine().now(), obs::kCatStall,
-                        obs::kEvNackBackoff, sp, id_,
-                        static_cast<std::int64_t>(nap));
+      cm_.tracer()->log(eng().now(), obs::kCatStall, obs::kEvNackBackoff, sp,
+                        id_, static_cast<std::int64_t>(nap));
     }
     tick_ns(nap);
   }
@@ -273,14 +361,21 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
   auto& c = cell();
   const mem::SubPageId sp = mem::subpage_of(a);
 
-  if (auto* pe = cm_.dir_.find(sp)) {
+  if (!home_is_local(sp)) {
+    // The home shard decides everything (including first touch); no local
+    // shortcut is sound while revocations may be in flight toward us.
+    remote_acquire(sp, Acquire::kAtomic, witness_of(a));
+    return;
+  }
+
+  if (auto* pe = cm_.dir_find(sp)) {
     auto& e = *pe;
-    if (e.owner == static_cast<std::int16_t>(id_) &&
+    if (!e.busy && e.owner == static_cast<std::int16_t>(id_) &&
         cache::writable(c.local.state(sp))) {
       // We already hold the only copy: lock it locally.
       e.atomic = true;
       c.local.set_state(sp, cache::LineState::kAtomic);
-      KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+      KSR_CHECK_HOOK(if (cm_.hooks_on()) cm_.checker_->on_transition(
           check::Ev::kLocalAtomic, id_, sp));
       tick_ns(cfg().local_atomic_ns);
       return;
@@ -290,34 +385,64 @@ void CoherentCpu::do_get_subpage(mem::Sva a) {
   }
 
   // First touch machine-wide, directly into Atomic state.
-  auto& e = cm_.dir_[sp];
-  e.holders = bit(id_);
-  e.owner = static_cast<std::int16_t>(id_);
-  e.atomic = true;
-  e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
-  if (cm_.insert_line(id_, sp, cache::LineState::kAtomic)) {
-    tick_ns(cfg().page_alloc_ns);
-  }
-  KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
-      check::Ev::kFirstTouch, id_, sp));
+  first_touch(sp, /*atomic=*/true);
   tick_ns(cfg().local_atomic_ns);
 }
 
 void CoherentCpu::do_release_subpage(mem::Sva a) {
   lazy_sync();
   const mem::SubPageId sp = mem::subpage_of(a);
-  auto* e = cm_.dir_.find(sp);
-  if (e == nullptr || !e->atomic ||
-      e->owner != static_cast<std::int16_t>(id_)) {
+
+  if (home_is_local(sp)) {
+    auto* e = cm_.dir_find(sp);
+    if (e == nullptr || !e->atomic ||
+        e->owner != static_cast<std::int16_t>(id_)) {
+      throw std::logic_error(
+          "release_subpage: cell " + std::to_string(id_) +
+          " does not hold sub-page " + std::to_string(sp) + " atomically");
+    }
+    e->atomic = false;
+    cell().local.set_state(sp, cache::LineState::kExclusive);
+    KSR_CHECK_HOOK(if (cm_.hooks_on()) cm_.checker_->on_transition(
+        check::Ev::kReleaseAtomic, id_, sp));
+    tick_ns(cfg().local_atomic_ns);
+    return;
+  }
+
+  // Remote home: our local Atomic state is the proof of ownership (only
+  // the home ever grants it). Unlock locally, then send the fix-up; the
+  // home keeps NACKing acquires until it lands, which is exactly the
+  // window a real unlock packet would leave.
+  if (cell().local.state(sp) != cache::LineState::kAtomic) {
     throw std::logic_error(
         "release_subpage: cell " + std::to_string(id_) +
         " does not hold sub-page " + std::to_string(sp) + " atomically");
   }
-  e->atomic = false;
   cell().local.set_state(sp, cache::LineState::kExclusive);
-  KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
-      check::Ev::kReleaseAtomic, id_, sp));
+  hard_sync();
+  CoherentMachine* cm = &cm_;
+  const unsigned me = id_;
+  const unsigned dr = machine_.domain_of_cell(id_);
+  const unsigned dh = cfg().domain_of_leaf(cm_.home_leaf(sp));
+  cm_.transport(me, sp, cm_.leaf_of(me), [cm, me, dr, dh, sp](sim::Duration) {
+    cm->parallel_engine().send(dr, dh, cm->parallel_engine().horizon(),
+                               [cm, me, sp] { cm->mb_release_home(me, sp); });
+  });
   tick_ns(cfg().local_atomic_ns);
+}
+
+void CoherentCpu::finish_prefetch(CoherentMachine* cm, unsigned me,
+                                  mem::SubPageId sp) {
+  auto& c2 = cm->cells_[me];
+  auto* entry = c2.inflight.find(sp);
+  if (entry == nullptr) return;
+  auto waiters = std::move(*entry);
+  c2.inflight.erase(sp);
+  --c2.inflight_count;
+  sim::Engine& eng = cm->engine_of(cm->domain_of_cell(me));
+  for (sim::FiberId f : waiters) {
+    eng.wake(f, eng.now());
+  }
 }
 
 void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
@@ -338,14 +463,21 @@ void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
     return;
   }
 
-  if (!cm_.dir_.contains(sp)) {
+  if (!home_is_local(sp)) {
+    // A prefetch is only a hint: a cross-domain round trip to the home is
+    // not worth modelling for one, so it is dropped at the ARD.
+    tick_cycles(1);
+    return;
+  }
+
+  if (!cm_.dir_contains(sp)) {
     // Prefetching untouched memory: first-touch ownership, no ring traffic.
-    auto& e = cm_.dir_[sp];
-    e.holders = bit(id_);
+    auto& e = cm_.dir_entry(sp);
+    e.holders.assign_single(id_);
     e.owner = static_cast<std::int16_t>(id_);
     e.resident_leaf = static_cast<std::uint8_t>(cm_.leaf_of(id_));
     cm_.insert_line(id_, sp, cache::LineState::kExclusive);
-    KSR_CHECK_HOOK(if (cm_.checker_ != nullptr) cm_.checker_->on_transition(
+    KSR_CHECK_HOOK(if (cm_.hooks_on()) cm_.checker_->on_transition(
         check::Ev::kFirstTouch, id_, sp));
     tick_cycles(1);
     return;
@@ -356,14 +488,45 @@ void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
   c.inflight[sp];  // register the in-flight fetch (no waiters yet)
   hard_sync();
 
+  CoherentMachine* cm = &cm_;
+  const unsigned me = id_;
+
+  if (cm_.multi_domain_) {
+    // Home-local multi-domain: decide at the home shard so cross-domain
+    // effects route correctly; a deferred grant lands with the grant wave.
+    const unsigned home = cm_.home_leaf(sp);
+    cm_.transport(me, sp, home, [cm, me, sp, exclusive](sim::Duration w) {
+      auto& c2 = cm->cells_[me];
+      ++c2.pmon.ring_requests;
+      c2.pmon.inject_wait_ns += w;
+      const auto d = cm->mb_decide(
+          me, sp,
+          exclusive ? CoherentMachine::Acquire::kExclusive
+                    : CoherentMachine::Acquire::kShared);
+      if (!d.ok) {  // Atomic elsewhere or busy: the hint is dropped
+        finish_prefetch(cm, me, sp);
+        return;
+      }
+      // Cache state commits at decision time (see remote_acquire); a
+      // deferred grant only delays the waiters' wake-up.
+      (void)cm->insert_line(me, sp, d.state);
+      if (d.deferred) {
+        cm->engine_of(cm->domain_of_cell(me)).at(
+            d.grant_time, [cm, me, sp] { finish_prefetch(cm, me, sp); });
+        return;
+      }
+      finish_prefetch(cm, me, sp);
+    });
+    tick_cycles(2);  // issue cost; the fetch itself is asynchronous
+    return;
+  }
+
   unsigned target_leaf = 0;
   {
-    const auto* e = cm_.dir_.find(sp);
+    const auto* e = cm_.dir_find(sp);
     target_leaf = cm_.responder_leaf(
         id_, e != nullptr ? *e : CoherentMachine::DirEntry{});
   }
-  CoherentMachine* cm = &cm_;
-  const unsigned me = id_;
   cm_.transport(me, sp, target_leaf, [cm, me, sp, exclusive](sim::Duration w) {
     auto& c2 = cm->cells_[me];
     ++c2.pmon.ring_requests;
@@ -375,15 +538,7 @@ void CoherentCpu::do_prefetch(mem::Sva a, bool exclusive) {
     } else {
       (void)cm->commit_shared(me, sp);
     }
-    auto* entry = c2.inflight.find(sp);
-    if (entry != nullptr) {
-      auto waiters = std::move(*entry);
-      c2.inflight.erase(sp);
-      --c2.inflight_count;
-      for (sim::FiberId f : waiters) {
-        cm->engine().wake(f, cm->engine().now());
-      }
-    }
+    finish_prefetch(cm, me, sp);
   });
   tick_cycles(2);  // issue cost; the fetch itself is asynchronous
 }
@@ -406,17 +561,45 @@ void CoherentCpu::do_post_store(mem::Sva a) {
   tick_ns(cfg().localcache_write_ns);
   hard_sync();
 
+  CoherentMachine* cm = &cm_;
+  const unsigned me = id_;
+
+  if (cm_.multi_domain_) {
+    if (home_is_local(sp)) {
+      cm_.transport(me, sp, cm_.home_leaf(sp), [cm, me, sp](sim::Duration w) {
+        auto& c2 = cm->cells_[me];
+        c2.pmon.inject_wait_ns += w;
+        ++c2.pmon.ring_requests;
+        cm->mb_poststore_home(me, sp);
+      });
+      return;
+    }
+    // Remote home: ride our own ring to the ARD, then cross (fire and
+    // forget — the issuer never waits on a poststore).
+    const unsigned dr = machine_.domain_of_cell(id_);
+    const unsigned dh = cfg().domain_of_leaf(cm_.home_leaf(sp));
+    cm_.transport(me, sp, cm_.leaf_of(me),
+                  [cm, me, dr, dh, sp](sim::Duration w) {
+                    auto& c2 = cm->cells_[me];
+                    c2.pmon.inject_wait_ns += w;
+                    ++c2.pmon.ring_requests;
+                    cm->parallel_engine().send(
+                        dr, dh, cm->parallel_engine().horizon(),
+                        [cm, me, sp] { cm->mb_poststore_home(me, sp); });
+                  });
+    return;
+  }
+
   unsigned target_leaf = cm_.leaf_of(id_);
-  if (const auto* e = cm_.dir_.find(sp)) {
+  if (const auto* e = cm_.dir_find(sp)) {
     for (unsigned l = 0; l < cm_.leaf_count(); ++l) {
-      if (l != target_leaf && (e->placeholders & cm_.leaf_mask(l))) {
+      if (l != target_leaf &&
+          e->placeholders.intersects(cm_.leaf_mask(l))) {
         target_leaf = l;
         break;
       }
     }
   }
-  CoherentMachine* cm = &cm_;
-  const unsigned me = id_;
   cm_.transport(me, sp, target_leaf, [cm, me, sp](sim::Duration w) {
     auto& c2 = cm->cells_[me];
     c2.pmon.inject_wait_ns += w;
@@ -430,6 +613,7 @@ void CoherentCpu::do_post_store(mem::Sva a) {
 // ---------------------------------------------------------------------------
 
 CoherentMachine::CoherentMachine(const MachineConfig& cfg) : Machine(cfg) {
+  multi_domain_ = Machine::multi_domain();
   cells_.reserve(cfg_.nproc);
   std::uint64_t seed =
       0xA11CAC8Eull ^ (static_cast<std::uint64_t>(cfg_.nproc) << 32);
@@ -440,7 +624,20 @@ CoherentMachine::CoherentMachine(const MachineConfig& cfg) : Machine(cfg) {
 
 CoherentMachine::~CoherentMachine() = default;
 
+void CoherentMachine::ensure_topology() {
+  if (!dir_shards_.empty()) return;
+  const unsigned leaves = std::max(1u, leaf_count());
+  dir_shards_.resize(leaves);
+  leaf_masks_.assign(leaves, cache::CellMask{});
+  for (unsigned i = 0; i < cfg_.nproc; ++i) {
+    leaf_masks_[leaf_of(i)].set(i);
+  }
+}
+
 std::unique_ptr<Cpu> CoherentMachine::make_cpu(unsigned cell) {
+  // make_cpu runs serially before any fiber; the virtual topology is
+  // available here (it is not in the base constructor).
+  ensure_topology();
   return std::make_unique<CoherentCpu>(*this, cell);
 }
 
@@ -451,34 +648,51 @@ void CoherentMachine::reset_memory_system() {
     c.inflight.clear();
     c.inflight_count = 0;
   }
-  dir_.clear();
+  for (auto& shard : dir_shards_) shard.clear();
   if (checker_ != nullptr) checker_->reset();
 }
 
-CoherentMachine::DirView CoherentMachine::dir_view(mem::SubPageId sp) const {
-  const auto* e = dir_.find(sp);
-  if (e == nullptr) return {};
-  return {e->holders, e->placeholders, e->owner, e->atomic};
+void CoherentMachine::attach_tracer(sim::Tracer* tracer) {
+  if (multi_domain_ && tracer != nullptr) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: tracing is unavailable on multi-domain runs "
+                   "(several engine threads commit transitions); tracer "
+                   "ignored — trace a single-domain run instead\n");
+    }
+    tracer_ = nullptr;
+    return;
+  }
+  Machine::attach_tracer(tracer);
 }
 
-std::uint64_t CoherentMachine::leaf_mask(unsigned leaf) const noexcept {
-  std::uint64_t m = 0;
-  for (unsigned i = 0; i < cfg_.nproc; ++i) {
-    if (leaf_of(i) == leaf) m |= bit(i);
-  }
-  return m;
+CoherentMachine::DirView CoherentMachine::dir_view(mem::SubPageId sp) const {
+  const auto* e = dir_find(sp);
+  if (e == nullptr) return {};
+  return {e->holders.word0(), e->placeholders.word0(), e->owner, e->atomic};
+}
+
+cache::CellMask CoherentMachine::dir_holders(mem::SubPageId sp) const {
+  const auto* e = dir_find(sp);
+  return e != nullptr ? e->holders : cache::CellMask{};
+}
+
+cache::CellMask CoherentMachine::dir_placeholders(mem::SubPageId sp) const {
+  const auto* e = dir_find(sp);
+  return e != nullptr ? e->placeholders : cache::CellMask{};
 }
 
 unsigned CoherentMachine::responder_leaf(unsigned cell,
                                          const DirEntry& e) const {
   const unsigned my = leaf_of(cell);
-  const std::uint64_t others = e.holders & ~bit(cell);
-  if (others == 0) {
-    return e.holders != 0 ? my : e.resident_leaf;  // we (or nobody) hold it
+  if (e.holders.none_except(cell)) {
+    return e.holders.any() ? my : e.resident_leaf;  // we (or nobody) hold it
   }
   // If any copy lives on a remote leaf the transaction must reach it.
   for (unsigned l = 0; l < leaf_count(); ++l) {
-    if (l != my && (others & leaf_mask(l)) != 0) return l;
+    if (l != my && e.holders.intersects_except(leaf_mask(l), cell)) return l;
   }
   return my;
 }
@@ -499,27 +713,41 @@ bool CoherentMachine::insert_line(unsigned cell, mem::SubPageId sp,
     }
     // The evicted page's directory fix-ups and sub-cache inclusion are both
     // done; the *requested* sub-page is audited by its own commit hook.
-    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+    KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
         check::Ev::kPageEvict, cell, pa.evicted_page * mem::kSubPagesPerPage));
   }
   return pa.allocated;
 }
 
+void CoherentMachine::mb_evict_fixup(unsigned cell, mem::SubPageId sp) {
+  auto* pe = dir_find(sp);
+  if (pe == nullptr) return;
+  DirEntry& e = *pe;
+  e.holders.clear(cell);
+  e.placeholders.clear(cell);
+  if (e.owner == static_cast<std::int16_t>(cell)) {
+    e.owner = -1;
+    e.atomic = false;  // evicting a locked line would be a program bug
+  }
+  if (e.holders.none()) {
+    e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+  }
+}
+
 void CoherentMachine::on_page_evicted(unsigned cell, mem::PageId page) {
+  const unsigned dc = domain_of_cell(cell);
   for (std::size_t idx = 0; idx < mem::kSubPagesPerPage; ++idx) {
     const mem::SubPageId sp = page * mem::kSubPagesPerPage + idx;
-    auto* pe = dir_.find(sp);
-    if (pe == nullptr) continue;
-    DirEntry& e = *pe;
-    e.holders &= ~bit(cell);
-    e.placeholders &= ~bit(cell);
-    if (e.owner == static_cast<std::int16_t>(cell)) {
-      e.owner = -1;
-      e.atomic = false;  // evicting a locked line would be a program bug
+    const unsigned dh =
+        multi_domain_ ? cfg_.domain_of_leaf(home_leaf(sp)) : dc;
+    if (dh == dc) {
+      mb_evict_fixup(cell, sp);
+      continue;
     }
-    if (e.holders == 0) {
-      e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
-    }
+    // Remote home: idempotent fire-and-forget fix-up. Channel FIFO order
+    // guarantees it lands before any later request from this domain.
+    par_.send(dc, dh, par_.horizon(),
+              [this, cell, sp] { mb_evict_fixup(cell, sp); });
   }
 }
 
@@ -536,18 +764,18 @@ void CoherentMachine::invalidate_at(unsigned cell, mem::SubPageId sp) {
 
 CoherentMachine::CommitResult CoherentMachine::commit_shared(
     unsigned cell, mem::SubPageId sp, std::uint32_t witness) {
-  DirEntry& e = dir_[sp];
+  DirEntry& e = dir_entry(sp);
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
-    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+    KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
         check::Ev::kNack, cell, sp));
     return {false, false};
   }
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvGrantShared, sp,
-                 cell, static_cast<std::int64_t>(e.holders), witness);
+                 cell, static_cast<std::int64_t>(e.holders.word0()), witness);
   }
   // Downgrade a previous exclusive owner.
   if (e.owner >= 0 && e.owner != static_cast<std::int16_t>(cell)) {
@@ -560,23 +788,20 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
   // Read-snarfing: the data passing on the ring refreshes every invalid
   // placeholder (paper §2, §3.2.2).
   if (cfg_.read_snarfing) {
-    std::uint64_t ph = e.placeholders & ~bit(cell);
-    while (ph != 0) {
-      const unsigned b = static_cast<unsigned>(std::countr_zero(ph));
-      ph &= ph - 1;
+    e.placeholders.for_each_except(cell, [&](unsigned b) {
       cells_[b].local.set_state(sp, cache::LineState::kShared);
       ++cells_[b].pmon.snarfs;
       if (tracer_ != nullptr) {
         tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvSnarf, sp, b);
       }
-      e.holders |= bit(b);
-    }
-    e.placeholders &= bit(cell);
+      e.holders.set(b);
+    });
+    e.placeholders.retain_only(cell);
   }
 
-  e.placeholders &= ~bit(cell);
-  const bool sole = (e.holders & ~bit(cell)) == 0;
-  e.holders |= bit(cell);
+  e.placeholders.clear(cell);
+  const bool sole = e.holders.none_except(cell);
+  e.holders.set(cell);
   const cache::LineState st =
       sole ? cache::LineState::kExclusive : cache::LineState::kShared;
   if (sole) {
@@ -584,54 +809,52 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
     e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
   }
   const bool pa = insert_line(cell, sp, st);
-  KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+  KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
       check::Ev::kGrantShared, cell, sp));
   return {true, pa};
 }
 
 CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
     unsigned cell, mem::SubPageId sp, bool atomic, std::uint32_t witness) {
-  DirEntry& e = dir_[sp];
+  DirEntry& e = dir_entry(sp);
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
-    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+    KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
         check::Ev::kNack, cell, sp));
     return {false, false};
   }
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence,
                  atomic ? obs::kEvGrantAtomic : obs::kEvGrantExclusive, sp,
-                 cell, static_cast<std::int64_t>(e.holders), witness);
+                 cell, static_cast<std::int64_t>(e.holders.word0()), witness);
   }
-  std::uint64_t others = e.holders & ~bit(cell);
-  while (others != 0) {
-    const unsigned b = static_cast<unsigned>(std::countr_zero(others));
-    others &= others - 1;
+  e.holders.for_each_except(cell, [&](unsigned b) {
     invalidate_at(b, sp);
-    e.placeholders |= bit(b);
-  }
-  e.placeholders &= ~bit(cell);
-  e.holders = bit(cell);
+    e.placeholders.set(b);
+  });
+  e.placeholders.clear(cell);
+  e.holders.assign_single(cell);
   e.owner = static_cast<std::int16_t>(cell);
   e.atomic = atomic;
   e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
   const bool pa = insert_line(
       cell, sp,
       atomic ? cache::LineState::kAtomic : cache::LineState::kExclusive);
-  KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+  KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
       atomic ? check::Ev::kGrantAtomic : check::Ev::kGrantExclusive, cell,
       sp));
   return {true, pa};
 }
 
 void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
-  DirEntry& e = dir_[sp];
-  std::uint64_t ph = e.placeholders & ~bit(cell);
+  DirEntry& e = dir_entry(sp);
+  cache::CellMask ph = e.placeholders;
+  ph.clear(cell);
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvPoststore, sp,
-                 cell, static_cast<std::int64_t>(ph));
+                 cell, static_cast<std::int64_t>(ph.word0()));
   }
   if (e.atomic) {
     // The line was locked (get_subpage) by another cell while the poststore
@@ -639,26 +862,24 @@ void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
     // invalidated by that acquisition. Refreshing placeholders now would
     // hand out readable copies of an Atomic line, which every read and
     // acquire path NACKs against; the update is dropped instead.
-    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+    KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
         check::Ev::kPoststore, cell, sp));
     return;
   }
-  if (ph == 0) {  // pure bandwidth waste: nobody was listening
-    KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+  if (ph.none()) {  // pure bandwidth waste: nobody was listening
+    KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
         check::Ev::kPoststore, cell, sp));
     return;
   }
-  while (ph != 0) {
-    const unsigned b = static_cast<unsigned>(std::countr_zero(ph));
-    ph &= ph - 1;
+  ph.for_each([&](unsigned b) {
     cells_[b].local.set_state(sp, cache::LineState::kShared);
     ++cells_[b].pmon.snarfs;
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvSnarf, sp, b);
     }
-    e.holders |= bit(b);
-  }
-  e.placeholders &= bit(cell);
+    e.holders.set(b);
+  });
+  e.placeholders.retain_only(cell);
   // Multiple copies now exist: the writer loses exclusivity — the §3.3.3
   // poststore pitfall (next-phase writers must re-invalidate).
   if (e.owner >= 0) {
@@ -666,8 +887,272 @@ void CoherentMachine::commit_poststore(unsigned cell, mem::SubPageId sp) {
         sp, cache::LineState::kShared);
     e.owner = -1;
   }
-  KSR_CHECK_HOOK(if (checker_ != nullptr) checker_->on_transition(
+  KSR_CHECK_HOOK(if (hooks_on()) checker_->on_transition(
       check::Ev::kPoststore, cell, sp));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-domain home-shard protocol (docs/PARALLEL.md).
+//
+// All directory bookkeeping for a sub-page mutates on the home domain's
+// thread, at decision time. Home-domain cache-state effects (the local
+// requester's insert, snarf refreshes, revocations of home cells) commit
+// synchronously — exactly the single-domain semantics. Only cross-domain
+// effects travel: revocations (invalidate / downgrade-to-Shared) ride
+// wave 1 at the current horizon h, grants (snarf refreshes, the
+// requester's reply) ride wave 2 at h + Δ whenever any revocation crossed
+// a domain (else at h). Horizons are Δ-multiples, so a revoked reader's
+// last stale access and the grantee's first access are separated by a
+// quantum barrier — no simulated-time overlap, no host race.
+//
+// Ordering rule: same-time event order carries NO protocol meaning (the
+// schedule fuzzer permutes it freely), so a decision that put ANY effect
+// on a boundary channel marks the entry `busy` until its last effect time.
+// Conflicting requests NACK while busy; the next decision therefore runs
+// at t >= that effect time and its own effects land at the *next* horizon
+// — strictly later than everything in flight. Grant-then-revoke races on
+// one cell are impossible by construction, not by channel-FIFO luck.
+// ---------------------------------------------------------------------------
+
+CoherentMachine::MbDecision CoherentMachine::mb_decide(unsigned cell,
+                                                       mem::SubPageId sp,
+                                                       Acquire kind) {
+  const unsigned dh = cfg_.domain_of_leaf(home_leaf(sp));
+  const sim::Time h = par_.horizon();
+  const sim::Duration delta = par_.quantum_ns();
+
+  const bool requester_cross = domain_of_cell(cell) != dh;
+  DirEntry* pe = dir_find(sp);
+  if (pe == nullptr) {
+    // First touch machine-wide, serialized at the home shard.
+    DirEntry& e = dir_entry(sp);
+    e.holders.assign_single(cell);
+    e.owner = static_cast<std::int16_t>(cell);
+    e.atomic = (kind == Acquire::kAtomic);
+    e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+    MbDecision d;
+    d.ok = true;
+    d.deferred = false;
+    d.grant_time = h;
+    d.state = kind == Acquire::kAtomic ? cache::LineState::kAtomic
+                                       : cache::LineState::kExclusive;
+    if (requester_cross) {
+      // The reply rides the channel; hold the entry until it has applied
+      // so no later decision can emit a same-time effect toward `cell`.
+      e.busy = true;
+      engine_of(dh).at(h, [this, sp] {
+        if (auto* p = dir_find(sp)) p->busy = false;
+      });
+    }
+    return d;
+  }
+  DirEntry& e = *pe;
+  if (e.busy || (e.atomic && e.owner != static_cast<std::int16_t>(cell))) {
+    return {};  // NACK: locked elsewhere, or a prior decision is in flight
+  }
+
+  MbDecision d;
+  d.ok = true;
+  bool cross_revoke = false;
+  bool cross_effect = requester_cross;  // the reply itself rides the channel
+
+  // Wave 1: revoke writability. Home-domain targets commit synchronously
+  // (we are their thread); cross-domain targets ride the channel at h.
+  const auto revoke = [&](unsigned b, cache::LineState to) {
+    const unsigned db = domain_of_cell(b);
+    if (db == dh) {
+      if (to == cache::LineState::kInvalid) {
+        invalidate_at(b, sp);
+      } else {
+        cells_[b].local.set_state(sp, to);
+      }
+      return;
+    }
+    cross_revoke = true;
+    cross_effect = true;
+    if (to == cache::LineState::kInvalid) {
+      par_.send(dh, db, h, [this, b, sp] {
+        invalidate_at(b, sp);
+      });
+    } else {
+      par_.send(dh, db, h, [this, b, sp] {
+        cells_[b].local.set_state(sp, cache::LineState::kShared);
+      });
+    }
+  };
+
+  // Wave 2: grant readability at `gt`. Home-domain snarfers commit at
+  // decision time (single-domain semantics; a same-engine event at gt
+  // could tie with a later decision's revoke, and same-time order carries
+  // no meaning). Cross-domain grants ride the channel; pmon mutations
+  // execute on the target's own thread, inside the routed event.
+  const auto grant_shared = [&](unsigned b, sim::Time gt) {
+    const unsigned db = domain_of_cell(b);
+    if (db == dh) {
+      cells_[b].local.set_state(sp, cache::LineState::kShared);
+      ++cells_[b].pmon.snarfs;
+    } else {
+      cross_effect = true;
+      par_.send(dh, db, gt, [this, b, sp] {
+        cells_[b].local.set_state(sp, cache::LineState::kShared);
+        ++cells_[b].pmon.snarfs;
+      });
+    }
+  };
+
+  if (kind == Acquire::kShared) {
+    if (e.owner >= 0 && e.owner != static_cast<std::int16_t>(cell)) {
+      revoke(static_cast<unsigned>(e.owner), cache::LineState::kShared);
+    }
+    e.owner = -1;
+    e.atomic = false;
+    const sim::Time gt = cross_revoke ? h + delta : h;
+    if (cfg_.read_snarfing) {
+      e.placeholders.for_each_except(cell, [&](unsigned b) {
+        grant_shared(b, gt);
+        e.holders.set(b);
+      });
+      e.placeholders.retain_only(cell);
+    }
+    e.placeholders.clear(cell);
+    const bool sole = e.holders.none_except(cell);
+    e.holders.set(cell);
+    d.state = sole ? cache::LineState::kExclusive : cache::LineState::kShared;
+    if (sole) {
+      e.owner = static_cast<std::int16_t>(cell);
+      e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+    }
+    d.deferred = cross_revoke;
+    d.grant_time = gt;
+  } else {
+    e.holders.for_each_except(cell, [&](unsigned b) {
+      revoke(b, cache::LineState::kInvalid);
+      e.placeholders.set(b);
+    });
+    e.placeholders.clear(cell);
+    e.holders.assign_single(cell);
+    e.owner = static_cast<std::int16_t>(cell);
+    e.atomic = (kind == Acquire::kAtomic);
+    e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+    d.state = e.atomic ? cache::LineState::kAtomic
+                       : cache::LineState::kExclusive;
+    d.deferred = cross_revoke;
+    d.grant_time = cross_revoke ? h + delta : h;
+  }
+
+  if (cross_effect) {
+    // Hold the entry until the last in-flight effect (revokes at h, grants
+    // and the reply at grant_time >= h) has applied; the next decision then
+    // runs strictly after and its effects land at a strictly later horizon.
+    e.busy = true;
+    // Re-find by id when clearing: FlatMap storage may move underneath.
+    engine_of(dh).at(d.grant_time, [this, sp] {
+      if (auto* p = dir_find(sp)) p->busy = false;
+    });
+  }
+  return d;
+}
+
+void CoherentMachine::mb_home_request(unsigned cell, unsigned req_dom,
+                                      mem::SubPageId sp, Acquire kind,
+                                      MbReply* rep, sim::FiberId fid) {
+  // Runs in the home domain at channel-delivery time: model the level-1
+  // transit + home-ring transaction, then decide and reply. The reply event
+  // applies the grant (insert_line) on the requester's thread *before*
+  // waking the fiber, so the channel's FIFO order serializes it against any
+  // later revocation the home emits toward the same domain.
+  home_transport(
+      leaf_of(cell), home_leaf(sp), sp,
+      [this, cell, req_dom, sp, kind, rep, fid](sim::Duration) {
+        const unsigned dh = cfg_.domain_of_leaf(home_leaf(sp));
+        const MbDecision d = mb_decide(cell, sp, kind);
+        const sim::Time rt =
+            d.ok && d.deferred ? d.grant_time : par_.horizon();
+        const bool ok = d.ok;
+        const cache::LineState st = d.state;
+        par_.send(dh, req_dom, rt,
+                  [this, cell, sp, ok, st, rep, fid, req_dom] {
+                    if (ok) {
+                      rep->ok = true;
+                      rep->state = st;
+                      rep->page_alloc = insert_line(cell, sp, st);
+                    } else {
+                      rep->ok = false;
+                    }
+                    sim::Engine& e = engine_of(req_dom);
+                    e.wake(fid, e.now());
+                  });
+      });
+}
+
+void CoherentMachine::mb_poststore_home(unsigned cell, mem::SubPageId sp) {
+  DirEntry* pe = dir_find(sp);
+  if (pe == nullptr) return;
+  DirEntry& e = *pe;
+  // Locked or mid-decision: the update is dropped (a poststore is only an
+  // opportunistic broadcast — see the single-domain commit for the Atomic
+  // rationale; `busy` additionally covers the in-flight-effects window).
+  if (e.atomic || e.busy) return;
+  if (e.placeholders.none_except(cell)) return;  // nobody listening
+
+  const unsigned dh = cfg_.domain_of_leaf(home_leaf(sp));
+  const sim::Time h = par_.horizon();
+  const sim::Duration delta = par_.quantum_ns();
+  bool cross_revoke = false;
+  bool cross_effect = false;
+
+  // Wave 1: the writable copy (often the poststorer itself) loses
+  // exclusivity — the §3.3.3 poststore pitfall.
+  if (e.owner >= 0) {
+    const unsigned o = static_cast<unsigned>(e.owner);
+    const unsigned db = domain_of_cell(o);
+    if (db == dh) {
+      cells_[o].local.set_state(sp, cache::LineState::kShared);
+    } else {
+      cross_revoke = true;
+      cross_effect = true;
+      par_.send(dh, db, h, [this, o, sp] {
+        cells_[o].local.set_state(sp, cache::LineState::kShared);
+      });
+    }
+    e.owner = -1;
+  }
+
+  // Wave 2: refresh every placeholder. Home-domain refreshes commit at
+  // decision time (see mb_decide's grant rule); cross-domain refreshes
+  // ride the channel at gt.
+  const sim::Time gt = cross_revoke ? h + delta : h;
+  e.placeholders.for_each_except(cell, [&](unsigned b) {
+    const unsigned db = domain_of_cell(b);
+    if (db == dh) {
+      cells_[b].local.set_state(sp, cache::LineState::kShared);
+      ++cells_[b].pmon.snarfs;
+    } else {
+      cross_effect = true;
+      par_.send(dh, db, gt, [this, b, sp] {
+        cells_[b].local.set_state(sp, cache::LineState::kShared);
+        ++cells_[b].pmon.snarfs;
+      });
+    }
+    e.holders.set(b);
+  });
+  e.placeholders.retain_only(cell);
+
+  if (cross_effect) {
+    e.busy = true;
+    engine_of(dh).at(gt, [this, sp] {
+      if (auto* p = dir_find(sp)) p->busy = false;
+    });
+  }
+}
+
+void CoherentMachine::mb_release_home(unsigned cell, mem::SubPageId sp) {
+  auto* pe = dir_find(sp);
+  if (pe != nullptr && pe->atomic &&
+      pe->owner == static_cast<std::int16_t>(cell)) {
+    pe->atomic = false;  // acquires NACKed until this landed — as a real
+                         // unlock packet in flight would behave
+  }
 }
 
 }  // namespace ksr::machine

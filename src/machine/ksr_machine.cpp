@@ -17,7 +17,7 @@ KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
   leaf_rings_.reserve(leaves);
   for (unsigned l = 0; l < leaves; ++l) {
     net::SlottedRing::Config rc;
-    rc.positions = cfg_.cells_per_leaf + (multi ? 1u : 0u);  // + ARD interface
+    rc.positions = cfg_.leaf_ring_positions();  // cells + ARD interface
     rc.slots_per_subring = cfg_.ring_slots_per_subring;
     rc.subrings = 2;
     rc.hop_ns = cfg_.ring_hop_ns;
@@ -25,12 +25,20 @@ KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
       rc.phase = static_cast<unsigned>(sim::splitmix64(phase_seed) %
                                        rc.positions);
     }
+    // Each ring lives on the engine of the domain owning its leaf: all of
+    // its events then dispatch on that domain's thread (single-domain maps
+    // every leaf to engine 0, exactly the seed shape).
+    sim::Engine& eng =
+        multi_domain_ ? engine_of(cfg_.domain_of_leaf(l)) : engine_;
     leaf_rings_.push_back(std::make_unique<net::SlottedRing>(
-        engine_, rc, "ring0." + std::to_string(l)));
+        eng, rc, "ring0." + std::to_string(l)));
   }
-  if (multi) {
+  if (multi && !multi_domain_) {
+    // The explicit level-1 ring exists only single-domain; a multi-domain
+    // run models level-1 transit analytically (transport/home_transport)
+    // because one shared ring object would serialize every domain thread.
     net::SlottedRing::Config rc;
-    rc.positions = 34;  // level-1 ring: up to 34 ARD attachment points
+    rc.positions = MachineConfig::kRing1Positions;  // ARD attachment points
     rc.slots_per_subring = cfg_.ring1_slots_per_subring;
     rc.subrings = 2;
     rc.hop_ns = cfg_.ring1_hop_ns;
@@ -57,13 +65,36 @@ void KsrMachine::transport(unsigned cell, mem::SubPageId sp,
                            std::function<void(sim::Duration)> done) {
   const unsigned my_leaf = leaf_of(cell);
   const unsigned sr = mem::subring_of(sp);
-  if (target_leaf == my_leaf || ring1_ == nullptr) {
+  if (target_leaf == my_leaf || leaf_rings_.size() == 1) {
     leaf_rings_[my_leaf]->inject(pos_of(cell), sr, std::move(done));
+    return;
+  }
+  const unsigned ard_pos = cfg_.cells_per_leaf;  // ARD interface index
+  if (multi_domain_) {
+    // Same-domain cross-leaf hop: own ring to the ARD, an analytic level-1
+    // circulation (the shared ring1 object cannot be touched from domain
+    // threads), then the target leaf ring from its ARD. Only ever called
+    // with a target inside this cell's domain.
+    sim::Engine* eng = &engine_of(domain_of_cell(cell));
+    const sim::Duration l1 =
+        static_cast<sim::Duration>(MachineConfig::kRing1Positions) *
+        cfg_.ring1_hop_ns;
+    leaf_rings_[my_leaf]->inject(
+        pos_of(cell), sr,
+        [this, eng, l1, sr, target_leaf, ard_pos,
+         done = std::move(done)](sim::Duration w1) mutable {
+          eng->in(l1, [this, sr, target_leaf, ard_pos, w1,
+                       done = std::move(done)]() mutable {
+            leaf_rings_[target_leaf]->inject(
+                ard_pos, sr, [w1, done = std::move(done)](sim::Duration w3) {
+                  done(w1 + w3);
+                });
+          });
+        });
     return;
   }
   // Three legs: my leaf ring (to our ARD), the level-1 ring, the remote
   // leaf ring — each a full circulation with its own slot acquisition.
-  const unsigned ard_pos = cfg_.cells_per_leaf;  // ARD interface index
   leaf_rings_[my_leaf]->inject(
       pos_of(cell), sr,
       [this, sr, my_leaf, target_leaf, ard_pos,
@@ -79,6 +110,25 @@ void KsrMachine::transport(unsigned cell, mem::SubPageId sp,
                   });
             });
       });
+}
+
+void KsrMachine::home_transport(unsigned from_leaf, unsigned home,
+                                mem::SubPageId sp,
+                                std::function<void(sim::Duration)> done) {
+  // Home-side arrival of a boundary-channel request: the level-1 transit
+  // from the requester's ARD (analytic circulation — see transport), then
+  // the home leaf ring entered at its ARD. Runs on the home domain's
+  // engine.
+  (void)from_leaf;
+  const unsigned ard_pos = cfg_.cells_per_leaf;
+  const unsigned sr = mem::subring_of(sp);
+  sim::Engine& eng = engine_of(cfg_.domain_of_leaf(home));
+  const sim::Duration l1 =
+      static_cast<sim::Duration>(MachineConfig::kRing1Positions) *
+      cfg_.ring1_hop_ns;
+  eng.in(l1, [this, home, sr, ard_pos, done = std::move(done)]() mutable {
+    leaf_rings_[home]->inject(ard_pos, sr, std::move(done));
+  });
 }
 
 sim::Duration KsrMachine::transaction_overhead_ns(Acquire kind,

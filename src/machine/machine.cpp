@@ -7,28 +7,40 @@
 namespace ksr::machine {
 
 sim::ParallelEngine::Config Machine::domain_plan(const MachineConfig& cfg) {
-  // Coherent machine models run as one domain until the ALLCACHE directory
-  // is distributed (docs/PARALLEL.md): invalidations commit machine-wide
-  // with zero simulated latency, so no partition of the cells satisfies
-  // the conservative engine's "cross-domain effects ride >= Δ of latency"
-  // precondition without changing the simulated protocol — and with it the
-  // pinned fingerprints. The quantum is still derived and recorded so the
-  // ROADMAP item 2 topology work can flip requested_domains() on directly.
-  if (cfg.requested_domains() > 1) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "warning: cells_per_domain=%u requests %u domains, but "
-                   "coherent machine models currently run single-domain "
-                   "(machine-global directory; see docs/PARALLEL.md)\n",
-                   cfg.cells_per_domain, cfg.requested_domains());
-    }
-  }
   sim::ParallelEngine::Config pc;
   pc.domains = 1;
   pc.threads = cfg.sim_threads;
   pc.quantum_ns = cfg.sim_quantum_ns();
+  if (cfg.requested_domains() <= 1) return pc;
+  if (!cfg.supports_partition()) {
+    static bool warned_kind = false;
+    if (!warned_kind) {
+      warned_kind = true;
+      std::fprintf(stderr,
+                   "warning: cells_per_domain=%u requests %u domains, but "
+                   "%s machines serialize on a shared medium and run "
+                   "single-domain (see docs/PARALLEL.md)\n",
+                   cfg.cells_per_domain, cfg.requested_domains(),
+                   to_string(cfg.kind));
+    }
+    return pc;
+  }
+  // Ring machines partition by whole leaf rings: a directory shard is owned
+  // by exactly one domain, so a domain boundary can never split a leaf.
+  if (cfg.cells_per_leaf != 0 && cfg.cells_per_domain % cfg.cells_per_leaf != 0) {
+    static bool warned_round = false;
+    if (!warned_round) {
+      warned_round = true;
+      std::fprintf(stderr,
+                   "warning: cells_per_domain=%u is not a multiple of "
+                   "cells_per_leaf=%u; rounding up to %u cells (%u whole "
+                   "leaf rings) per domain\n",
+                   cfg.cells_per_domain, cfg.cells_per_leaf,
+                   cfg.planned_leaves_per_domain() * cfg.cells_per_leaf,
+                   cfg.planned_leaves_per_domain());
+    }
+  }
+  pc.domains = cfg.planned_domains();
   return pc;
 }
 
@@ -40,25 +52,47 @@ void Cpu::tick_cycles(std::uint64_t n) {
   local_now_ += machine_.config().cycles(n);
 }
 
+sim::Engine& Cpu::eng() {
+  if (eng_ == nullptr) {
+    eng_ = &machine_.engine_of(machine_.domain_of_cell(id_));
+  }
+  return *eng_;
+}
+
 void Cpu::lazy_sync() {
-  sim::Engine& eng = machine_.engine();
-  if (eng.next_event_time() < local_now_) eng.wait_until(local_now_);
+  sim::Engine& e = eng();
+  if (e.next_event_time() < local_now_) {
+    e.wait_until(local_now_);
+    return;
+  }
+  // Multi-domain: a cache hit is only safe to take without yielding while
+  // the local clock stays inside the conservative quantum. Cross-domain
+  // traffic (an invalidation of the very line being spun on, say) merges
+  // into this domain's queue at the quantum barrier, and the engine can
+  // only reach that barrier when this fiber parks. Without this bound a
+  // hit-spinning fiber runs its local clock arbitrarily far ahead and
+  // never observes remote writes. The strict `>` matches the single-domain
+  // rule above: an event at exactly local_now_ is not waited for.
+  if (machine_.multi_domain() &&
+      local_now_ > machine_.parallel_engine().horizon()) {
+    e.wait_until(local_now_);
+  }
 }
 
 void Cpu::hard_sync() {
-  sim::Engine& eng = machine_.engine();
-  if (eng.now() < local_now_ || eng.next_event_time() < local_now_) {
-    eng.wait_until(local_now_);
+  sim::Engine& e = eng();
+  if (e.now() < local_now_ || e.next_event_time() < local_now_) {
+    e.wait_until(local_now_);
   }
 }
 
 void Cpu::block_until_woken() {
-  sim::Engine& eng = machine_.engine();
-  eng.block();
-  local_now_ = std::max(local_now_, eng.now());
+  sim::Engine& e = eng();
+  e.block();
+  local_now_ = std::max(local_now_, e.now());
 }
 
-void Cpu::wake_at(sim::Time t) { machine_.engine().wake(fiber_, t); }
+void Cpu::wake_at(sim::Time t) { eng().wake(fiber_, t); }
 
 void Cpu::range(mem::Sva base, std::size_t bytes, Op op) {
   if (bytes == 0) return;
@@ -80,7 +114,13 @@ RunResult Machine::run(const std::vector<Program>& programs) {
   if (programs.size() != nproc()) {
     throw std::invalid_argument("Machine::run: one program per cell required");
   }
-  const sim::Time epoch = engine_.now();
+  // Domain engines may sit at different times after a previous run; start
+  // every fiber at the latest of them so no domain is asked to schedule in
+  // its past.
+  sim::Time epoch = engine_.now();
+  for (unsigned d = 1; d < par_.domains(); ++d) {
+    epoch = std::max(epoch, par_.domain(d).now());
+  }
 
   std::vector<cache::PerfMonitor> pmon_before(nproc());
   for (unsigned i = 0; i < nproc(); ++i) pmon_before[i] = cell_pmon(i);
@@ -92,8 +132,9 @@ RunResult Machine::run(const std::vector<Program>& programs) {
   for (unsigned i = 0; i < nproc(); ++i) {
     Cpu* cpu = cpus[i].get();
     const Program* body = &programs[i];
-    const sim::FiberId fid = engine_.spawn(
-        [cpu, body] { (*body)(*cpu); }, epoch);
+    sim::Engine& eng = engine_of(domain_of_cell(i));
+    cpu->bind_engine(eng);
+    const sim::FiberId fid = eng.spawn([cpu, body] { (*body)(*cpu); }, epoch);
     cpu->begin_run(epoch, fid);
   }
   par_.run();

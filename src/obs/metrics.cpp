@@ -30,6 +30,21 @@ void MetricsRegistry::arm() {
 void MetricsRegistry::attach(machine::Machine& m, sim::Duration period_ns) {
   machine_ = &m;
   period_ = period_ns ? period_ns : kDefaultPeriodNs;
+  if (m.multi_domain()) {
+    // A periodic observer fires on one domain's thread but reads pmon and
+    // ring counters owned by every domain — a host race under the parallel
+    // engine. Multi-domain runs therefore keep only the final quiescent
+    // sample that finish() takes after the run (warned once per process).
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: metrics time series is disabled on multi-domain "
+                   "runs (cross-domain counter sampling would race); only "
+                   "the final sample is recorded\n");
+    }
+    return;
+  }
   arm();
 }
 

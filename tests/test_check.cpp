@@ -36,11 +36,11 @@ class MutableMachine : public CoherentMachine {
   }
   /// Drop a cell from the directory's copy set without touching the cell.
   void corrupt_drop_holder(unsigned cell, mem::SubPageId sp) {
-    dir_.find(sp)->holders &= ~(std::uint64_t{1} << cell);
+    dir_find(sp)->holders.clear(cell);
   }
   /// Flip the directory's atomic bit without touching any line state.
   void corrupt_set_atomic(mem::SubPageId sp, bool atomic) {
-    dir_.find(sp)->atomic = atomic;
+    dir_find(sp)->atomic = atomic;
   }
 
  protected:

@@ -66,7 +66,21 @@ TEST(MachineRun, SecondRunStartsAtLaterEpochButReportsRelativeSeconds) {
 TEST(Config, ValidationRejectsBadShapes) {
   MachineConfig c = MachineConfig::ksr1(0);
   EXPECT_THROW(c.validate(), std::invalid_argument);
+  // 65 cells is now a legal three-leaf hierarchy; the limits are derived
+  // from the topology itself (34 ARD positions on the level-1 ring).
   c = MachineConfig::ksr1(65);
+  EXPECT_NO_THROW(c.validate());
+  c = MachineConfig::ksr1(MachineConfig::kRing1Positions * 32);  // 1088
+  EXPECT_NO_THROW(c.validate());
+  c = MachineConfig::ksr1(MachineConfig::kRing1Positions * 32 + 1);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = MachineConfig::ksr1(8);
+  c.cells_per_leaf = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  // The bus/butterfly substrates keep the historical 64-cell ceiling.
+  c = MachineConfig::symmetry(65);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = MachineConfig::butterfly(65);
   EXPECT_THROW(c.validate(), std::invalid_argument);
   EXPECT_THROW((void)MachineConfig::ksr1(4).scaled_by(0),
                std::invalid_argument);

@@ -50,6 +50,13 @@ struct Options {
 // so a failure found at one thread count replays at any other.
 unsigned g_sim_threads = 1;
 
+// Ring-hierarchy shape overrides (--cells-per-leaf / --cells-per-domain,
+// docs/PARALLEL.md): 0 keeps the ksr1 preset. Multi-ring and multi-domain
+// coherent shapes exercise the sharded-directory and boundary-channel
+// paths under the checker.
+unsigned g_cells_per_leaf = 0;
+unsigned g_cells_per_domain = 0;
+
 struct RunOutcome {
   bool ok = true;
   std::string detail;             // failure diagnostic when !ok
@@ -76,6 +83,8 @@ std::unique_ptr<machine::Machine> make_fuzz_machine(std::uint64_t seed,
   if (scale > 1) cfg = cfg.scaled_by(scale);
   cfg.sched_fuzz_seed = seed;
   cfg.sim_threads = g_sim_threads;
+  if (g_cells_per_leaf != 0) cfg.cells_per_leaf = g_cells_per_leaf;
+  cfg.cells_per_domain = g_cells_per_domain;
   return machine::make_machine(cfg);
 }
 
@@ -216,7 +225,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--workload locks|barriers|is|all] [--seeds N]\n"
-      "          [--seed-base S] [--procs P] [--sim-threads T] [--verbose]\n"
+      "          [--seed-base S] [--procs P] [--sim-threads T]\n"
+      "          [--cells-per-leaf C] [--cells-per-domain D] [--verbose]\n"
       "\n"
       "Runs N consecutive schedule seeds (S, S+1, ...) of each workload on\n"
       "a KSR-1 machine with the ALLCACHE invariant checker attached.\n"
@@ -255,6 +265,16 @@ int main(int argc, char** argv) {
       if (!parse_u64(val, &t) || t > 1024) return usage(argv[0]);
       g_sim_threads = static_cast<unsigned>(t);
       ++i;
+    } else if (a == "--cells-per-leaf" && val != nullptr) {
+      std::uint64_t c = 0;
+      if (!parse_u64(val, &c) || c > 64) return usage(argv[0]);
+      g_cells_per_leaf = static_cast<unsigned>(c);
+      ++i;
+    } else if (a == "--cells-per-domain" && val != nullptr) {
+      std::uint64_t d = 0;
+      if (!parse_u64(val, &d) || d > 1088) return usage(argv[0]);
+      g_cells_per_domain = static_cast<unsigned>(d);
+      ++i;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else {
@@ -285,12 +305,19 @@ int main(int argc, char** argv) {
       audits += out.stats.audits;
       if (!out.ok) {
         ++failures;
+        std::string topo;  // non-default topology knobs, for exact replay
+        if (g_cells_per_leaf != 0) {
+          topo += " --cells-per-leaf " + std::to_string(g_cells_per_leaf);
+        }
+        if (g_cells_per_domain != 0) {
+          topo += " --cells-per-domain " + std::to_string(g_cells_per_domain);
+        }
         std::fprintf(stderr,
                      "FAIL workload=%s seed=%" PRIu64 " procs=%u\n%s\n"
                      "replay: ksrfuzz --workload %s --procs %u "
-                     "--seed-base %" PRIu64 " --seeds 1\n",
+                     "--seed-base %" PRIu64 " --seeds 1%s\n",
                      w.c_str(), seed, opt.procs, out.detail.c_str(),
-                     w.c_str(), opt.procs, seed);
+                     w.c_str(), opt.procs, seed, topo.c_str());
       } else if (opt.verbose) {
         std::fprintf(stdout,
                      "ok workload=%s seed=%" PRIu64 " procs=%u events=%" PRIu64

@@ -56,7 +56,8 @@ class Args {
         {"pad-buckets", 1},
         {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
         {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1},
-        {"fuzz-seed", 1},    {"check", 0},    {"sim-threads", 1}};
+        {"fuzz-seed", 1},    {"check", 0},    {"sim-threads", 1},
+        {"leaf-rings", 1},   {"cells-per-leaf", 1}, {"cells-per-domain", 1}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) != 0) {
@@ -194,6 +195,16 @@ machine::MachineConfig make_config(const Args& args, unsigned procs) {
   if (args.has("no-snarf")) cfg.read_snarfing = false;
   cfg.sched_fuzz_seed = args.get_u64("fuzz-seed", 0);
   cfg.sim_threads = args.get_u("sim-threads", 1);
+  // Topology overrides: shape the ring hierarchy independently of --procs
+  // (128-cell and larger machines need more than the preset's two leaves).
+  const unsigned cpl = args.get_u("cells-per-leaf", 0);
+  if (cpl != 0) cfg.cells_per_leaf = cpl;
+  const unsigned lr = args.get_u("leaf-rings", 0);
+  if (lr != 0 && cfg.cells_per_leaf != 0) {
+    // --leaf-rings is sugar: it fixes nproc = rings x cells_per_leaf.
+    cfg.nproc = lr * cfg.cells_per_leaf;
+  }
+  cfg.cells_per_domain = args.get_u("cells-per-domain", 0);
   return cfg;
 }
 
