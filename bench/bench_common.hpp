@@ -110,13 +110,23 @@ class HostMetrics {
   /// Record the per-simulation engine thread count for the [host] line.
   void set_sim_threads(unsigned n) { sim_threads_ = n; }
 
+  /// Wall-clock milliseconds a warm-start fork saved by restoring a shared
+  /// checkpoint instead of re-simulating the warm-up (docs/CHECKPOINT.md).
+  /// Calling this at all (even with 0) adds ` warm_saved_ms=` to the [host]
+  /// line; benches without a warm-start mode keep the original line.
+  void add_warm_saved_ms(std::uint64_t ms) {
+    warm_start_ = true;
+    warm_saved_ms_ += ms;
+  }
+
   ~HostMetrics() {
     const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start_);
     std::cerr << "[host] bench=" << name_ << " events_dispatched=" << events_
               << " wall_ms=" << wall.count() << " jobs=" << jobs_
-              << " sim_threads=" << sim_threads_ << " quanta=" << quanta_
-              << "\n";
+              << " sim_threads=" << sim_threads_ << " quanta=" << quanta_;
+    if (warm_start_) std::cerr << " warm_saved_ms=" << warm_saved_ms_;
+    std::cerr << "\n";
   }
 
   HostMetrics(const HostMetrics&) = delete;
@@ -129,6 +139,8 @@ class HostMetrics {
   std::uint64_t quanta_ = 0;
   unsigned jobs_ = 1;
   unsigned sim_threads_ = 1;
+  bool warm_start_ = false;
+  std::uint64_t warm_saved_ms_ = 0;
 };
 
 /// Mean barrier episode time on `m` using `kind`, over `episodes` episodes

@@ -11,7 +11,20 @@
 // would have done at full machine scale.
 //
 // One SweepRunner job per (kernel, P) run, merged in submission order.
+//
+// `--warm-start` / `--cold-start` switch the IS series to the split-phase
+// kernel (docs/CHECKPOINT.md): each P runs IS twice, prefetch on and off.
+// The two variants share an identical warm-up, so under --warm-start the
+// no-prefetch point forks from a checkpoint captured after the prefetch
+// point's warm-up instead of re-simulating it; --cold-start runs the same
+// split-phase points without forking. The two modes print byte-identical
+// tables (restore is bit-exact and preserves the events_dispatched
+// counter); --warm-start additionally reports the skipped warm-up wall time
+// as `warm_saved_ms=` on the [host] line. `--checkpoint-at P` writes each
+// donor checkpoint to <P>.p<procs>.ckpt; `--restore-from P` re-uses them,
+// skipping even the donor warm-ups.
 #include "bench_common.hpp"
+#include "ksr/ckpt/checkpoint.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/nas/cg.hpp"
 #include "ksr/nas/is.hpp"
@@ -20,9 +33,12 @@ namespace {
 
 struct Run {
   double seconds = 0.0;
+  double seconds_np = 0.0;  // split-phase modes: the no-prefetch variant
   std::uint64_t events = 0;
   std::uint64_t quanta = 0;
+  std::uint64_t saved_ms = 0;  // warm-up wall time a fork skipped
   ksr::obs::JobObs obs;
+  ksr::obs::JobObs obs_np;
 };
 
 // Partition width for the scale-out rows: whole leaf rings, at most four
@@ -51,6 +67,17 @@ int main(int argc, char** argv) {
   }
   const BenchOptions opt =
       BenchOptions::parse(static_cast<int>(args.size()), args.data());
+  if (opt.warm_start && opt.cold_start) {
+    std::cerr << "bench_fig8_speedup: --warm-start and --cold-start are "
+                 "mutually exclusive\n";
+    return 1;
+  }
+  const bool split_is = opt.warm_start || opt.cold_start;
+  if (!opt.warm_start &&
+      (!opt.checkpoint_at.empty() || !opt.restore_from.empty())) {
+    std::cerr << "warning: --checkpoint-at/--restore-from need --warm-start; "
+                 "ignored\n";
+  }
   HostMetrics host(scale_out ? "fig8_scaleout" : "fig8_speedup");
   obs::Session session = make_obs_session(
       opt, scale_out ? "fig8_scaleout" : "fig8_speedup");
@@ -99,39 +126,117 @@ int main(int argc, char** argv) {
       r.quanta = m.parallel_engine().quanta();
       return r;
     });
-    jobs.emplace_back([p, is, &session, &make_cfg] {
-      machine::KsrMachine m(make_cfg(p));
+    if (!split_is) {
+      jobs.emplace_back([p, is, &session, &make_cfg] {
+        machine::KsrMachine m(make_cfg(p));
+        Run r;
+        r.obs = session.job();
+        r.obs.attach(m);
+        r.seconds = run_is(m, is).seconds;
+        r.obs.finish();
+        r.events = m.engine().events_dispatched();
+        r.quanta = m.parallel_engine().quanta();
+        return r;
+      });
+      continue;
+    }
+    // Split-phase IS: prefetch on and off share one warm-up. Under
+    // --warm-start the second variant (and, with --restore-from, both)
+    // forks from the donor checkpoint; under --cold-start each variant
+    // re-simulates its own warm-up. Restore preserves the donor's event
+    // and quantum counters, so the two modes report identical totals.
+    jobs.emplace_back([p, is, &session, &make_cfg, &opt] {
+      nas::IsConfig is_np = is;
+      is_np.use_prefetch = false;
+      const std::string suffix = ".p" + std::to_string(p) + ".ckpt";
+      const std::string save_path =
+          opt.checkpoint_at.empty() ? "" : opt.checkpoint_at + suffix;
+      const std::string load_path =
+          opt.restore_from.empty() ? "" : opt.restore_from + suffix;
       Run r;
-      r.obs = session.job();
-      r.obs.attach(m);
-      r.seconds = run_is(m, is).seconds;
-      r.obs.finish();
-      r.events = m.engine().events_dispatched();
-      r.quanta = m.parallel_engine().quanta();
+      std::vector<std::byte> image;
+      {
+        machine::KsrMachine m(make_cfg(p));
+        r.obs = session.job();
+        r.obs.attach(m);
+        nas::IsSplit split(m, is);
+        if (!load_path.empty()) {
+          m.restore_from(load_path);
+        } else {
+          const auto w0 = std::chrono::steady_clock::now();
+          split.run_warmup();
+          if (opt.warm_start) {
+            // The fork below skips a warm-up of (approximately) this cost.
+            r.saved_ms = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - w0)
+                    .count());
+            image = m.checkpoint();
+            if (!save_path.empty()) ckpt::write_file(save_path, image);
+          }
+        }
+        r.seconds = split.run_ranked().seconds;
+        r.obs.finish();
+        r.events = m.engine().events_dispatched();
+        r.quanta = m.parallel_engine().quanta();
+      }
+      {
+        machine::KsrMachine m(make_cfg(p));
+        r.obs_np = session.job();
+        r.obs_np.attach(m);
+        nas::IsSplit split(m, is_np);
+        if (!load_path.empty()) {
+          m.restore_from(load_path);
+        } else if (opt.warm_start) {
+          m.restore(image);
+        } else {
+          split.run_warmup();
+        }
+        r.seconds_np = split.run_ranked().seconds;
+        r.obs_np.finish();
+        r.events += m.engine().events_dispatched();
+        r.quanta += m.parallel_engine().quanta();
+      }
       return r;
     });
   }
   std::vector<Run> seconds = runner.run(jobs);
 
-  std::vector<std::pair<unsigned, double>> cg_t, is_t;
+  std::vector<std::pair<unsigned, double>> cg_t, is_t, is_np_t;
   for (std::size_t i = 0; i < procs.size(); ++i) {
     host.add_events(seconds[2 * i].events + seconds[2 * i + 1].events);
     host.add_quanta(seconds[2 * i].quanta + seconds[2 * i + 1].quanta);
+    if (opt.warm_start) host.add_warm_saved_ms(seconds[2 * i + 1].saved_ms);
     if (session.active()) {
       const std::string p = std::to_string(procs[i]);
       session.collect(std::move(seconds[2 * i].obs), "cg p=" + p);
       session.collect(std::move(seconds[2 * i + 1].obs), "is p=" + p);
+      if (split_is) {
+        session.collect(std::move(seconds[2 * i + 1].obs_np),
+                        "is(no-pf) p=" + p);
+      }
     }
     cg_t.emplace_back(procs[i], seconds[2 * i].seconds);
     is_t.emplace_back(procs[i], seconds[2 * i + 1].seconds);
+    if (split_is) {
+      is_np_t.emplace_back(procs[i], seconds[2 * i + 1].seconds_np);
+    }
   }
   const auto cg_rows = study::scaling_rows(cg_t);
   const auto is_rows = study::scaling_rows(is_t);
 
-  TextTable t({"procs", "CG speedup", "IS speedup"});
+  std::vector<std::string> headers{"procs", "CG speedup", "IS speedup"};
+  if (split_is) headers.push_back("IS(no-pf) speedup");
+  TextTable t(headers);
+  const auto is_np_rows =
+      split_is ? study::scaling_rows(is_np_t)
+               : std::vector<study::ScalingRow>{};
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    t.add_row({std::to_string(procs[i]), TextTable::num(cg_rows[i].speedup, 2),
-               TextTable::num(is_rows[i].speedup, 2)});
+    std::vector<std::string> row{std::to_string(procs[i]),
+                                 TextTable::num(cg_rows[i].speedup, 2),
+                                 TextTable::num(is_rows[i].speedup, 2)};
+    if (split_is) row.push_back(TextTable::num(is_np_rows[i].speedup, 2));
+    t.add_row(std::move(row));
   }
   if (opt.csv) {
     t.print_csv();

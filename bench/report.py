@@ -25,8 +25,11 @@ Output schema (BENCH_host.json):
       "table2_is_jobs1": {...},   # serial baseline of the same binary; the
       ...                         # wall_ms ratio is the parallel speedup
       "fig8_scaleout_st1": {...}, # 128/512/1088-cell sharded-directory CG+IS
-      "fig8_scaleout_st4": {...}  # ... same machines on 4 engine threads;
-    }                             # wall_ms ratio = multi-domain speedup
+      "fig8_scaleout_st4": {...}, # ... same machines on 4 engine threads;
+                                  # wall_ms ratio = multi-domain speedup
+      "fig8_warmstart": {...,     # --warm-start sweep: IS points forked from
+        "warm_saved_ms": ...}     # warm-up checkpoints; warm_saved_ms is the
+    }                             # wall clock the forks skipped
   }
 
 Only the standard library is used.
@@ -39,11 +42,14 @@ import os
 import re
 import sys
 
-# jobs=, sim_threads= and quanta= are optional so reports can still be built
-# from pre-runner [host] lines (older binaries, older branches).
+# jobs=, sim_threads=, quanta= and warm_saved_ms= are optional so reports can
+# still be built from pre-runner [host] lines (older binaries, older
+# branches). warm_saved_ms appears only on --warm-start runs and records the
+# wall-clock the checkpoint forks saved (docs/CHECKPOINT.md).
 HOST_RE = re.compile(
     r"^\[host\] bench=(\S+) events_dispatched=(\d+) wall_ms=(\d+)"
-    r"(?: jobs=(\d+))?(?: sim_threads=(\d+))?(?: quanta=(\d+))?\s*$"
+    r"(?: jobs=(\d+))?(?: sim_threads=(\d+))?(?: quanta=(\d+))?"
+    r"(?: warm_saved_ms=(\d+))?\s*$"
 )
 
 
@@ -53,14 +59,26 @@ def parse_gbench(path: str) -> dict:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         raise SystemExit(f"report.py: bad google-benchmark json {path}: {e}")
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise SystemExit(
+            f"report.py: {path}: no 'benchmarks' array — not a "
+            f"google-benchmark --benchmark_format=json file?")
     out = {}
-    for b in data.get("benchmarks", []):
+    for b in benchmarks:
         if b.get("run_type") == "aggregate":
             continue
-        entry = {"cpu_ns": b.get("cpu_time")}
+        name = b.get("name")
+        if name is None:
+            # Fail with the offending entry rather than a bare KeyError
+            # stack trace: a truncated or hand-edited baseline should say
+            # which record is broken.
+            raise SystemExit(
+                f"report.py: {path}: benchmark entry missing the 'name' "
+                f"key: {json.dumps(b)[:200]}")
+        out[name] = entry = {"cpu_ns": b.get("cpu_time")}
         if "items_per_second" in b:
             entry["items_per_second"] = b["items_per_second"]
-        out[b["name"]] = entry
     return out
 
 
@@ -82,6 +100,8 @@ def parse_host(spec: str) -> dict:
                     entry["sim_threads"] = int(m.group(5))
                 if m.group(6) is not None:
                     entry["quanta"] = int(m.group(6))
+                if m.group(7) is not None:
+                    entry["warm_saved_ms"] = int(m.group(7))
                 return {alias or m.group(1): entry}
     raise SystemExit(f"report.py: no [host] line found in {path}")
 

@@ -27,8 +27,21 @@ class CellMask {
   static constexpr unsigned kHiWords = (kMaxCells - 64) / 64;  // 16
 
   CellMask() = default;
-  CellMask(CellMask&&) noexcept = default;
-  CellMask& operator=(CellMask&&) noexcept = default;
+
+  // Move ops leave the source empty, not half-cleared. The defaulted moves
+  // copied lo_ but nulled hi_, so a moved-from mask with high cells silently
+  // became "low cells only" — any later read (count, serialization) saw a
+  // corrupt set. FlatMap resets moved-from values, which masked the bug.
+  CellMask(CellMask&& o) noexcept : lo_(o.lo_), hi_(std::move(o.hi_)) {
+    o.lo_ = 0;
+  }
+  CellMask& operator=(CellMask&& o) noexcept {
+    if (this == &o) return *this;
+    lo_ = o.lo_;
+    hi_ = std::move(o.hi_);
+    o.lo_ = 0;
+    return *this;
+  }
 
   CellMask(const CellMask& o) : lo_(o.lo_) {
     if (o.hi_) {

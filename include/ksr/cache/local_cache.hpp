@@ -117,6 +117,28 @@ class LocalCache {
   [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
   [[nodiscard]] unsigned ways() const noexcept { return static_cast<unsigned>(ways_); }
 
+  /// --- Checkpoint support (docs/CHECKPOINT.md). ---
+  /// Positional frame access: storage order is part of machine state
+  /// (victim() prefers the first invalid way), so restore is by slot index.
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
+
+  /// Visit every frame slot in storage order as f(tag, valid, states) where
+  /// `states` is the per-sub-page LineState array.
+  template <typename F>
+  void for_each_frame(F&& f) const {
+    for (const Frame& fr : frames_) f(fr.tag, fr.valid, fr.sp);
+  }
+
+  void restore_frame(std::size_t i, mem::PageId tag, bool valid,
+                     const std::array<LineState, mem::kSubPagesPerPage>& sp) noexcept {
+    Frame& f = frames_[i];
+    f.tag = tag;
+    f.valid = valid;
+    f.sp = sp;
+  }
+
+  void restore_generation(std::uint64_t gen) noexcept { gen_ = gen; }
+
   [[nodiscard]] static std::size_t index_in_page(mem::SubPageId sp) noexcept {
     return static_cast<std::size_t>(sp % mem::kSubPagesPerPage);
   }

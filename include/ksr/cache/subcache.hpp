@@ -124,6 +124,28 @@ class SubCache {
   [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
   [[nodiscard]] unsigned ways() const noexcept { return static_cast<unsigned>(ways_); }
 
+  /// --- Checkpoint support (docs/CHECKPOINT.md). ---
+  /// Frames are exposed positionally: storage order (set-major, way-minor)
+  /// is part of machine state because victim() prefers the first invalid
+  /// way, so restore must put each frame back into the same slot.
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
+
+  /// Visit every frame slot in storage order as f(tag, present, valid).
+  template <typename F>
+  void for_each_frame(F&& f) const {
+    for (const Frame& fr : frames_) f(fr.tag, fr.present, fr.valid);
+  }
+
+  void restore_frame(std::size_t i, mem::BlockId tag, std::uint32_t present,
+                     bool valid) noexcept {
+    Frame& f = frames_[i];
+    f.tag = tag;
+    f.present = present;
+    f.valid = valid;
+  }
+
+  void restore_generation(std::uint64_t gen) noexcept { gen_ = gen; }
+
  private:
   struct Frame {
     mem::BlockId tag = 0;

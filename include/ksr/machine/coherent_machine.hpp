@@ -121,6 +121,15 @@ class CoherentMachine : public Machine {
   friend class CoherentCpu;
   friend class ::ksr::check::InvariantChecker;
 
+  /// Checkpoint hooks (docs/CHECKPOINT.md): per-cell caches, perf counters
+  /// and RNG streams, plus the sharded directory (entries serialized in
+  /// ascending SubPageId order — FlatMap iteration is hash order, which
+  /// must never leak into an image). Capture refuses while any directory
+  /// entry is inside a busy window or any cell has an in-flight prefetch.
+  void ckpt_assert_quiescent() const override;
+  void ckpt_save(ckpt::Writer& w) const override;
+  void ckpt_load(ckpt::Reader& r) override;
+
   struct Cell {
     cache::SubCache sub;
     cache::LocalCache local;

@@ -70,6 +70,13 @@ class KsrMachine final : public CoherentMachine {
   }
 
  protected:
+  /// Checkpoint hooks: the coherent core's state plus per-ring Stats.
+  /// Capture additionally requires every ring idle — no occupied slot, no
+  /// waiting injector (docs/CHECKPOINT.md).
+  void ckpt_assert_quiescent() const override;
+  void ckpt_save(ckpt::Writer& w) const override;
+  void ckpt_load(ckpt::Reader& r) override;
+
   void transport(unsigned cell, mem::SubPageId sp, unsigned target_leaf,
                  std::function<void(sim::Duration)> done) override;
   void home_transport(unsigned from_leaf, unsigned home, mem::SubPageId sp,

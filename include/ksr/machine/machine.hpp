@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -12,6 +14,11 @@
 #include "ksr/sim/engine.hpp"
 #include "ksr/sim/parallel_engine.hpp"
 #include "ksr/sim/trace.hpp"
+
+namespace ksr::ckpt {
+class Writer;
+class Reader;
+}  // namespace ksr::ckpt
 
 // The whole-machine abstraction.
 //
@@ -132,7 +139,41 @@ class Machine {
   /// the engine's observer lane.
   [[nodiscard]] virtual NetSnapshot net_snapshot() const { return {}; }
 
+  /// --- Checkpoint/restore (docs/CHECKPOINT.md). ---
+  ///
+  /// checkpoint() serializes the complete machine state — engine clocks and
+  /// tie-break seeds, heap region bytes, caches, directory, interconnect
+  /// counters — into a versioned, fingerprinted image (ksr::ckpt format).
+  /// It is only legal at a quiescent point: between run() calls, with every
+  /// domain drained, every boundary channel empty, no directory entry busy,
+  /// and every ring idle; anything else throws with a diagnostic naming the
+  /// offender, never serializing mid-flight state.
+  ///
+  /// restore() loads an image into a freshly constructed machine of the
+  /// *same configuration* (every config field is validated) whose driver
+  /// has re-issued the same alloc() calls, or whose heap is still empty
+  /// (regions are then re-allocated from the image). After restore, the
+  /// machine is bit-exact with the one that was checkpointed: subsequent
+  /// run() calls produce the same events_dispatched fingerprint, trace
+  /// bytes, and I1–I6 audit results as the uninterrupted run.
+  [[nodiscard]] std::vector<std::byte> checkpoint();
+  void restore(const std::vector<std::byte>& image);
+
+  /// File convenience wrappers around checkpoint()/restore().
+  void checkpoint_to(const std::string& path);
+  void restore_from(const std::string& path);
+
  protected:
+  /// Machine-specific quiescence veto: throw if any subsystem still holds
+  /// in-flight simulated state (busy directory entries, occupied ring
+  /// slots, pending prefetches). Called by checkpoint() after the engine-
+  /// level checks pass.
+  virtual void ckpt_assert_quiescent() const {}
+
+  /// Serialize / restore machine-specific state (caches, directory, ring
+  /// stats). Writer and reader must consume the stream in lock-step.
+  virtual void ckpt_save(ckpt::Writer& w) const { (void)w; }
+  virtual void ckpt_load(ckpt::Reader& r) { (void)r; }
   /// Construct the machine-specific Cpu for `cell`.
   virtual std::unique_ptr<Cpu> make_cpu(unsigned cell) = 0;
 

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ksr/machine/machine.hpp"
+#include "ksr/sync/barrier.hpp"
+#include "ksr/sync/padded.hpp"
 
 // NAS Integer Sort (IS) kernel (paper §3.3.2, Table 2, Figs. 8 & 9).
 //
@@ -51,5 +54,53 @@ IsResult run_is(machine::Machine& m, const IsConfig& cfg);
 
 /// The key sequence the kernel sorts (exposed for tests).
 [[nodiscard]] std::vector<std::uint32_t> make_keys(const IsConfig& cfg);
+
+/// Split-phase IS for checkpoint/warm-start flows (docs/CHECKPOINT.md).
+///
+/// The same kernel as run_is, split at the warm-up barrier: the untimed
+/// warm-up (key distribution + count zeroing) is one Machine::run(), the
+/// seven timed ranking phases are a second run(). Between the two the
+/// machine is quiescent, so a checkpoint can be captured there — or a fresh
+/// machine restored from one — and the ranking phases then replay
+/// bit-exactly in either flow. Because the split spawns two fibers per cell
+/// and uses two barrier instances, its events_dispatched fingerprint is NOT
+/// comparable with run_is's single-run fingerprint; compare split runs only
+/// with other split runs.
+///
+///   cold:  IsSplit is(m, cfg);  is.run_warmup();   auto r = is.run_ranked();
+///   fork:  IsSplit is(m, cfg);  m.restore(image);  auto r = is.run_ranked();
+///
+/// The constructor performs the complete allocation sequence — including the
+/// warm-up barrier, even though a forked machine never arrives at it — so
+/// the forked machine's heap layout matches the donor's at capture time.
+/// run_ranked() builds its own fresh barrier after the checkpoint boundary
+/// in both flows (a barrier holds host-side per-cpu episode state, so the
+/// two flows must both start the ranking phases on a brand-new instance).
+class IsSplit {
+ public:
+  IsSplit(machine::Machine& m, const IsConfig& cfg);
+
+  /// Phase A (untimed): distribute keys, zero the count arrays. Leaves the
+  /// machine at the quiescent point where checkpoints are captured.
+  void run_warmup();
+
+  /// Phase B (timed): the paper's seven ranking phases + host validation.
+  [[nodiscard]] IsResult run_ranked();
+
+ private:
+  machine::Machine& m_;
+  IsConfig cfg_;
+  std::size_t n_ = 0;
+  std::size_t nbuckets_ = 0;
+  std::size_t chunk_ints_ = 0;
+  std::vector<std::uint32_t> host_keys_;
+  std::vector<std::size_t> slot_;
+  mem::SharedArray<std::uint32_t> keys_;
+  mem::SharedArray<std::uint32_t> rank_;
+  mem::SharedArray<std::uint32_t> keyden_;
+  mem::SharedArray<std::uint32_t> keyden_t_;
+  sync::Padded<std::uint32_t> tmp_sum_;
+  std::unique_ptr<sync::Barrier> warm_barrier_;
+};
 
 }  // namespace ksr::nas

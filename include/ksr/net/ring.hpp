@@ -101,6 +101,27 @@ class SlottedRing {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = Stats{}; }
 
+  /// --- Checkpoint support (docs/CHECKPOINT.md). ---
+
+  /// True when no slot is occupied and no injector is waiting on any
+  /// position: the ring holds no in-flight simulated state. Checkpoints
+  /// require every ring to be idle (the quiescent-point rule).
+  [[nodiscard]] bool idle() const noexcept {
+    for (const SubRing& sr : subrings_) {
+      for (const std::uint8_t occ : sr.occupied) {
+        if (occ) return false;
+      }
+      for (const auto& q : sr.waiting) {
+        if (!q.empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Restore host-side counters captured by stats(). Only meaningful while
+  /// idle() — in-flight counts must be zero in any checkpointed Stats.
+  void restore_stats(const Stats& s) noexcept { stats_ = s; }
+
   /// Attach a tracer ("ring" category: inject with its slot wait, deliver).
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 

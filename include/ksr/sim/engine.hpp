@@ -143,6 +143,58 @@ class Engine {
     return KSR_HAVE_FAST_FIBERS != 0;
   }
 
+  /// --- Checkpoint support (docs/CHECKPOINT.md). ---
+
+  /// True when the engine holds no simulated state that would have to be
+  /// serialized mid-flight: no pending events or observers, and every
+  /// spawned fiber's body has returned. Between run() calls on a finished
+  /// workload this is always true; a checkpoint is only legal then.
+  [[nodiscard]] bool quiescent() const noexcept {
+    return live_fibers_ == 0 && events_.empty() && observers_.empty();
+  }
+
+  /// Clock snapshot for checkpointing: current time, insertion sequence,
+  /// and dispatched-event count. Only meaningful while quiescent().
+  struct ClockState {
+    Time now = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t dispatched = 0;
+  };
+  [[nodiscard]] ClockState clock_state() const noexcept {
+    return {now_, seq_, dispatched_};
+  }
+
+  /// Restore a clock snapshot taken by clock_state(). The engine must be
+  /// quiescent (no events to re-time); subsequent at()/spawn() calls see
+  /// the restored time and sequence, so a restored run schedules with
+  /// exactly the (time, seq) keys the uninterrupted run would have used.
+  void restore_clock_state(const ClockState& s) noexcept {
+    now_ = s.now;
+    seq_ = s.seq;
+    dispatched_ = s.dispatched;
+  }
+
+  /// Fibers ever spawned on this engine. Spawn ids are assigned from this
+  /// count, and ids continue across run() calls on a live machine — so a
+  /// restored engine must resume the same numbering.
+  [[nodiscard]] std::size_t fibers_spawned() const noexcept {
+    return fibers_.size();
+  }
+
+  /// Pad the fiber table with completed placeholders until `n` fibers have
+  /// "been spawned", so the next spawn() gets the same FiberId the
+  /// uninterrupted run would have assigned. Placeholders hold no stack and
+  /// can never be woken (wake() on a done fiber throws, as always).
+  void restore_fibers_spawned(std::size_t n) {
+    while (fibers_.size() < n) {
+      auto f = std::make_unique<Fiber>();
+      f->done = true;
+      f->engine = this;
+      f->id = static_cast<FiberId>(fibers_.size());
+      fibers_.push_back(std::move(f));
+    }
+  }
+
  private:
   struct Fiber {
     std::function<void()> body;

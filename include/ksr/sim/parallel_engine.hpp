@@ -130,6 +130,24 @@ class ParallelEngine {
   /// hashes its own insertion sequence; see Engine::set_tie_break_seed).
   void set_tie_break_seed(std::uint64_t seed) noexcept;
 
+  /// --- Checkpoint support (docs/CHECKPOINT.md). ---
+
+  /// Throw std::logic_error unless every domain is quiescent (no pending
+  /// events, observers, or live fibers) and every boundary channel is empty.
+  /// The diagnostic names the first offending domain or (src, dst) channel
+  /// and its undelivered packet count — serializing mid-flight state would
+  /// silently break the bit-exact restore contract, so capture refuses.
+  void assert_quiescent(const char* what) const;
+
+  /// Coordinator counters for checkpointing; restore only at a quiescent
+  /// point so a restored run reports the same quanta / boundary-packet
+  /// totals the uninterrupted run would.
+  void restore_counters(std::uint64_t quanta,
+                        std::uint64_t boundary_packets) noexcept {
+    quanta_ = quanta;
+    boundary_packets_ = boundary_packets;
+  }
+
  private:
   struct Packet {
     Time t;

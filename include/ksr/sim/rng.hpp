@@ -67,6 +67,15 @@ class Rng {
   /// Bernoulli draw with probability `p`.
   constexpr bool chance(double p) noexcept { return uniform() < p; }
 
+  /// Raw generator state, for checkpoint serialization (docs/CHECKPOINT.md).
+  /// Restoring the four words restores the exact output sequence.
+  constexpr void save_state(std::uint64_t out[4]) const noexcept {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  constexpr void restore_state(const std::uint64_t in[4]) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

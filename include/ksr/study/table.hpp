@@ -119,6 +119,20 @@ struct BenchOptions {
   std::size_t trace_cap = 0;  // records per job buffer; 0 = default
   unsigned sim_threads = 1;   // host threads per simulation (docs/PARALLEL.md)
 
+  // Checkpoint/warm-start flags (docs/CHECKPOINT.md). Benches that support
+  // the split-phase flow honour them; others warn and ignore:
+  //   --warm-start      sweep points sharing a warm-up prefix fork from one
+  //                     in-memory checkpoint instead of re-simulating it
+  //   --cold-start      the same split-phase sweep without forking (the
+  //                     byte-identical reference for --warm-start)
+  //   --checkpoint-at P write each donor checkpoint to <P>.p<procs>.ckpt
+  //   --restore-from P  load donor checkpoints from a previous
+  //                     --checkpoint-at run instead of simulating warm-ups
+  bool warm_start = false;
+  bool cold_start = false;
+  std::string checkpoint_at;  // donor checkpoint path prefix; empty = off
+  std::string restore_from;   // donor checkpoint path prefix; empty = off
+
   static void parse_trace_cap(BenchOptions* o, const char* s) {
     char* end = nullptr;
     errno = 0;
@@ -207,6 +221,18 @@ struct BenchOptions {
         parse_trace_cap(&o, argv[++i]);
       } else if (eq_value(a, "--trace-cap", &v)) {
         parse_trace_cap(&o, v.c_str());
+      } else if (a == "--warm-start") {
+        o.warm_start = true;
+      } else if (a == "--cold-start") {
+        o.cold_start = true;
+      } else if (a == "--checkpoint-at" && i + 1 < argc) {
+        o.checkpoint_at = argv[++i];
+      } else if (eq_value(a, "--checkpoint-at", &v)) {
+        o.checkpoint_at = v;
+      } else if (a == "--restore-from" && i + 1 < argc) {
+        o.restore_from = argv[++i];
+      } else if (eq_value(a, "--restore-from", &v)) {
+        o.restore_from = v;
       } else {
         std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
       }

@@ -227,6 +227,30 @@ assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
          "between --sim-threads 1 and 4" >&2
     exit 1
   fi
+  # Checkpoint round-trip (docs/CHECKPOINT.md): the warm-start fig8 sweep
+  # (each no-prefetch IS point forks from a checkpoint captured at the
+  # prefetch point's warm-up boundary) must print byte-identical results to
+  # the cold-start sweep that re-simulates every warm-up, and its [host]
+  # line must record the skipped warm-up wall time as warm_saved_ms=.
+  run_paper bench_fig8_speedup fig8_cold --cold-start --jobs 1 --sim-threads 1
+  run_paper bench_fig8_speedup fig8_warm --warm-start --jobs 1 --sim-threads 1
+  fpc=$(fingerprint fig8_cold)
+  fpw=$(fingerprint fig8_warm)
+  if [ -z "$fpc" ] || [ "$fpc" != "$fpw" ]; then
+    echo "bench_host.sh --check FAILED: warm-start events_dispatched differs" \
+         "from cold-start ($fpw vs $fpc)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/fig8_cold.csv" "$TMP/fig8_warm.csv"; then
+    echo "bench_host.sh --check FAILED: warm-start --csv output differs" \
+         "from cold-start (checkpoint restore is not bit-exact)" >&2
+    exit 1
+  fi
+  if ! grep -q 'warm_saved_ms=' "$TMP/fig8_warm.host"; then
+    echo "bench_host.sh --check FAILED: warm-start [host] line records no" \
+         "warm_saved_ms field" >&2
+    exit 1
+  fi
   # Host-performance gate: the simulator's hot loops must not have slowed
   # past tolerance relative to the committed BENCH_host.json baseline.
   python3 scripts/perf_gate.py --gbench "$TMP/gbench.json"
@@ -253,12 +277,17 @@ run_paper bench_table2_is table2_is_simthreads4 --jobs 1 --sim-threads 4
 run_paper bench_fig8_speedup fig8_scaleout_st1 --scale-out --jobs 1 --sim-threads 1
 run_paper bench_fig8_speedup fig8_scaleout_st4 --scale-out --jobs 1 --sim-threads 4
 
+# Warm-start fig8 (docs/CHECKPOINT.md): the IS points fork from warm-up
+# checkpoints; BENCH_host.json records the skipped wall time (warm_saved_ms).
+run_paper bench_fig8_speedup fig8_warmstart --warm-start --jobs 1 --sim-threads 1
+
 python3 bench/report.py --gbench "$TMP/gbench.json" \
   --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
   --host "table2_is_jobs1=$TMP/table2_is_jobs1.host" \
   --host "table2_is_simthreads4=$TMP/table2_is_simthreads4.host" \
   --host "fig8_scaleout_st1=$TMP/fig8_scaleout_st1.host" \
   --host "fig8_scaleout_st4=$TMP/fig8_scaleout_st4.host" \
+  --host "fig8_warmstart=$TMP/fig8_warmstart.host" \
   --mode "$([ "$QUICK" = 1 ] && echo quick || echo full)" \
   --out "$OUT"
 echo "wrote $OUT"

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "ksr/check/checker.hpp"
+#include "ksr/ckpt/checkpoint.hpp"
 
 namespace ksr::machine {
 
@@ -650,6 +651,217 @@ void CoherentMachine::reset_memory_system() {
   }
   for (auto& shard : dir_shards_) shard.clear();
   if (checker_ != nullptr) checker_->reset();
+}
+
+namespace {
+
+void save_mask(ckpt::Writer& w, const cache::CellMask& m) {
+  for (unsigned i = 0; i < 1 + cache::CellMask::kHiWords; ++i) w.u64(m.word(i));
+}
+
+void load_mask(ckpt::Reader& r, cache::CellMask& m) {
+  m.clear_all();
+  for (unsigned i = 0; i < 1 + cache::CellMask::kHiWords; ++i) {
+    std::uint64_t v = r.u64();
+    while (v != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctzll(v));
+      m.set(i * 64 + b);
+      v &= v - 1;
+    }
+  }
+}
+
+void save_pmon(ckpt::Writer& w, const cache::PerfMonitor& p) {
+  w.u64(p.subcache_hits);
+  w.u64(p.subcache_misses);
+  w.u64(p.subcache_block_allocs);
+  w.u64(p.localcache_hits);
+  w.u64(p.localcache_misses);
+  w.u64(p.page_allocs);
+  w.u64(p.pages_evicted);
+  w.u64(p.ring_requests);
+  w.u64(p.ring_nacks);
+  w.u64(p.atomic_retries);
+  w.u64(static_cast<std::uint64_t>(p.ring_time_ns));
+  w.u64(static_cast<std::uint64_t>(p.inject_wait_ns));
+  w.u64(p.invalidations_received);
+  w.u64(p.snarfs);
+  w.u64(p.prefetches_issued);
+  w.u64(p.poststores_issued);
+}
+
+void load_pmon(ckpt::Reader& r, cache::PerfMonitor& p) {
+  p.subcache_hits = r.u64();
+  p.subcache_misses = r.u64();
+  p.subcache_block_allocs = r.u64();
+  p.localcache_hits = r.u64();
+  p.localcache_misses = r.u64();
+  p.page_allocs = r.u64();
+  p.pages_evicted = r.u64();
+  p.ring_requests = r.u64();
+  p.ring_nacks = r.u64();
+  p.atomic_retries = r.u64();
+  p.ring_time_ns = static_cast<sim::Duration>(r.u64());
+  p.inject_wait_ns = static_cast<sim::Duration>(r.u64());
+  p.invalidations_received = r.u64();
+  p.snarfs = r.u64();
+  p.prefetches_issued = r.u64();
+  p.poststores_issued = r.u64();
+}
+
+void save_rng(ckpt::Writer& w, const sim::Rng& rng) {
+  std::uint64_t st[4];
+  rng.save_state(st);
+  for (const std::uint64_t word : st) w.u64(word);
+}
+
+void load_rng(ckpt::Reader& r, sim::Rng& rng) {
+  std::uint64_t st[4];
+  for (std::uint64_t& word : st) word = r.u64();
+  rng.restore_state(st);
+}
+
+}  // namespace
+
+void CoherentMachine::ckpt_assert_quiescent() const {
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].inflight_count != 0 || !cells_[c].inflight.empty()) {
+      throw std::logic_error(
+          "CoherentMachine::checkpoint: cell " + std::to_string(c) + " has " +
+          std::to_string(cells_[c].inflight_count) +
+          " in-flight prefetch(es) — capture refused; checkpoints are only "
+          "legal at a quiescent point");
+    }
+  }
+  for (std::size_t shard = 0; shard < dir_shards_.size(); ++shard) {
+    dir_shards_[shard].for_each([shard](mem::SubPageId sp, const DirEntry& e) {
+      if (e.busy) {
+        throw std::logic_error(
+            "CoherentMachine::checkpoint: directory entry for sub-page " +
+            std::to_string(sp) + " (home leaf " + std::to_string(shard) +
+            ") is inside a busy window — effects of a prior home decision "
+            "are still in flight; capture refused");
+      }
+    });
+  }
+}
+
+void CoherentMachine::ckpt_save(ckpt::Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(cells_.size()));
+  for (const Cell& c : cells_) {
+    w.u64(c.sub.frame_count());
+    c.sub.for_each_frame([&w](mem::BlockId tag, std::uint32_t present,
+                              bool valid) {
+      w.u64(tag);
+      w.u32(present);
+      w.boolean(valid);
+    });
+    w.u64(c.sub.generation());
+    w.u64(c.local.frame_count());
+    c.local.for_each_frame(
+        [&w](mem::PageId tag, bool valid,
+             const std::array<cache::LineState, mem::kSubPagesPerPage>& sp) {
+          w.u64(tag);
+          w.boolean(valid);
+          for (const cache::LineState s : sp) {
+            w.u8(static_cast<std::uint8_t>(s));
+          }
+        });
+    w.u64(c.local.generation());
+    save_pmon(w, c.pmon);
+    save_rng(w, c.rng);
+    save_rng(w, c.prog_rng);
+  }
+
+  // Directory shards: entries in ascending SubPageId order so the image is
+  // canonical regardless of FlatMap probe layout. `busy` is asserted false
+  // by ckpt_assert_quiescent and not stored.
+  w.u32(static_cast<std::uint32_t>(dir_shards_.size()));
+  std::vector<std::pair<mem::SubPageId, const DirEntry*>> entries;
+  for (const auto& shard : dir_shards_) {
+    entries.clear();
+    shard.for_each([&entries](mem::SubPageId sp, const DirEntry& e) {
+      entries.emplace_back(sp, &e);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(entries.size());
+    for (const auto& [sp, e] : entries) {
+      w.u64(sp);
+      save_mask(w, e->holders);
+      save_mask(w, e->placeholders);
+      w.i64(e->owner);
+      w.boolean(e->atomic);
+      w.u8(e->resident_leaf);
+    }
+  }
+}
+
+void CoherentMachine::ckpt_load(ckpt::Reader& r) {
+  const std::uint32_t ncells = r.u32();
+  if (ncells != cells_.size()) {
+    throw std::runtime_error("CoherentMachine::restore: checkpoint has " +
+                             std::to_string(ncells) + " cell(s), machine has " +
+                             std::to_string(cells_.size()));
+  }
+  for (Cell& c : cells_) {
+    const std::uint64_t nsub = r.u64();
+    if (nsub != c.sub.frame_count()) {
+      throw std::runtime_error(
+          "CoherentMachine::restore: sub-cache frame count mismatch");
+    }
+    for (std::size_t i = 0; i < nsub; ++i) {
+      const mem::BlockId tag = r.u64();
+      const std::uint32_t present = r.u32();
+      const bool valid = r.boolean();
+      c.sub.restore_frame(i, tag, present, valid);
+    }
+    c.sub.restore_generation(r.u64());
+    const std::uint64_t nloc = r.u64();
+    if (nloc != c.local.frame_count()) {
+      throw std::runtime_error(
+          "CoherentMachine::restore: local-cache frame count mismatch");
+    }
+    std::array<cache::LineState, mem::kSubPagesPerPage> sp{};
+    for (std::size_t i = 0; i < nloc; ++i) {
+      const mem::PageId tag = r.u64();
+      const bool valid = r.boolean();
+      for (auto& s : sp) s = static_cast<cache::LineState>(r.u8());
+      c.local.restore_frame(i, tag, valid, sp);
+    }
+    c.local.restore_generation(r.u64());
+    load_pmon(r, c.pmon);
+    load_rng(r, c.rng);
+    load_rng(r, c.prog_rng);
+    c.inflight.clear();
+    c.inflight_count = 0;
+  }
+
+  const std::uint32_t nshards = r.u32();
+  if (nshards > 0) {
+    ensure_topology();
+    if (nshards != dir_shards_.size()) {
+      throw std::runtime_error(
+          "CoherentMachine::restore: checkpoint has " +
+          std::to_string(nshards) + " directory shard(s), machine topology "
+          "has " + std::to_string(dir_shards_.size()));
+    }
+  }
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    auto& shard = dir_shards_[s];
+    shard.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const mem::SubPageId sp = r.u64();
+      DirEntry& e = shard[sp];
+      load_mask(r, e.holders);
+      load_mask(r, e.placeholders);
+      e.owner = static_cast<std::int16_t>(r.i64());
+      e.atomic = r.boolean();
+      e.busy = false;
+      e.resident_leaf = r.u8();
+    }
+  }
 }
 
 void CoherentMachine::attach_tracer(sim::Tracer* tracer) {

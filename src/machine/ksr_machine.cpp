@@ -1,12 +1,37 @@
 #include "ksr/machine/ksr_machine.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "ksr/check/checker.hpp"
+#include "ksr/ckpt/checkpoint.hpp"
 #include "ksr/sim/rng.hpp"
 
 namespace ksr::machine {
+
+namespace {
+
+void save_ring_stats(ckpt::Writer& w, const net::SlottedRing& r) {
+  const net::SlottedRing::Stats& s = r.stats();
+  w.u64(s.packets);
+  w.u64(static_cast<std::uint64_t>(s.total_inject_wait_ns));
+  w.u64(s.retries);
+  w.u64(s.max_in_flight);
+  w.u64(s.in_flight);
+}
+
+void load_ring_stats(ckpt::Reader& r, net::SlottedRing& ring) {
+  net::SlottedRing::Stats s;
+  s.packets = r.u64();
+  s.total_inject_wait_ns = static_cast<sim::Duration>(r.u64());
+  s.retries = r.u64();
+  s.max_in_flight = r.u64();
+  s.in_flight = r.u64();
+  ring.restore_stats(s);
+}
+
+}  // namespace
 
 KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
   const unsigned leaves = cfg_.leaf_rings();
@@ -58,6 +83,46 @@ void KsrMachine::attach_checker(check::InvariantChecker* checker) {
     for (auto& r : leaf_rings_) checker->add_ring(r.get());
     if (ring1_) checker->add_ring(ring1_.get());
   }
+}
+
+void KsrMachine::ckpt_assert_quiescent() const {
+  CoherentMachine::ckpt_assert_quiescent();
+  auto check = [](const net::SlottedRing& r) {
+    if (!r.idle()) {
+      throw std::logic_error(
+          "KsrMachine::checkpoint: ring " + r.name() +
+          " is not idle (occupied slot or waiting injector) — capture "
+          "refused; checkpoints are only legal at a quiescent point");
+    }
+  };
+  for (const auto& r : leaf_rings_) check(*r);
+  if (ring1_) check(*ring1_);
+}
+
+void KsrMachine::ckpt_save(ckpt::Writer& w) const {
+  CoherentMachine::ckpt_save(w);
+  w.u32(static_cast<std::uint32_t>(leaf_rings_.size()));
+  for (const auto& r : leaf_rings_) save_ring_stats(w, *r);
+  w.boolean(ring1_ != nullptr);
+  if (ring1_) save_ring_stats(w, *ring1_);
+}
+
+void KsrMachine::ckpt_load(ckpt::Reader& r) {
+  CoherentMachine::ckpt_load(r);
+  const std::uint32_t nrings = r.u32();
+  if (nrings != leaf_rings_.size()) {
+    throw std::runtime_error("KsrMachine::restore: checkpoint has " +
+                             std::to_string(nrings) +
+                             " leaf ring(s), machine has " +
+                             std::to_string(leaf_rings_.size()));
+  }
+  for (auto& ring : leaf_rings_) load_ring_stats(r, *ring);
+  const bool has_ring1 = r.boolean();
+  if (has_ring1 != (ring1_ != nullptr)) {
+    throw std::runtime_error(
+        "KsrMachine::restore: level-1 ring presence mismatch");
+  }
+  if (ring1_) load_ring_stats(r, *ring1_);
 }
 
 void KsrMachine::transport(unsigned cell, mem::SubPageId sp,

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "ksr/ckpt/checkpoint.hpp"
+
 namespace ksr::machine {
 
 sim::ParallelEngine::Config Machine::domain_plan(const MachineConfig& cfg) {
@@ -103,6 +105,174 @@ void Cpu::range(mem::Sva base, std::size_t bytes, Op op) {
     // Advance to the next sub-block boundary.
     a = (a / mem::kSubBlockBytes + 1) * mem::kSubBlockBytes;
   }
+}
+
+namespace {
+
+// The config section lists every MachineConfig field in a fixed order. On
+// restore each value is compared against the restoring machine's own config
+// — a checkpoint only makes sense on an identically configured machine, and
+// naming the first mismatched field beats diagnosing a divergent run later.
+template <typename Emit>
+void each_config_field(const MachineConfig& c, Emit&& emit) {
+  emit(static_cast<std::uint64_t>(c.kind), "kind");
+  emit(c.nproc, "nproc");
+  emit(static_cast<std::uint64_t>(c.cycle_ns), "cycle_ns");
+  emit(c.subcache_hit_cycles, "subcache_hit_cycles");
+  emit(static_cast<std::uint64_t>(c.localcache_read_ns), "localcache_read_ns");
+  emit(static_cast<std::uint64_t>(c.localcache_write_ns), "localcache_write_ns");
+  emit(static_cast<std::uint64_t>(c.block_alloc_ns), "block_alloc_ns");
+  emit(static_cast<std::uint64_t>(c.page_alloc_ns), "page_alloc_ns");
+  emit(c.cells_per_leaf, "cells_per_leaf");
+  emit(c.ring_slots_per_subring, "ring_slots_per_subring");
+  emit(static_cast<std::uint64_t>(c.ring_hop_ns), "ring_hop_ns");
+  emit(static_cast<std::uint64_t>(c.ring_fixed_ns), "ring_fixed_ns");
+  emit(c.ring1_slots_per_subring, "ring1_slots_per_subring");
+  emit(static_cast<std::uint64_t>(c.ring1_hop_ns), "ring1_hop_ns");
+  emit(static_cast<std::uint64_t>(c.ard_crossing_ns), "ard_crossing_ns");
+  emit(c.subcache.capacity_bytes, "subcache.capacity_bytes");
+  emit(c.subcache.ways, "subcache.ways");
+  emit(c.localcache.capacity_bytes, "localcache.capacity_bytes");
+  emit(c.localcache.ways, "localcache.ways");
+  emit(c.read_snarfing ? 1u : 0u, "read_snarfing");
+  emit(c.has_prefetch ? 1u : 0u, "has_prefetch");
+  emit(c.has_poststore ? 1u : 0u, "has_poststore");
+  emit(c.prefetch_depth, "prefetch_depth");
+  emit(static_cast<std::uint64_t>(c.atomic_backoff_ns), "atomic_backoff_ns");
+  emit(static_cast<std::uint64_t>(c.local_atomic_ns), "local_atomic_ns");
+  emit(c.sim_threads, "sim_threads");
+  emit(c.cells_per_domain, "cells_per_domain");
+  emit(c.sched_fuzz_seed, "sched_fuzz_seed");
+  emit(static_cast<std::uint64_t>(c.bus_transaction_ns), "bus_transaction_ns");
+  emit(static_cast<std::uint64_t>(c.bus_overhead_ns), "bus_overhead_ns");
+  emit(static_cast<std::uint64_t>(c.butterfly_link_ns), "butterfly_link_ns");
+  emit(static_cast<std::uint64_t>(c.butterfly_memory_ns), "butterfly_memory_ns");
+  emit(static_cast<std::uint64_t>(c.butterfly_local_ns), "butterfly_local_ns");
+}
+
+}  // namespace
+
+std::vector<std::byte> Machine::checkpoint() {
+  par_.assert_quiescent("Machine::checkpoint");
+  ckpt_assert_quiescent();
+
+  ckpt::Writer w;
+  each_config_field(cfg_, [&w](std::uint64_t v, const char*) { w.u64(v); });
+
+  // Engine clocks: one record per domain, then the coordinator counters.
+  // fibers_spawned keeps FiberId numbering continuous across the restore —
+  // ids assigned by the next run() must match the uninterrupted machine's.
+  w.u32(par_.domains());
+  for (unsigned d = 0; d < par_.domains(); ++d) {
+    const sim::Engine::ClockState cs = par_.domain(d).clock_state();
+    w.u64(cs.now);
+    w.u64(cs.seq);
+    w.u64(cs.dispatched);
+    w.u64(par_.domain(d).fibers_spawned());
+  }
+  w.u64(par_.quanta());
+  w.u64(par_.boundary_packets());
+
+  // Heap regions in allocation order: geometry plus the raw data bytes.
+  w.u64(heap_.region_count());
+  for (std::size_t i = 0; i < heap_.region_count(); ++i) {
+    const mem::Region& reg = heap_.region(i);
+    w.u64(reg.base);
+    w.u64(reg.bytes);
+    w.str(reg.name);
+    w.bytes(reg.data.get(), reg.bytes);
+  }
+
+  ckpt_save(w);
+  return w.seal();
+}
+
+void Machine::restore(const std::vector<std::byte>& image) {
+  par_.assert_quiescent("Machine::restore");
+  ckpt_assert_quiescent();
+
+  ckpt::Reader r = ckpt::open(image);
+  each_config_field(cfg_, [&r](std::uint64_t have, const char* field) {
+    const std::uint64_t want = r.u64();
+    if (want != have) {
+      throw std::runtime_error(
+          "Machine::restore: config mismatch on " + std::string(field) +
+          " (checkpoint " + std::to_string(want) + ", this machine " +
+          std::to_string(have) + ") — restore needs an identically "
+          "configured machine");
+    }
+  });
+
+  const std::uint32_t ndom = r.u32();
+  if (ndom != par_.domains()) {
+    throw std::runtime_error("Machine::restore: checkpoint has " +
+                             std::to_string(ndom) + " domain(s), machine has " +
+                             std::to_string(par_.domains()));
+  }
+  for (unsigned d = 0; d < par_.domains(); ++d) {
+    sim::Engine::ClockState cs;
+    cs.now = r.u64();
+    cs.seq = r.u64();
+    cs.dispatched = r.u64();
+    par_.domain(d).restore_clock_state(cs);
+    par_.domain(d).restore_fibers_spawned(
+        static_cast<std::size_t>(r.u64()));
+  }
+  const std::uint64_t quanta = r.u64();
+  const std::uint64_t boundary = r.u64();
+  par_.restore_counters(quanta, boundary);
+
+  // Heap: the restoring machine's regions must be a prefix of the image's
+  // (same bases, sizes, names — the driver re-issued its alloc() calls, or
+  // issued none). Existing regions are overwritten in place so live
+  // SharedArray handles stay valid; missing ones are re-allocated, which
+  // reproduces the same bases because allocation is bump-pointer.
+  const std::uint64_t nregions = r.u64();
+  if (heap_.region_count() > nregions) {
+    throw std::runtime_error(
+        "Machine::restore: machine has " +
+        std::to_string(heap_.region_count()) + " heap region(s), checkpoint " +
+        std::to_string(nregions) + " — the driver allocated more than the "
+        "checkpointed machine ever did");
+  }
+  for (std::uint64_t i = 0; i < nregions; ++i) {
+    const std::uint64_t base = r.u64();
+    const std::uint64_t bytes = r.u64();
+    const std::string name = r.str();
+    const mem::Region* reg;
+    if (i < heap_.region_count()) {
+      reg = &heap_.region(static_cast<std::size_t>(i));
+      if (reg->base != base || reg->bytes != bytes || reg->name != name) {
+        throw std::runtime_error(
+            "Machine::restore: heap region " + std::to_string(i) +
+            " mismatch — checkpoint has '" + name + "' (base " +
+            std::to_string(base) + ", " + std::to_string(bytes) +
+            " bytes), machine has '" + reg->name + "' (base " +
+            std::to_string(reg->base) + ", " + std::to_string(reg->bytes) +
+            " bytes); the driver must re-issue the same alloc() sequence");
+      }
+    } else {
+      reg = &heap_.alloc(static_cast<std::size_t>(bytes), name);
+      if (reg->base != base) {
+        throw std::runtime_error(
+            "Machine::restore: re-allocated region '" + name + "' at base " +
+            std::to_string(reg->base) + ", checkpoint expects " +
+            std::to_string(base));
+      }
+    }
+    r.bytes(reg->data.get(), static_cast<std::size_t>(bytes));
+  }
+
+  ckpt_load(r);
+  r.expect_end();
+}
+
+void Machine::checkpoint_to(const std::string& path) {
+  ckpt::write_file(path, checkpoint());
+}
+
+void Machine::restore_from(const std::string& path) {
+  restore(ckpt::read_file(path));
 }
 
 RunResult Machine::run(const Program& program) {

@@ -40,6 +40,34 @@ void ParallelEngine::set_tie_break_seed(std::uint64_t seed) noexcept {
   for (auto& eng : engines_) eng->set_tie_break_seed(seed);
 }
 
+void ParallelEngine::assert_quiescent(const char* what) const {
+  for (unsigned d = 0; d < domains(); ++d) {
+    if (!engines_[d]->quiescent()) {
+      throw std::logic_error(
+          std::string(what) + ": domain " + std::to_string(d) +
+          " is not quiescent (" + std::to_string(engines_[d]->live_fibers()) +
+          " live fiber(s), next event at " +
+          (engines_[d]->next_event_time() == kNever
+               ? std::string("<none>")
+               : std::to_string(engines_[d]->next_event_time())) +
+          "ns) — checkpoints are only legal between run() calls");
+    }
+  }
+  const unsigned d_count = domains();
+  for (unsigned src = 0; src < d_count; ++src) {
+    for (unsigned dst = 0; dst < d_count; ++dst) {
+      const auto& q = channels_[src * d_count + dst].q;
+      if (!q.empty()) {
+        throw std::logic_error(
+            std::string(what) + ": boundary channel " + std::to_string(src) +
+            "->" + std::to_string(dst) + " holds " + std::to_string(q.size()) +
+            " undelivered packet(s) (earliest t=" + std::to_string(q.front().t) +
+            "ns) — capture refused; drain all channels before checkpointing");
+      }
+    }
+  }
+}
+
 std::uint64_t ParallelEngine::events_dispatched() const noexcept {
   std::uint64_t n = 0;
   for (const auto& eng : engines_) n += eng->events_dispatched();

@@ -78,6 +78,63 @@ TEST(CellMask, SoleHolderTestsAcrossWords) {
   EXPECT_FALSE(m.intersects_except(lo, 2));
 }
 
+// Regression: the defaulted move ops copied the inline word 0 but stole the
+// overflow array, so a moved-from mask with only low cells still *read* as
+// its old low set while a mask with high cells became "low cells only" in
+// the destination's source. Moves must leave the source empty.
+TEST(CellMask, MoveLeavesSourceEmpty) {
+  CellMask m;
+  m.set(3);
+  m.set(63);
+  m.set(64);
+  m.set(1087);
+  CellMask moved(std::move(m));
+  EXPECT_EQ(moved.to_string(), "{3,63,64,1087}");
+  EXPECT_TRUE(m.none());  // NOLINT(bugprone-use-after-move): that's the test
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.first_set(), -1);
+
+  CellMask assigned;
+  assigned.set(9);  // pre-existing content must be fully replaced
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.to_string(), "{3,63,64,1087}");
+  EXPECT_TRUE(moved.none());  // NOLINT(bugprone-use-after-move)
+
+  // Self-move must not clear the mask.
+  CellMask& alias = assigned;
+  assigned = std::move(alias);
+  EXPECT_EQ(assigned.to_string(), "{3,63,64,1087}");
+
+  // A low-cells-only mask (no overflow allocation) moves the same way.
+  CellMask lo;
+  lo.set(0);
+  lo.set(63);
+  CellMask lo2(std::move(lo));
+  EXPECT_EQ(lo2.count(), 2u);
+  EXPECT_TRUE(lo.none());  // NOLINT(bugprone-use-after-move)
+}
+
+// The exact word-boundary extents: 63 is the last inline bit, 64 the first
+// overflow bit, 1087 (kMaxCells - 1) the last legal cell.
+TEST(CellMask, WordBoundaryExtents) {
+  CellMask m;
+  m.set(63);
+  EXPECT_TRUE(m.test(63));
+  EXPECT_FALSE(m.test(64));
+  EXPECT_EQ(m.word0(), std::uint64_t{1} << 63);
+  m.set(64);
+  EXPECT_TRUE(m.test(64));
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_TRUE(m.none_except(63) == false && m.none_except(64) == false);
+  m.clear(63);
+  EXPECT_EQ(m.first_set(), 64);
+  m.clear(64);
+  EXPECT_TRUE(m.none());
+  m.set(CellMask::kMaxCells - 1);
+  EXPECT_EQ(m.first_set(), static_cast<int>(CellMask::kMaxCells - 1));
+  EXPECT_TRUE(m.none_except(CellMask::kMaxCells - 1));
+}
+
 TEST(CellMask, SetAlgebra) {
   CellMask a;
   a.set(1);

@@ -57,10 +57,21 @@ unsigned g_sim_threads = 1;
 unsigned g_cells_per_leaf = 0;
 unsigned g_cells_per_domain = 0;
 
+// Checkpointing for the IS workload (docs/CHECKPOINT.md). --checkpoint-at P
+// switches IS to the split-phase kernel and writes <P>.s<seed>.ckpt at the
+// warm-up boundary of every seed; a FAIL replay line then includes
+// --restore-from so the violating schedule replays from just before the
+// contended ranking phases instead of from cold. --restore-from FILE skips
+// the warm-up by restoring (same --procs/--sim-threads/seed required; use
+// with --seeds 1).
+std::string g_checkpoint_at;
+std::string g_restore_from;
+
 struct RunOutcome {
   bool ok = true;
   std::string detail;             // failure diagnostic when !ok
   std::uint64_t events = 0;       // engine events dispatched (determinism)
+  std::string ckpt_file;          // checkpoint written by this run, if any
   check::InvariantChecker::Stats stats;
 };
 
@@ -199,13 +210,34 @@ RunOutcome run_is(std::uint64_t seed, unsigned procs) {
   cfg.log2_buckets = 7;
 
   try {
-    const nas::IsResult res = nas::run_is(*m, cfg);
+    nas::IsResult res;
+    if (!g_checkpoint_at.empty() || !g_restore_from.empty()) {
+      // Split-phase flow: checkpoint (or restore) at the warm-up boundary,
+      // then run the contended ranking phases.
+      nas::IsSplit split(*m, cfg);
+      if (!g_restore_from.empty()) {
+        m->restore_from(g_restore_from);
+      } else {
+        split.run_warmup();
+        out.ckpt_file = g_checkpoint_at + ".s" + std::to_string(seed) +
+                        ".ckpt";
+        m->checkpoint_to(out.ckpt_file);
+      }
+      res = split.run_ranked();
+    } else {
+      res = nas::run_is(*m, cfg);
+    }
     if (!res.ranks_valid) {
       out.ok = false;
       out.detail = "semantic: IS full_verify failed (ranks out of order)";
     }
     checker.audit_all();
   } catch (const check::ViolationError& e) {
+    out.ok = false;
+    out.detail = e.what();
+  } catch (const std::exception& e) {
+    // Checkpoint I/O or restore validation failure — report, don't abort
+    // the whole seed sweep.
     out.ok = false;
     out.detail = e.what();
   }
@@ -227,6 +259,7 @@ int usage(const char* argv0) {
       "usage: %s [--workload locks|barriers|is|all] [--seeds N]\n"
       "          [--seed-base S] [--procs P] [--sim-threads T]\n"
       "          [--cells-per-leaf C] [--cells-per-domain D] [--verbose]\n"
+      "          [--checkpoint-at PREFIX] [--restore-from FILE]\n"
       "\n"
       "Runs N consecutive schedule seeds (S, S+1, ...) of each workload on\n"
       "a KSR-1 machine with the ALLCACHE invariant checker attached.\n"
@@ -234,7 +267,14 @@ int usage(const char* argv0) {
       "every nonzero seed is a distinct, exactly reproducible schedule.\n"
       "\n"
       "Replay a failure: --workload <w> --procs <p> --seed-base <seed> "
-      "--seeds 1\n",
+      "--seeds 1\n"
+      "\n"
+      "--checkpoint-at PREFIX switches the IS workload to the split-phase\n"
+      "kernel and writes PREFIX.s<seed>.ckpt at each seed's warm-up\n"
+      "boundary; a FAIL replay line then includes --restore-from so the\n"
+      "violating schedule replays from just before the contended phases.\n"
+      "--restore-from FILE restores instead of warming up (same --procs /\n"
+      "--sim-threads / seed as the capture; use --seeds 1).\n",
       argv0);
   return 2;
 }
@@ -275,6 +315,12 @@ int main(int argc, char** argv) {
       if (!parse_u64(val, &d) || d > 1088) return usage(argv[0]);
       g_cells_per_domain = static_cast<unsigned>(d);
       ++i;
+    } else if (a == "--checkpoint-at" && val != nullptr) {
+      g_checkpoint_at = val;
+      ++i;
+    } else if (a == "--restore-from" && val != nullptr) {
+      g_restore_from = val;
+      ++i;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else {
@@ -311,6 +357,11 @@ int main(int argc, char** argv) {
         }
         if (g_cells_per_domain != 0) {
           topo += " --cells-per-domain " + std::to_string(g_cells_per_domain);
+        }
+        if (!out.ckpt_file.empty()) {
+          // Replay from just before the contended phases: the checkpoint
+          // captured at this seed's warm-up boundary.
+          topo += " --restore-from " + out.ckpt_file;
         }
         std::fprintf(stderr,
                      "FAIL workload=%s seed=%" PRIu64 " procs=%u\n%s\n"

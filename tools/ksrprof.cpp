@@ -17,6 +17,7 @@
 // Region names come from the `# region ...` footers the session CSV writes;
 // a raw tracer dump has none, so sub-pages print as bare ids. All output is
 // integer-math only: byte-identical across hosts for the same trace.
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -60,11 +61,36 @@ struct ParsedCsv {
   }
 }
 
-[[nodiscard]] std::uint64_t to_u64(const std::string& s) {
-  return std::strtoull(s.c_str(), nullptr, 10);
+/// strtoull warn-and-fallback parse (the pattern ksrsim/ksrfuzz use):
+/// malformed, partial, or overflowing numeric fields warn on stderr and
+/// parse as `def` instead of silently truncating at the first bad byte.
+[[nodiscard]] std::uint64_t to_u64(const std::string& s,
+                                   std::uint64_t def = 0) {
+  const char* c = s.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(c, &end, 10);
+  if (s.empty() || end == c || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "ksrprof: warning: invalid numeric field '%s'; using %llu\n",
+                 s.c_str(), static_cast<unsigned long long>(def));
+    return def;
+  }
+  return v;
 }
-[[nodiscard]] std::int64_t to_i64(const std::string& s) {
-  return std::strtoll(s.c_str(), nullptr, 10);
+[[nodiscard]] std::int64_t to_i64(const std::string& s,
+                                  std::int64_t def = 0) {
+  const char* c = s.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(c, &end, 10);
+  if (s.empty() || end == c || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "ksrprof: warning: invalid numeric field '%s'; using %lld\n",
+                 s.c_str(), static_cast<long long>(def));
+    return def;
+  }
+  return v;
 }
 
 /// "key=value" lookup inside a comment footer. The value runs to the next
@@ -175,9 +201,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--top" && i + 1 < argc) {
-      ropt.top_n = static_cast<std::size_t>(to_u64(argv[++i]));
+      ropt.top_n = static_cast<std::size_t>(to_u64(argv[++i], ropt.top_n));
     } else if (a.rfind("--top=", 0) == 0) {
-      ropt.top_n = static_cast<std::size_t>(to_u64(a.substr(6)));
+      ropt.top_n = static_cast<std::size_t>(to_u64(a.substr(6), ropt.top_n));
     } else if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a.rfind("--out=", 0) == 0) {

@@ -57,7 +57,8 @@ class Args {
         {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
         {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1},
         {"fuzz-seed", 1},    {"check", 0},    {"sim-threads", 1},
-        {"leaf-rings", 1},   {"cells-per-leaf", 1}, {"cells-per-domain", 1}};
+        {"leaf-rings", 1},   {"cells-per-leaf", 1}, {"cells-per-domain", 1},
+        {"checkpoint-at", 1}, {"restore-from", 1}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) != 0) {
@@ -439,7 +440,27 @@ KernelRun run_kernel_once(const obs::Session& session, const Args& args,
     c.log2_keys = args.get_u("log2-keys", 15);
     c.log2_buckets = args.get_u("log2-buckets", 10);
     c.pad_buckets = args.has("pad-buckets");
-    r.seconds = run_is(*m, c).seconds;
+    const std::string save = args.get("checkpoint-at");
+    const std::string load = args.get("restore-from");
+    if (!save.empty() || !load.empty()) {
+      // Split-phase flow (docs/CHECKPOINT.md): capture a checkpoint at the
+      // warm-up boundary, or skip the warm-up entirely by restoring one.
+      // The restoring invocation must pass the same machine flags
+      // (--procs/--scale/--sim-threads/...) as the capturing one.
+      nas::IsSplit split(*m, c);
+      if (!load.empty()) {
+        m->restore_from(load);
+      } else {
+        split.run_warmup();
+        m->checkpoint_to(save);
+        std::cerr << "checkpoint written to " << save << " ("
+                  << m->engine().events_dispatched()
+                  << " events at capture)\n";
+      }
+      r.seconds = split.run_ranked().seconds;
+    } else {
+      r.seconds = run_is(*m, c).seconds;
+    }
   } else if (name == "sp") {
     nas::SpConfig c;
     c.n = args.get_u("n", 16);
@@ -454,6 +475,11 @@ KernelRun run_kernel_once(const obs::Session& session, const Args& args,
     r.seconds = run_bt(*m, c).total_seconds;
   } else {
     throw std::runtime_error("unknown kernel '" + name + "'");
+  }
+  if (name != "is" &&
+      (args.has("checkpoint-at") || args.has("restore-from"))) {
+    std::cerr << "warning: --checkpoint-at/--restore-from only apply to "
+                 "--name is (the split-phase kernel); ignored\n";
   }
   r.obs.finish();
   return r;
@@ -474,6 +500,16 @@ int cmd_kernel(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   const std::string name = args.get("name", "cg");
+  if (args.has("checkpoint-at") || args.has("restore-from")) {
+    // Every sweep point has a different machine config, and a checkpoint
+    // only restores onto the exact capturing config; one shared path would
+    // either be overwritten per point or refuse every restore.
+    std::cerr << "ksrsim sweep: --checkpoint-at/--restore-from are "
+                 "kernel-command flags (one machine per file); use "
+                 "`ksrsim kernel --name is` or bench_fig8_speedup "
+                 "--warm-start for checkpointed sweeps\n";
+    return 1;
+  }
   const std::vector<unsigned> procs =
       args.get_list("procs", {1, 2, 4, 8, 16});
   // Every processor count is an independent simulation: shard them over
@@ -564,7 +600,15 @@ int cmd_help() {
       "kernel size flags: --log2-pairs (ep), --n/--nnz-per-row/--iters (cg),\n"
       "  --log2-keys/--log2-buckets (is, --pad-buckets pads per-cpu bucket\n"
       "  portions to sub-page boundaries), --n/--iters/--no-padding/\n"
-      "  --no-prefetch (sp), --n/--iters (bt)");
+      "  --no-prefetch (sp), --n/--iters (bt)\n"
+      "\n"
+      "checkpointing (kernel --name is only; docs/CHECKPOINT.md):\n"
+      "  --checkpoint-at FILE  run the split-phase IS kernel and write a\n"
+      "                        checkpoint of the quiesced machine at the\n"
+      "                        warm-up boundary before the timed phases\n"
+      "  --restore-from FILE   skip the warm-up: restore the machine from a\n"
+      "                        checkpoint (same machine flags required) and\n"
+      "                        run the timed phases bit-exactly");
   return 0;
 }
 
