@@ -34,6 +34,7 @@ inline obs::Session make_obs_session(const BenchOptions& o,
   s.trace_out = o.trace_out;
   s.metrics_csv = o.metrics_csv;
   s.report = o.report;
+  s.topo_report = o.topo_report;
   if (o.trace_cap != 0) s.trace_capacity = o.trace_cap;
   return obs::Session(std::move(s), name);
 }

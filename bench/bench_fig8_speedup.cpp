@@ -37,9 +37,33 @@ struct Run {
   std::uint64_t events = 0;
   std::uint64_t quanta = 0;
   std::uint64_t saved_ms = 0;  // warm-up wall time a fork skipped
+  // Scale-out point telemetry (--scale-out only): fuels the per-point
+  // `[host] point` stderr lines that report.py folds into BENCH_host.json.
+  std::uint64_t barrier_wait_ppm = 0;   // host wall clock (self-profiler)
+  std::uint64_t ring_util_ppm_l0 = 0;   // peak leaf-ring slot utilization
+  std::uint64_t ring_util_ppm_l1 = 0;   // level-1 ring (0 when analytic)
+  int hot_shard = -1;                   // hottest home leaf; -1 = no shards
+  std::uint64_t hot_shard_requests = 0;
   ksr::obs::JobObs obs;
   ksr::obs::JobObs obs_np;
 };
+
+// Snapshot the integer topology telemetry while the machine is still alive
+// (jobs destroy their machine before merging). The ring-utilization and
+// shard numbers are simulated/deterministic; barrier_wait_ppm is the host
+// self-profiler's wall-clock fraction and varies run to run — all of it
+// stays on stderr, never in the byte-stable tables.
+void capture_point(Run& r, ksr::machine::KsrMachine& m) {
+  ksr::obs::topo::Snapshot s;
+  m.topo_snapshot(s);
+  r.ring_util_ppm_l0 = ksr::obs::topo::peak_util_ppm(s, 0);
+  r.ring_util_ppm_l1 = ksr::obs::topo::peak_util_ppm(s, 1);
+  if (const ksr::obs::topo::ShardUse* h = ksr::obs::topo::hottest_shard(s)) {
+    r.hot_shard = static_cast<int>(h->home_leaf);
+    r.hot_shard_requests = h->requests;
+  }
+  r.barrier_wait_ppm = m.parallel_engine().host_profile().barrier_wait_ppm();
+}
 
 // Partition width for the scale-out rows: whole leaf rings, at most four
 // domains (cells_per_domain = 0 leaves small machines single-domain).
@@ -115,7 +139,7 @@ int main(int argc, char** argv) {
   std::vector<std::function<Run()>> jobs;
   jobs.reserve(2 * procs.size());
   for (unsigned p : procs) {
-    jobs.emplace_back([p, cg, &session, &make_cfg] {
+    jobs.emplace_back([p, cg, scale_out, &session, &make_cfg] {
       machine::KsrMachine m(make_cfg(p));
       Run r;
       r.obs = session.job();
@@ -124,10 +148,11 @@ int main(int argc, char** argv) {
       r.obs.finish();
       r.events = m.engine().events_dispatched();
       r.quanta = m.parallel_engine().quanta();
+      if (scale_out) capture_point(r, m);
       return r;
     });
     if (!split_is) {
-      jobs.emplace_back([p, is, &session, &make_cfg] {
+      jobs.emplace_back([p, is, scale_out, &session, &make_cfg] {
         machine::KsrMachine m(make_cfg(p));
         Run r;
         r.obs = session.job();
@@ -136,6 +161,7 @@ int main(int argc, char** argv) {
         r.obs.finish();
         r.events = m.engine().events_dispatched();
         r.quanta = m.parallel_engine().quanta();
+        if (scale_out) capture_point(r, m);
         return r;
       });
       continue;
@@ -145,7 +171,7 @@ int main(int argc, char** argv) {
     // forks from the donor checkpoint; under --cold-start each variant
     // re-simulates its own warm-up. Restore preserves the donor's event
     // and quantum counters, so the two modes report identical totals.
-    jobs.emplace_back([p, is, &session, &make_cfg, &opt] {
+    jobs.emplace_back([p, is, scale_out, &session, &make_cfg, &opt] {
       nas::IsConfig is_np = is;
       is_np.use_prefetch = false;
       const std::string suffix = ".p" + std::to_string(p) + ".ckpt";
@@ -179,6 +205,7 @@ int main(int argc, char** argv) {
         r.obs.finish();
         r.events = m.engine().events_dispatched();
         r.quanta = m.parallel_engine().quanta();
+        if (scale_out) capture_point(r, m);
       }
       {
         machine::KsrMachine m(make_cfg(p));
@@ -202,10 +229,25 @@ int main(int argc, char** argv) {
   }
   std::vector<Run> seconds = runner.run(jobs);
 
+  // Per-point scale-out telemetry, machine-parsable like the [host] bench
+  // line: report.py folds these into BENCH_host.json under "points".
+  auto point_line = [scale_out](const char* kernel, unsigned p, const Run& r) {
+    if (!scale_out) return;
+    std::cerr << "[host] point bench=fig8_scaleout kernel=" << kernel
+              << " procs=" << p << " quanta=" << r.quanta
+              << " barrier_wait_ppm=" << r.barrier_wait_ppm
+              << " ring_util_ppm_l0=" << r.ring_util_ppm_l0
+              << " ring_util_ppm_l1=" << r.ring_util_ppm_l1
+              << " hot_shard=" << r.hot_shard
+              << " hot_shard_requests=" << r.hot_shard_requests << "\n";
+  };
+
   std::vector<std::pair<unsigned, double>> cg_t, is_t, is_np_t;
   for (std::size_t i = 0; i < procs.size(); ++i) {
     host.add_events(seconds[2 * i].events + seconds[2 * i + 1].events);
     host.add_quanta(seconds[2 * i].quanta + seconds[2 * i + 1].quanta);
+    point_line("cg", procs[i], seconds[2 * i]);
+    point_line("is", procs[i], seconds[2 * i + 1]);
     if (opt.warm_start) host.add_warm_saved_ms(seconds[2 * i + 1].saved_ms);
     if (session.active()) {
       const std::string p = std::to_string(procs[i]);

@@ -24,7 +24,12 @@ Output schema (BENCH_host.json):
                     "sim_threads": ..., "quanta": ...},
       "table2_is_jobs1": {...},   # serial baseline of the same binary; the
       ...                         # wall_ms ratio is the parallel speedup
-      "fig8_scaleout_st1": {...}, # 128/512/1088-cell sharded-directory CG+IS
+      "fig8_scaleout_st1": {...,  # 128/512/1088-cell sharded-directory CG+IS
+        "points": {               # per-(kernel, procs) scale-out telemetry
+          "cg_p128": {"quanta": ..., "barrier_wait_ppm": ...,
+                      "ring_util_ppm_l0": ..., "ring_util_ppm_l1": ...,
+                      "hot_shard": ..., "hot_shard_requests": ...},
+          ...}},
       "fig8_scaleout_st4": {...}, # ... same machines on 4 engine threads;
                                   # wall_ms ratio = multi-domain speedup
       "fig8_warmstart": {...,     # --warm-start sweep: IS points forked from
@@ -50,6 +55,16 @@ HOST_RE = re.compile(
     r"^\[host\] bench=(\S+) events_dispatched=(\d+) wall_ms=(\d+)"
     r"(?: jobs=(\d+))?(?: sim_threads=(\d+))?(?: quanta=(\d+))?"
     r"(?: warm_saved_ms=(\d+))?\s*$"
+)
+
+# Per-point scale-out telemetry (bench_fig8_speedup --scale-out): one line
+# per (kernel, procs) with the quantum-barrier wait fraction (host wall
+# clock, ppm), peak per-level ring utilization (simulated, ppm) and the
+# hottest directory shard. hot_shard is -1 on single-leaf points.
+POINT_RE = re.compile(
+    r"^\[host\] point bench=(\S+) kernel=(\S+) procs=(\d+) quanta=(\d+)"
+    r" barrier_wait_ppm=(\d+) ring_util_ppm_l0=(\d+) ring_util_ppm_l1=(\d+)"
+    r" hot_shard=(-?\d+) hot_shard_requests=(\d+)\s*$"
 )
 
 
@@ -86,10 +101,25 @@ def parse_host(spec: str) -> dict:
     alias, sep, path = spec.partition("=")
     if not sep:
         alias, path = "", spec
+    entry = None
+    name = None
+    points = {}
     with open(path, encoding="utf-8") as f:
         for line in f:
-            m = HOST_RE.match(line.strip())
+            m = POINT_RE.match(line.strip())
             if m:
+                points[f"{m.group(2)}_p{m.group(3)}"] = {
+                    "quanta": int(m.group(4)),
+                    "barrier_wait_ppm": int(m.group(5)),
+                    "ring_util_ppm_l0": int(m.group(6)),
+                    "ring_util_ppm_l1": int(m.group(7)),
+                    "hot_shard": int(m.group(8)),
+                    "hot_shard_requests": int(m.group(9)),
+                }
+                continue
+            m = HOST_RE.match(line.strip())
+            if m and entry is None:
+                name = alias or m.group(1)
                 entry = {
                     "events_dispatched": int(m.group(2)),
                     "wall_ms": int(m.group(3)),
@@ -102,8 +132,11 @@ def parse_host(spec: str) -> dict:
                     entry["quanta"] = int(m.group(6))
                 if m.group(7) is not None:
                     entry["warm_saved_ms"] = int(m.group(7))
-                return {alias or m.group(1): entry}
-    raise SystemExit(f"report.py: no [host] line found in {path}")
+    if entry is None:
+        raise SystemExit(f"report.py: no [host] line found in {path}")
+    if points:
+        entry["points"] = points
+    return {name: entry}
 
 
 def main() -> int:

@@ -95,11 +95,9 @@ class CoherentMachine : public Machine {
                   : static_cast<unsigned>(mem::page_of_subpage(sp) % n);
   }
 
-  /// Tracing is per-machine single-writer state; a multi-domain run has
-  /// several engine threads committing transitions, so attaching a tracer
-  /// there is refused with a one-time warning (trace single-domain runs —
-  /// they are protocol-identical per domain count, not across modes).
-  void attach_tracer(sim::Tracer* tracer) override;
+  /// Per-home-leaf directory-shard pressure + per-domain ring counters
+  /// (base Machine fills the domain plan; see docs/OBSERVABILITY.md).
+  void topo_snapshot(obs::topo::Snapshot& s) const override;
 
   /// Attach an invariant checker (docs/CHECKING.md). In a -DKSR_CHECK=ON
   /// build the machine reports every committed coherence transition to it;
@@ -302,8 +300,31 @@ class CoherentMachine : public Machine {
   void on_page_evicted(unsigned cell, mem::PageId page);
   void invalidate_at(unsigned cell, mem::SubPageId sp);
 
+  /// Lifetime request counters for one directory shard (observability only:
+  /// never checkpointed, never read by the protocol). Mutated exclusively on
+  /// the home domain's thread — single-domain commits and mode-B decisions
+  /// both run there — so the counts are pure simulated data, identical at
+  /// any --sim-threads. `hot` counts requests per sub-page (hash order;
+  /// topo_snapshot sorts before reporting).
+  struct ShardStats {
+    std::uint64_t requests = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t busy_ns = 0;  // Σ busy-window length (mode B only)
+    cache::FlatMap<mem::SubPageId, std::uint64_t> hot;
+  };
+
+  /// Count one acquire arriving at `sp`'s home shard.
+  void shard_note(mem::SubPageId sp, bool granted) {
+    ShardStats& st = shard_stats_[home_leaf(sp)];
+    ++st.requests;
+    ++(granted ? st.grants : st.nacks);
+    ++st.hot[sp];
+  }
+
   std::vector<Cell> cells_;
   std::vector<cache::FlatMap<mem::SubPageId, DirEntry>> dir_shards_;
+  std::vector<ShardStats> shard_stats_;  // [leaf_count()], by home leaf
   std::vector<cache::CellMask> leaf_masks_;
   bool multi_domain_ = false;
   check::InvariantChecker* checker_ = nullptr;

@@ -44,10 +44,13 @@ class KsrMachine final : public CoherentMachine {
   [[nodiscard]] net::SlottedRing* level1_ring() noexcept { return ring1_.get(); }
 
   void attach_tracer(sim::Tracer* tracer) override {
-    // The base refuses tracers on multi-domain runs; mirror whatever it
-    // kept onto the rings.
-    CoherentMachine::attach_tracer(tracer);
-    for (auto& r : leaf_rings_) r->set_tracer(tracer_);
+    // The base builds per-domain shards on multi-domain machines; each ring
+    // logs to its owning domain's tracer so every record is written by the
+    // thread advancing that ring's engine.
+    Machine::attach_tracer(tracer);
+    for (unsigned l = 0; l < leaf_rings_.size(); ++l) {
+      leaf_rings_[l]->set_tracer(tracer_of(domain_of_leaf(l)));
+    }
     if (ring1_) ring1_->set_tracer(tracer_);
   }
 
@@ -56,18 +59,25 @@ class KsrMachine final : public CoherentMachine {
 
   [[nodiscard]] NetSnapshot net_snapshot() const override {
     NetSnapshot s;
-    auto fold = [&s](const net::SlottedRing& r) {
-      const net::SlottedRing::Stats& st = r.stats();
-      s.in_flight += st.in_flight;
-      s.slots += r.slot_count();
-      s.packets += st.packets;
-      s.retries += st.retries;
-      s.inject_wait_ns += st.total_inject_wait_ns;
-    };
-    for (const auto& r : leaf_rings_) fold(*r);
-    if (ring1_) fold(*ring1_);
+    for (const auto& r : leaf_rings_) fold_ring(s, *r);
+    if (ring1_) fold_ring(s, *ring1_);
     return s;
   }
+
+  /// Domain-local slice: only the leaf rings owned by domain `d` (the
+  /// level-1 ring exists single-domain only and belongs to domain 0).
+  [[nodiscard]] NetSnapshot net_snapshot_of(unsigned d) const override {
+    if (!multi_domain()) return d == 0 ? net_snapshot() : NetSnapshot{};
+    NetSnapshot s;
+    for (unsigned l = 0; l < leaf_rings_.size(); ++l) {
+      if (domain_of_leaf(l) == d) fold_ring(s, *leaf_rings_[l]);
+    }
+    return s;
+  }
+
+  /// Per-ring slot utilization + the leaf-to-leaf traffic matrix, on top of
+  /// the coherent core's shard table and the base's domain plan.
+  void topo_snapshot(obs::topo::Snapshot& s) const override;
 
  protected:
   /// Checkpoint hooks: the coherent core's state plus per-ring Stats.
@@ -85,8 +95,25 @@ class KsrMachine final : public CoherentMachine {
       Acquire kind, bool crossed_leaf) const override;
 
  private:
+  [[nodiscard]] unsigned domain_of_leaf(unsigned leaf) const noexcept {
+    return multi_domain() ? cfg_.domain_of_leaf(leaf) : 0;
+  }
+
+  static void fold_ring(NetSnapshot& s, const net::SlottedRing& r) noexcept {
+    const net::SlottedRing::Stats& st = r.stats();
+    s.in_flight += st.in_flight;
+    s.slots += r.slot_count();
+    s.packets += st.packets;
+    s.retries += st.retries;
+    s.inject_wait_ns += st.total_inject_wait_ns;
+  }
+
   std::vector<std::unique_ptr<net::SlottedRing>> leaf_rings_;
   std::unique_ptr<net::SlottedRing> ring1_;
+  // Leaf-to-leaf transport counts (row-major src×dst), sharded one matrix
+  // per domain so each is written only by its domain's thread;
+  // topo_snapshot folds them. Observability only — never checkpointed.
+  std::vector<std::vector<std::uint64_t>> traffic_shards_;
 };
 
 }  // namespace ksr::machine

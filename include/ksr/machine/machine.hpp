@@ -11,6 +11,7 @@
 #include "ksr/machine/config.hpp"
 #include "ksr/machine/cpu.hpp"
 #include "ksr/mem/heap.hpp"
+#include "ksr/obs/topo.hpp"
 #include "ksr/sim/engine.hpp"
 #include "ksr/sim/parallel_engine.hpp"
 #include "ksr/sim/trace.hpp"
@@ -130,14 +131,54 @@ class Machine {
 
   /// Attach (or detach with nullptr) a structured event tracer. The
   /// coherence engine and interconnects log to it; hot paths pay only a
-  /// null test when no tracer is attached.
-  virtual void attach_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  /// null test when no tracer is attached. On a multi-domain machine the
+  /// base implementation also builds one private shard per extra domain
+  /// (mode B observer lane): each domain's components log to their own
+  /// shard on their own thread, and run() merges every shard back into the
+  /// attached tracer in (time, domain, append) order at the end — so the
+  /// merged buffer is bit-identical at any --sim-threads. Shards clone the
+  /// attached tracer's capacity and category mask; they rely on the builtin
+  /// category/event ids, so runtime-interned custom names must only be
+  /// logged through the primary tracer (host-side region markers do).
+  virtual void attach_tracer(sim::Tracer* tracer);
   [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// The tracer domain `d`'s components must log to: the attached tracer
+  /// for domain 0 (and for single-domain machines), domain d's private
+  /// shard otherwise. Null whenever no tracer is attached.
+  [[nodiscard]] sim::Tracer* tracer_of(unsigned d) const noexcept {
+    if (d == 0 || tracer_shards_.empty()) return tracer_;
+    return tracer_shards_[d - 1].get();
+  }
+
+  /// Shorthand for tracer_of(domain_of_cell(cell)) — the sync primitives
+  /// and per-cpu stall sites log through this so a record is always written
+  /// by the thread advancing the logging cell's domain.
+  [[nodiscard]] sim::Tracer* tracer_for_cell(unsigned cell) const noexcept {
+    return tracer_of(domain_of_cell(cell));
+  }
 
   /// Instantaneous interconnect counters (see NetSnapshot). Read-only and
   /// side-effect free, so the obs::MetricsRegistry sampler may call it from
   /// the engine's observer lane.
   [[nodiscard]] virtual NetSnapshot net_snapshot() const { return {}; }
+
+  /// Domain-local slice of net_snapshot(): only interconnect owned by
+  /// domain `d` (its leaf rings). The mode-B metrics sampler calls this
+  /// from domain d's observer lane, so it must touch no other domain's
+  /// state. Default: everything is domain 0's.
+  [[nodiscard]] virtual NetSnapshot net_snapshot_of(unsigned d) const {
+    return d == 0 ? net_snapshot() : NetSnapshot{};
+  }
+
+  /// Fill `s` with this machine's topology counters (docs/OBSERVABILITY.md).
+  /// The base contributes the domain plan: domain count, quantum width and —
+  /// on multi-domain machines only, where the quantum loop actually runs —
+  /// quanta, boundary packets and per-channel stats. Subclasses add rings,
+  /// the traffic matrix and directory-shard pressure. Integer simulated
+  /// data only: the rendered report is byte-identical across hosts, --jobs
+  /// and --sim-threads.
+  virtual void topo_snapshot(obs::topo::Snapshot& s) const;
 
   /// --- Checkpoint/restore (docs/CHECKPOINT.md). ---
   ///
@@ -191,11 +232,19 @@ class Machine {
   [[nodiscard]] static sim::ParallelEngine::Config domain_plan(
       const MachineConfig& cfg);
 
+  /// Fold every per-domain tracer shard back into the attached tracer in
+  /// (time, domain, append) order. run() calls this after the engines
+  /// drain; idempotent (shards are left empty).
+  void merge_tracer_shards();
+
   MachineConfig cfg_;
   sim::ParallelEngine par_;
   sim::Engine& engine_;  // = par_.domain(0); keeps subclass call sites flat
   mem::Heap heap_;
   sim::Tracer* tracer_ = nullptr;
+  // Mode-B observer shards for domains 1..D-1 (domain 0 logs straight to
+  // tracer_); empty on single-domain machines or with no tracer attached.
+  std::vector<std::unique_ptr<obs::Tracer>> tracer_shards_;
 };
 
 }  // namespace ksr::machine

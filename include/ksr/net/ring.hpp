@@ -92,6 +92,13 @@ class SlottedRing {
     std::uint64_t retries = 0;       // failed slot-grab attempts
     std::uint64_t max_in_flight = 0;
     std::uint64_t in_flight = 0;
+    // Slot-occupancy integral ∫ in_flight dt (slot·ns), maintained at every
+    // in_flight transition; busy_slot_ns / (slot_count · elapsed) is the
+    // mean slot utilization the topo report prints. These two fields are
+    // host-side observability only — the frozen 5-field checkpoint format
+    // (docs/CHECKPOINT.md) neither saves nor restores them.
+    std::uint64_t busy_slot_ns = 0;
+    sim::Time last_change_ns = 0;
     [[nodiscard]] double mean_wait_ns() const noexcept {
       return packets ? static_cast<double>(total_inject_wait_ns) /
                            static_cast<double>(packets)

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "ksr/obs/tracer.hpp"
 
@@ -37,15 +38,30 @@ class ChromeTraceWriter {
   ChromeTraceWriter(const ChromeTraceWriter&) = delete;
   ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
 
+  /// Per-cell topology annotation for multi-leaf machines: index = cell id.
+  struct CellTopo {
+    unsigned leaf = 0;
+    unsigned domain = 0;
+  };
+
   /// Emit every retained record of `t` as one process track named
   /// `process_name`. Returns the pid assigned.
   int add_process(const Tracer& t, std::string_view process_name);
+
+  /// Same, with leaf-ring grouping: a cell track whose actor id indexes
+  /// `cells` is named "cell N (leaf L, dom D)" and sorted by leaf ring, so
+  /// Perfetto shows one contiguous band per leaf instead of a flat
+  /// 1088-track list.
+  int add_process(const Tracer& t, std::string_view process_name,
+                  const std::vector<CellTopo>& cells);
 
   /// Write the closing bracket. Idempotent.
   void finish();
 
  private:
   void event_prefix();
+  int add_process_impl(const Tracer& t, std::string_view process_name,
+                       const std::vector<CellTopo>* cells);
 
   std::ostream& os_;
   int next_pid_ = 0;

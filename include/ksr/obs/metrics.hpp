@@ -20,10 +20,13 @@
 // event queue or events_dispatched()).
 namespace ksr::obs {
 
-/// One point of the interval time series.
+/// One point of the interval time series. Single-domain samples cover the
+/// whole machine (domain == 0); multi-domain samples cover one domain's
+/// cells and rings only, taken on that domain's own engine (mode B).
 struct MetricsSample {
   sim::Time t = 0;
-  cache::PerfMonitor pmon;        // cumulative, summed over all cells
+  unsigned domain = 0;
+  cache::PerfMonitor pmon;        // cumulative, summed over covered cells
   machine::NetSnapshot net;       // cumulative + instantaneous ring state
 };
 
@@ -36,7 +39,11 @@ class MetricsRegistry {
 
   /// Start sampling `m` every `period_ns` of simulated time. Call before
   /// Machine::run(); the sampling chain ends with the run. A registry
-  /// observes exactly one machine.
+  /// observes exactly one machine. On a multi-domain machine (mode B) one
+  /// observer chain runs per domain, on that domain's engine, reading only
+  /// domain-owned state (its cells' pmon + its rings) — no cross-domain
+  /// read, no host race, and the merged series is bit-identical at any
+  /// --sim-threads because every sample is (simulated time, domain)-keyed.
   void attach(machine::Machine& m, sim::Duration period_ns = kDefaultPeriodNs);
 
   /// Take the final sample at the machine's current simulated time (the
@@ -51,17 +58,24 @@ class MetricsRegistry {
   /// Interval time series as CSV: per-interval deltas of the interconnect
   /// counters plus instantaneous slot utilization. `label`, when non-empty,
   /// is prepended as a first "job" column (the SweepRunner merge format);
-  /// `header` controls whether the header row is emitted.
+  /// `header` controls whether the header row is emitted. Single-domain
+  /// output is byte-identical to the seed format; multi-domain output adds
+  /// a `domain` column after time_ns, with deltas tracked per domain lane.
   void write_csv(std::ostream& os, std::string_view label = {},
                  bool header = true) const;
 
  private:
   void sample_now();
   void arm();
+  void sample_domain(unsigned d);
+  void arm_domain(unsigned d);
 
   machine::Machine* machine_ = nullptr;
   sim::Duration period_ = kDefaultPeriodNs;
-  std::vector<MetricsSample> samples_;
+  bool multi_ = false;
+  unsigned domains_ = 1;
+  std::vector<MetricsSample> samples_;  // mode A; mode B merged at finish()
+  std::vector<std::vector<MetricsSample>> domain_samples_;  // mode B, per d
 };
 
 }  // namespace ksr::obs

@@ -12,6 +12,7 @@
 #include "ksr/obs/analyze.hpp"
 #include "ksr/obs/export.hpp"
 #include "ksr/obs/metrics.hpp"
+#include "ksr/obs/topo.hpp"
 #include "ksr/obs/tracer.hpp"
 
 // Observability wiring shared by the bench binaries and ksrsim.
@@ -36,6 +37,8 @@ struct SessionOptions {
   std::string metrics_csv;     // metrics time-series path; empty = off
   std::string report;          // ksrprof profile report path; empty = off
                                // (implies trace capture, not trace output)
+  std::string topo_report;     // topology report path; empty = off. Also
+                               // writes "<path>.matrix.csv" (traffic heatmap)
   sim::Duration metrics_period_ns = MetricsRegistry::kDefaultPeriodNs;
   // Per-job record capacity (40 B each). Overflow is counted, not silent.
   // Overridable via --trace-cap.
@@ -58,10 +61,11 @@ class JobObs {
     machine_ = &m;
   }
 
-  /// Take the final metrics sample and snapshot the heap's region map (the
+  /// Take the final metrics sample, snapshot the heap's region map (the
   /// job's allocations happen after attach(), so name resolution for
-  /// reports and offline analysis must wait until the job is done). Call
-  /// after the last run(), while the machine is still alive.
+  /// reports and offline analysis must wait until the job is done) and,
+  /// when topo reporting or tracing is on, the machine's topo::Snapshot.
+  /// Call after the last run(), while the machine is still alive.
   void finish() {
     if (metrics_) metrics_->finish();
     if (machine_ != nullptr && tracer_) {
@@ -72,6 +76,20 @@ class JobObs {
         regions_.push_back({r.base, r.bytes, r.name});
       }
     }
+    if (machine_ != nullptr && (topo_wanted_ || tracer_)) {
+      machine_->topo_snapshot(topo_);
+      has_topo_ = true;
+      // Per-cell (leaf, domain) for the Chrome exporter's leaf-ring
+      // grouping; only worth emitting on a multi-leaf machine (single-leaf
+      // traces keep the seed's exact byte layout).
+      if (tracer_ && topo_.leaves > 1 && topo_.cells_per_leaf > 0) {
+        cells_.resize(machine_->nproc());
+        for (unsigned c = 0; c < machine_->nproc(); ++c) {
+          cells_[c].leaf = c / topo_.cells_per_leaf;
+          cells_[c].domain = machine_->domain_of_cell(c);
+        }
+      }
+    }
     machine_ = nullptr;
   }
 
@@ -79,14 +97,20 @@ class JobObs {
   [[nodiscard]] const std::vector<RegionSpan>& regions() const noexcept {
     return regions_;
   }
+  [[nodiscard]] const topo::Snapshot& topo() const noexcept { return topo_; }
+  [[nodiscard]] bool has_topo() const noexcept { return has_topo_; }
 
  private:
   friend class Session;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::vector<RegionSpan> regions_;
+  topo::Snapshot topo_;
+  std::vector<ChromeTraceWriter::CellTopo> cells_;
   machine::Machine* machine_ = nullptr;
   sim::Duration period_ = MetricsRegistry::kDefaultPeriodNs;
+  bool topo_wanted_ = false;
+  bool has_topo_ = false;
 };
 
 class Session {
@@ -104,8 +128,11 @@ class Session {
   [[nodiscard]] bool reporting() const noexcept {
     return !opt_.report.empty();
   }
+  [[nodiscard]] bool topo_reporting() const noexcept {
+    return !opt_.topo_report.empty();
+  }
   [[nodiscard]] bool active() const noexcept {
-    return tracing() || metrics() || reporting();
+    return tracing() || metrics() || reporting() || topo_reporting();
   }
 
   /// Create the observability handle for one job. Thread-safe in the trivial
@@ -130,9 +157,12 @@ class Session {
   std::ofstream trace_os_;
   std::ofstream metrics_os_;
   std::ofstream report_os_;
+  std::ofstream topo_os_;
+  std::ofstream matrix_os_;
   std::unique_ptr<ChromeTraceWriter> writer_;  // JSON mode
   bool trace_header_done_ = false;             // CSV mode
   bool metrics_header_done_ = false;
+  bool matrix_header_done_ = false;
   std::uint64_t total_events_ = 0;
   std::uint64_t total_dropped_ = 0;
   std::size_t jobs_collected_ = 0;

@@ -109,6 +109,20 @@ class Tracer {
            std::uint64_t subject, std::uint64_t actor,
            std::int64_t detail = 0, std::uint32_t aux = 0);
 
+  /// Append an already-filtered record verbatim (no category mask test).
+  /// Used by the multi-domain shard merge: the source shard applied the
+  /// mask when the record was first logged.
+  void append(const Record& r) noexcept {
+    if (size_ == cap_) {
+      ++dropped_;
+      return;
+    }
+    records_[size_++] = r;
+  }
+
+  /// Fold another buffer's drop count into this one (shard merge).
+  void add_dropped(std::uint64_t n) noexcept { dropped_ += n; }
+
   [[nodiscard]] const Record* begin() const noexcept { return records_.get(); }
   [[nodiscard]] const Record* end() const noexcept {
     return records_.get() + size_;
@@ -144,6 +158,10 @@ class Tracer {
   /// filter can be installed before any custom category is first logged.
   void set_enabled_categories(std::string_view csv);
   void enable_all_categories() noexcept { mask_ = ~0ull; }
+  /// Raw mask accessors, so a multi-domain machine can clone the attached
+  /// tracer's filter onto its per-domain shards.
+  [[nodiscard]] std::uint64_t enabled_mask() const noexcept { return mask_; }
+  void set_enabled_mask(std::uint64_t m) noexcept { mask_ = m; }
   [[nodiscard]] bool category_enabled(std::uint16_t cat) const noexcept {
     return ((mask_ >> mask_bit(cat)) & 1u) != 0;
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -126,6 +127,55 @@ class ParallelEngine {
     return boundary_packets_;
   }
 
+  /// Per-(src,dst) boundary-channel lifetime counters, maintained by the
+  /// coordinator at every barrier merge — pure simulated data, so the
+  /// values are bit-identical at any thread count. The slack histogram
+  /// buckets (packet time − merge horizon) / Δ, clamped to the last bucket:
+  /// bucket 0 = delivery in the immediately following quantum.
+  struct ChannelStats {
+    std::uint64_t packets = 0;
+    std::uint64_t max_per_quantum = 0;  // peak packets in one barrier merge
+    std::array<std::uint64_t, 8> slack_hist{};
+  };
+  /// Indexed [src * domains() + dst]; empty stats when domains() == 1.
+  [[nodiscard]] const std::vector<ChannelStats>& channel_stats()
+      const noexcept {
+    return channel_stats_;
+  }
+
+  /// Host-side (wall-clock) parallel self-profiler. Unlike channel_stats(),
+  /// these numbers vary run to run — they feed the [host] stderr line and
+  /// BENCH_host.json only, never a byte-stable report file.
+  struct HostProfile {
+    unsigned threads = 1;
+    std::uint64_t quanta = 0;
+    std::uint64_t phase_wall_ns = 0;    // Σ per-quantum phase wall clock
+    std::uint64_t barrier_wait_ns = 0;  // Σ per-slot idle at quantum barriers
+    std::vector<std::uint64_t> domain_wall_ns;    // Σ run_until wall per domain
+    std::vector<std::uint64_t> critical_quanta;   // quanta this domain was
+                                                  // the slowest (critical path)
+    /// Fraction of pool capacity spent waiting at quantum barriers, in parts
+    /// per million: barrier_wait_ns / (threads · phase_wall_ns).
+    [[nodiscard]] std::uint64_t barrier_wait_ppm() const noexcept {
+      const std::uint64_t den = static_cast<std::uint64_t>(threads) *
+                                phase_wall_ns;
+      if (den == 0) return 0;
+      return static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(barrier_wait_ns) * 1'000'000u) /
+          den);
+    }
+    /// Domain with the most critical quanta (ties: lowest index); 0 when no
+    /// quanta ran.
+    [[nodiscard]] unsigned critical_domain() const noexcept {
+      unsigned best = 0;
+      for (unsigned d = 1; d < critical_quanta.size(); ++d) {
+        if (critical_quanta[d] > critical_quanta[best]) best = d;
+      }
+      return best;
+    }
+  };
+  [[nodiscard]] HostProfile host_profile() const;
+
   /// Forward the schedule-fuzz tie-break seed to every domain (each domain
   /// hashes its own insertion sequence; see Engine::set_tie_break_seed).
   void set_tie_break_seed(std::uint64_t seed) noexcept;
@@ -183,9 +233,22 @@ class ParallelEngine {
   unsigned threads_ = 1;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<Channel> channels_;  // [src * domains + dst]
+  std::vector<ChannelStats> channel_stats_;  // same indexing
   std::vector<std::exception_ptr> domain_errors_;
   std::uint64_t quanta_ = 0;
   std::uint64_t boundary_packets_ = 0;
+
+  // Self-profiler state. Per-quantum scratch (slot_wall_ns_,
+  // quantum_domain_wall_ns_) is written by the one thread advancing that
+  // slot/domain during the phase and read by the coordinator after the
+  // barrier (the arrived_ mutex hand-off publishes it); totals are
+  // coordinator-only.
+  std::vector<std::uint64_t> slot_wall_ns_;           // [threads_] scratch
+  std::vector<std::uint64_t> quantum_domain_wall_ns_; // [domains] scratch
+  std::vector<std::uint64_t> domain_wall_ns_;         // [domains] totals
+  std::vector<std::uint64_t> critical_quanta_;        // [domains] totals
+  std::uint64_t phase_wall_ns_ = 0;
+  std::uint64_t barrier_wait_ns_ = 0;
 
   // Worker pool (lazy: only a multi-threaded run() starts it). Coordinator
   // and workers rendezvous on an epoch counter: bumping epoch_ releases

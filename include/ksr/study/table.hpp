@@ -98,11 +98,14 @@ class TextTable {
 /// Chrome/Perfetto trace events, .csv = merged CSV; default
 /// <bench>_trace.json), `--trace-cap N` sizes the per-job record buffer
 /// (default 2^18; overflow is counted, never silent), `--metrics-csv FILE`
-/// writes the sampled machine-wide metrics time series, and `--report FILE`
+/// writes the sampled machine-wide metrics time series, `--report FILE`
 /// writes a ksrprof simulated-time profile (sharing patterns, sync critical
-/// paths, stall attribution — no trace file needed). None of these change
-/// simulated timing or the events_dispatched fingerprints — enforced by
-/// test and bench_host.sh.
+/// paths, stall attribution — no trace file needed), and `--topo-report FILE`
+/// writes the byte-stable topology report (per-level ring utilization,
+/// directory-shard pressure, boundary channels, leaf-to-leaf traffic; plus
+/// FILE.matrix.csv, the heatmap CSV). None of these change simulated timing
+/// or the events_dispatched fingerprints — enforced by test and
+/// bench_host.sh.
 ///
 /// Unrecognized arguments warn on stderr (fail-soft: a typo like `--job=4`
 /// must not silently run with defaults).
@@ -116,6 +119,7 @@ struct BenchOptions {
   std::string trace_out;    // trace output path; empty = default
   std::string metrics_csv;  // metrics time-series path; empty = off
   std::string report;       // ksrprof profile report path; empty = off
+  std::string topo_report;  // topology report path; empty = off
   std::size_t trace_cap = 0;  // records per job buffer; 0 = default
   unsigned sim_threads = 1;   // host threads per simulation (docs/PARALLEL.md)
 
@@ -217,6 +221,10 @@ struct BenchOptions {
         o.report = argv[++i];
       } else if (eq_value(a, "--report", &v)) {
         o.report = v;
+      } else if (a == "--topo-report" && i + 1 < argc) {
+        o.topo_report = argv[++i];
+      } else if (eq_value(a, "--topo-report", &v)) {
+        o.topo_report = v;
       } else if (a == "--trace-cap" && i + 1 < argc) {
         parse_trace_cap(&o, argv[++i]);
       } else if (eq_value(a, "--trace-cap", &v)) {

@@ -74,7 +74,7 @@ class Barrier {
   /// episode number, detail of the depart = episode duration in ns); with no
   /// tracer attached this is one null test around do_arrive().
   void arrive(machine::Cpu& cpu) {
-    obs::Tracer* tr = cpu.machine().tracer();
+    obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id());
     if (tr == nullptr) {
       do_arrive(cpu);
       return;

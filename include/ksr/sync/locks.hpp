@@ -18,7 +18,7 @@ class HardwareLock {
       : word_(m, name, 1) {}
 
   void acquire(machine::Cpu& cpu) {
-    obs::Tracer* tr = cpu.machine().tracer();
+    obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id());
     if (tr == nullptr) {
       cpu.get_subpage(word_.addr(0));
       return;
@@ -31,7 +31,7 @@ class HardwareLock {
   }
   void release(machine::Cpu& cpu) {
     cpu.release_subpage(word_.addr(0));
-    if (obs::Tracer* tr = cpu.machine().tracer()) {
+    if (obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id())) {
       tr->log(cpu.now(), obs::kCatSync, obs::kEvLockRelease, 0, cpu.id());
     }
   }

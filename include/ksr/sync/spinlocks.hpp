@@ -59,7 +59,7 @@ class SpinLock {
   /// (start of the attempt) and lock-acquired (lock held; detail = wait ns);
   /// release logs lock-release. Without one, a single null test each.
   void acquire(machine::Cpu& cpu) {
-    obs::Tracer* tr = cpu.machine().tracer();
+    obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id());
     if (tr == nullptr) {
       do_acquire(cpu);
       return;
@@ -73,7 +73,7 @@ class SpinLock {
 
   void release(machine::Cpu& cpu) {
     do_release(cpu);
-    if (obs::Tracer* tr = cpu.machine().tracer()) {
+    if (obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id())) {
       tr->log(cpu.now(), obs::kCatSync, obs::kEvLockRelease, 0, cpu.id());
     }
   }

@@ -251,6 +251,68 @@ assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
          "warm_saved_ms field" >&2
     exit 1
   fi
+  # Topology-report determinism (docs/OBSERVABILITY.md): --topo-report must
+  # not perturb the fingerprint or the --csv stream, and the report bytes
+  # must be identical across --jobs counts (every field is a simulated
+  # integer, merged in submission order).
+  run_paper bench_table2_is table2_is_topo_j1 --jobs 1 \
+    "--topo-report=$TMP/topo_j1.txt"
+  run_paper bench_table2_is table2_is_topo_j4 --jobs 4 \
+    "--topo-report=$TMP/topo_j4.txt"
+  fptopo=$(fingerprint table2_is_topo_j1)
+  if [ -z "$fptopo" ] || [ "$fpj1" != "$fptopo" ]; then
+    echo "bench_host.sh --check FAILED: events_dispatched changes when" \
+         "--topo-report is on ($fpj1 vs $fptopo)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/table2_is_j1.csv" "$TMP/table2_is_topo_j1.csv"; then
+    echo "bench_host.sh --check FAILED: --csv output changes when" \
+         "--topo-report is on" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/topo_j1.txt" "$TMP/topo_j4.txt"; then
+    echo "bench_host.sh --check FAILED: topo report differs between" \
+         "--jobs 1 and --jobs 4" >&2
+    exit 1
+  fi
+  if ! grep -q '^## topology' "$TMP/topo_j1.txt"; then
+    echo "bench_host.sh --check FAILED: topo report has no topology" \
+         "section" >&2
+    exit 1
+  fi
+  # ... and across --sim-threads on the multi-domain scale-out machines,
+  # including the traffic-heatmap CSV and the boundary-channel section that
+  # only a multi-domain run can produce.
+  run_paper bench_fig8_speedup scaleout_topo_st1 --scale-out --jobs 1 \
+    --sim-threads 1 "--topo-report=$TMP/topo_st1.txt"
+  run_paper bench_fig8_speedup scaleout_topo_st4 --scale-out --jobs 1 \
+    --sim-threads 4 "--topo-report=$TMP/topo_st4.txt"
+  fpsot1=$(fingerprint scaleout_topo_st1)
+  if [ -z "$fpsot1" ] || [ "$fpso1" != "$fpsot1" ]; then
+    echo "bench_host.sh --check FAILED: scale-out events_dispatched changes" \
+         "when --topo-report is on ($fpso1 vs $fpsot1)" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/topo_st1.txt" "$TMP/topo_st4.txt"; then
+    echo "bench_host.sh --check FAILED: topo report differs between" \
+         "--sim-threads 1 and --sim-threads 4" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/topo_st1.txt.matrix.csv" "$TMP/topo_st4.txt.matrix.csv"; then
+    echo "bench_host.sh --check FAILED: traffic matrix CSV differs between" \
+         "--sim-threads 1 and --sim-threads 4" >&2
+    exit 1
+  fi
+  if ! grep -q '^## boundary channels' "$TMP/topo_st1.txt"; then
+    echo "bench_host.sh --check FAILED: multi-domain topo report has no" \
+         "boundary-channel section" >&2
+    exit 1
+  fi
+  if ! grep -q '^\[host\] point ' "$TMP/scaleout_topo_st1.host"; then
+    echo "bench_host.sh --check FAILED: scale-out run printed no [host]" \
+         "point telemetry lines" >&2
+    exit 1
+  fi
   # Host-performance gate: the simulator's hot loops must not have slowed
   # past tolerance relative to the committed BENCH_host.json baseline.
   python3 scripts/perf_gate.py --gbench "$TMP/gbench.json"

@@ -245,10 +245,10 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind,
       const sim::Duration wait = transport_round_trip(sp, target_leaf);
       ++c.pmon.ring_requests;
       c.pmon.inject_wait_ns += wait;
-      if (cm_.tracer() != nullptr && wait != 0) {
+      if (obs::Tracer* tr = cm_.tracer_for_cell(id_); tr != nullptr && wait != 0) {
         // Stall attribution: this cpu lost `wait` ns to slot contention.
-        cm_.tracer()->log(eng().now(), obs::kCatStall, obs::kEvInjectWait, sp,
-                          id_, static_cast<std::int64_t>(wait));
+        tr->log(eng().now(), obs::kCatStall, obs::kEvInjectWait, sp,
+                id_, static_cast<std::int64_t>(wait));
       }
 
       CoherentMachine::CommitResult res{};
@@ -331,10 +331,10 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind,
       tick_ns(cm_.transaction_overhead_ns(kind, crossed));
       if (page_alloc) tick_ns(cfg().page_alloc_ns);
       c.pmon.ring_time_ns += local_now_ - t0;
-      if (cm_.tracer() != nullptr) {
+      if (obs::Tracer* tr = cm_.tracer_for_cell(id_)) {
         // Stall attribution: total time this cpu spent in the transaction.
-        cm_.tracer()->log(eng().now(), obs::kCatStall, obs::kEvRemoteAcquire,
-                          sp, id_, static_cast<std::int64_t>(local_now_ - t0));
+        tr->log(eng().now(), obs::kCatStall, obs::kEvRemoteAcquire,
+                sp, id_, static_cast<std::int64_t>(local_now_ - t0));
       }
       return;
     }
@@ -349,9 +349,9 @@ void CoherentCpu::remote_acquire(mem::SubPageId sp, Acquire kind,
     const sim::Duration base = cfg().atomic_backoff_ns
                                << (consecutive_nacks - 1);
     const sim::Duration nap = base + cell().rng.below(base);
-    if (cm_.tracer() != nullptr) {
-      cm_.tracer()->log(eng().now(), obs::kCatStall, obs::kEvNackBackoff, sp,
-                        id_, static_cast<std::int64_t>(nap));
+    if (obs::Tracer* tr = cm_.tracer_for_cell(id_)) {
+      tr->log(eng().now(), obs::kCatStall, obs::kEvNackBackoff, sp,
+              id_, static_cast<std::int64_t>(nap));
     }
     tick_ns(nap);
   }
@@ -629,6 +629,7 @@ void CoherentMachine::ensure_topology() {
   if (!dir_shards_.empty()) return;
   const unsigned leaves = std::max(1u, leaf_count());
   dir_shards_.resize(leaves);
+  shard_stats_.resize(leaves);
   leaf_masks_.assign(leaves, cache::CellMask{});
   for (unsigned i = 0; i < cfg_.nproc; ++i) {
     leaf_masks_[leaf_of(i)].set(i);
@@ -864,20 +865,32 @@ void CoherentMachine::ckpt_load(ckpt::Reader& r) {
   }
 }
 
-void CoherentMachine::attach_tracer(sim::Tracer* tracer) {
-  if (multi_domain_ && tracer != nullptr) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "warning: tracing is unavailable on multi-domain runs "
-                   "(several engine threads commit transitions); tracer "
-                   "ignored — trace a single-domain run instead\n");
-    }
-    tracer_ = nullptr;
-    return;
+void CoherentMachine::topo_snapshot(obs::topo::Snapshot& s) const {
+  Machine::topo_snapshot(s);
+  s.leaves = std::max(1u, leaf_count());
+  s.cells_per_leaf = cfg_.cells_per_leaf != 0 ? cfg_.cells_per_leaf : nproc();
+  for (unsigned leaf = 0; leaf < shard_stats_.size(); ++leaf) {
+    const ShardStats& st = shard_stats_[leaf];
+    if (st.requests == 0) continue;
+    obs::topo::ShardUse u;
+    u.home_leaf = leaf;
+    u.requests = st.requests;
+    u.grants = st.grants;
+    u.nacks = st.nacks;
+    u.busy_ns = st.busy_ns;
+    // FlatMap iterates in hash order; sort (count desc, sub-page asc) and
+    // keep the top 8 so the report is deterministic and bounded.
+    st.hot.for_each([&u](mem::SubPageId sp, std::uint64_t n) {
+      u.hot.emplace_back(sp, n);
+    });
+    std::sort(u.hot.begin(), u.hot.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    if (u.hot.size() > 8) u.hot.resize(8);
+    s.shards.push_back(std::move(u));
   }
-  Machine::attach_tracer(tracer);
 }
 
 CoherentMachine::DirView CoherentMachine::dir_view(mem::SubPageId sp) const {
@@ -968,9 +981,13 @@ void CoherentMachine::invalidate_at(unsigned cell, mem::SubPageId sp) {
   c.local.set_state(sp, cache::LineState::kInvalid);
   c.sub.invalidate_subpage(sp);
   ++c.pmon.invalidations_received;
-  if (tracer_ != nullptr) {
-    tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvInvalidate, sp,
-                 cell);
+  // Runs on `cell`'s domain thread in every mode (synchronously when the
+  // revoker shares the domain, via a boundary-channel event otherwise), so
+  // log to that domain's shard on that domain's clock.
+  const unsigned db = domain_of_cell(cell);
+  if (obs::Tracer* tr = tracer_of(db)) {
+    tr->log(engine_of(db).now(), obs::kCatCoherence, obs::kEvInvalidate, sp,
+            cell);
   }
 }
 
@@ -978,6 +995,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
     unsigned cell, mem::SubPageId sp, std::uint32_t witness) {
   DirEntry& e = dir_entry(sp);
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
+    shard_note(sp, /*granted=*/false);
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
@@ -985,6 +1003,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_shared(
         check::Ev::kNack, cell, sp));
     return {false, false};
   }
+  shard_note(sp, /*granted=*/true);
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvGrantShared, sp,
                  cell, static_cast<std::int64_t>(e.holders.word0()), witness);
@@ -1030,6 +1049,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
     unsigned cell, mem::SubPageId sp, bool atomic, std::uint32_t witness) {
   DirEntry& e = dir_entry(sp);
   if (e.atomic && e.owner != static_cast<std::int16_t>(cell)) {
+    shard_note(sp, /*granted=*/false);
     if (tracer_ != nullptr) {
       tracer_->log(engine_.now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
     }
@@ -1037,6 +1057,7 @@ CoherentMachine::CommitResult CoherentMachine::commit_exclusive(
         check::Ev::kNack, cell, sp));
     return {false, false};
   }
+  shard_note(sp, /*granted=*/true);
   if (tracer_ != nullptr) {
     tracer_->log(engine_.now(), obs::kCatCoherence,
                  atomic ? obs::kEvGrantAtomic : obs::kEvGrantExclusive, sp,
@@ -1142,6 +1163,14 @@ CoherentMachine::MbDecision CoherentMachine::mb_decide(unsigned cell,
     e.owner = static_cast<std::int16_t>(cell);
     e.atomic = (kind == Acquire::kAtomic);
     e.resident_leaf = static_cast<std::uint8_t>(leaf_of(cell));
+    shard_note(sp, /*granted=*/true);
+    if (obs::Tracer* tr = tracer_of(dh)) {
+      tr->log(engine_of(dh).now(), obs::kCatCoherence,
+              kind == Acquire::kAtomic ? obs::kEvGrantAtomic
+              : kind == Acquire::kShared ? obs::kEvGrantShared
+                                         : obs::kEvGrantExclusive,
+              sp, cell);
+    }
     MbDecision d;
     d.ok = true;
     d.deferred = false;
@@ -1152,6 +1181,8 @@ CoherentMachine::MbDecision CoherentMachine::mb_decide(unsigned cell,
       // The reply rides the channel; hold the entry until it has applied
       // so no later decision can emit a same-time effect toward `cell`.
       e.busy = true;
+      shard_stats_[home_leaf(sp)].busy_ns +=
+          static_cast<std::uint64_t>(h - engine_of(dh).now());
       engine_of(dh).at(h, [this, sp] {
         if (auto* p = dir_find(sp)) p->busy = false;
       });
@@ -1160,7 +1191,19 @@ CoherentMachine::MbDecision CoherentMachine::mb_decide(unsigned cell,
   }
   DirEntry& e = *pe;
   if (e.busy || (e.atomic && e.owner != static_cast<std::int16_t>(cell))) {
+    shard_note(sp, /*granted=*/false);
+    if (obs::Tracer* tr = tracer_of(dh)) {
+      tr->log(engine_of(dh).now(), obs::kCatCoherence, obs::kEvNack, sp, cell);
+    }
     return {};  // NACK: locked elsewhere, or a prior decision is in flight
+  }
+  shard_note(sp, /*granted=*/true);
+  if (obs::Tracer* tr = tracer_of(dh)) {
+    tr->log(engine_of(dh).now(), obs::kCatCoherence,
+            kind == Acquire::kAtomic ? obs::kEvGrantAtomic
+            : kind == Acquire::kShared ? obs::kEvGrantShared
+                                       : obs::kEvGrantExclusive,
+            sp, cell, static_cast<std::int64_t>(e.holders.word0()));
   }
 
   MbDecision d;
@@ -1203,11 +1246,18 @@ CoherentMachine::MbDecision CoherentMachine::mb_decide(unsigned cell,
     if (db == dh) {
       cells_[b].local.set_state(sp, cache::LineState::kShared);
       ++cells_[b].pmon.snarfs;
+      if (obs::Tracer* tr = tracer_of(dh)) {
+        tr->log(engine_of(dh).now(), obs::kCatCoherence, obs::kEvSnarf, sp, b);
+      }
     } else {
       cross_effect = true;
-      par_.send(dh, db, gt, [this, b, sp] {
+      par_.send(dh, db, gt, [this, b, db, sp] {
         cells_[b].local.set_state(sp, cache::LineState::kShared);
         ++cells_[b].pmon.snarfs;
+        if (obs::Tracer* tr = tracer_of(db)) {
+          tr->log(engine_of(db).now(), obs::kCatCoherence, obs::kEvSnarf, sp,
+                  b);
+        }
       });
     }
   };
@@ -1257,6 +1307,8 @@ CoherentMachine::MbDecision CoherentMachine::mb_decide(unsigned cell,
     // and the reply at grant_time >= h) has applied; the next decision then
     // runs strictly after and its effects land at a strictly later horizon.
     e.busy = true;
+    shard_stats_[home_leaf(sp)].busy_ns +=
+        static_cast<std::uint64_t>(d.grant_time - engine_of(dh).now());
     // Re-find by id when clearing: FlatMap storage may move underneath.
     engine_of(dh).at(d.grant_time, [this, sp] {
       if (auto* p = dir_find(sp)) p->busy = false;
@@ -1313,6 +1365,13 @@ void CoherentMachine::mb_poststore_home(unsigned cell, mem::SubPageId sp) {
   bool cross_revoke = false;
   bool cross_effect = false;
 
+  if (obs::Tracer* tr = tracer_of(dh)) {
+    cache::CellMask ph = e.placeholders;
+    ph.clear(cell);
+    tr->log(engine_of(dh).now(), obs::kCatCoherence, obs::kEvPoststore, sp,
+            cell, static_cast<std::int64_t>(ph.word0()));
+  }
+
   // Wave 1: the writable copy (often the poststorer itself) loses
   // exclusivity — the §3.3.3 poststore pitfall.
   if (e.owner >= 0) {
@@ -1339,11 +1398,18 @@ void CoherentMachine::mb_poststore_home(unsigned cell, mem::SubPageId sp) {
     if (db == dh) {
       cells_[b].local.set_state(sp, cache::LineState::kShared);
       ++cells_[b].pmon.snarfs;
+      if (obs::Tracer* tr = tracer_of(dh)) {
+        tr->log(engine_of(dh).now(), obs::kCatCoherence, obs::kEvSnarf, sp, b);
+      }
     } else {
       cross_effect = true;
-      par_.send(dh, db, gt, [this, b, sp] {
+      par_.send(dh, db, gt, [this, b, db, sp] {
         cells_[b].local.set_state(sp, cache::LineState::kShared);
         ++cells_[b].pmon.snarfs;
+        if (obs::Tracer* tr = tracer_of(db)) {
+          tr->log(engine_of(db).now(), obs::kCatCoherence, obs::kEvSnarf, sp,
+                  b);
+        }
       });
     }
     e.holders.set(b);
@@ -1352,6 +1418,8 @@ void CoherentMachine::mb_poststore_home(unsigned cell, mem::SubPageId sp) {
 
   if (cross_effect) {
     e.busy = true;
+    shard_stats_[home_leaf(sp)].busy_ns +=
+        static_cast<std::uint64_t>(gt - engine_of(dh).now());
     engine_of(dh).at(gt, [this, sp] {
       if (auto* p = dir_find(sp)) p->busy = false;
     });

@@ -73,9 +73,45 @@ KsrMachine::KsrMachine(const MachineConfig& cfg) : CoherentMachine(cfg) {
     }
     ring1_ = std::make_unique<net::SlottedRing>(engine_, rc, "ring1");
   }
+  traffic_shards_.assign(
+      domains(), std::vector<std::uint64_t>(
+                     static_cast<std::size_t>(leaves) * leaves, 0));
 }
 
 KsrMachine::~KsrMachine() = default;
+
+void KsrMachine::topo_snapshot(obs::topo::Snapshot& s) const {
+  CoherentMachine::topo_snapshot(s);
+  auto ring_use = [](const net::SlottedRing& r, unsigned level,
+                     sim::Time elapsed) {
+    const net::SlottedRing::Stats& st = r.stats();
+    obs::topo::RingUse u;
+    u.name = r.name();
+    u.level = level;
+    u.slots = r.slot_count();
+    u.packets = st.packets;
+    u.retries = st.retries;
+    u.inject_wait_ns = static_cast<std::uint64_t>(st.total_inject_wait_ns);
+    u.busy_slot_ns = st.busy_slot_ns;
+    u.elapsed_ns = static_cast<std::uint64_t>(elapsed);
+    return u;
+  };
+  for (unsigned l = 0; l < leaf_rings_.size(); ++l) {
+    // Elapsed time on the ring's own engine: the occupancy integral's
+    // denominator (simulated, so identical at any --sim-threads).
+    s.rings.push_back(ring_use(*leaf_rings_[l], 0,
+                               par_.domain(domain_of_leaf(l)).now()));
+  }
+  if (ring1_) s.rings.push_back(ring_use(*ring1_, 1, par_.domain(0).now()));
+
+  const unsigned leaves = leaf_count();
+  if (leaves > 1) {
+    s.traffic.assign(static_cast<std::size_t>(leaves) * leaves, 0);
+    for (const auto& shard : traffic_shards_) {
+      for (std::size_t i = 0; i < shard.size(); ++i) s.traffic[i] += shard[i];
+    }
+  }
+}
 
 void KsrMachine::attach_checker(check::InvariantChecker* checker) {
   CoherentMachine::attach_checker(checker);
@@ -130,6 +166,11 @@ void KsrMachine::transport(unsigned cell, mem::SubPageId sp,
                            std::function<void(sim::Duration)> done) {
   const unsigned my_leaf = leaf_of(cell);
   const unsigned sr = mem::subring_of(sp);
+  // Traffic matrix: one transport from my_leaf toward target_leaf, counted
+  // in the source domain's shard (this runs on the source cell's thread).
+  ++traffic_shards_[domain_of_cell(cell)]
+                   [static_cast<std::size_t>(my_leaf) * leaf_count() +
+                    target_leaf];
   if (target_leaf == my_leaf || leaf_rings_.size() == 1) {
     leaf_rings_[my_leaf]->inject(pos_of(cell), sr, std::move(done));
     return;
@@ -183,8 +224,10 @@ void KsrMachine::home_transport(unsigned from_leaf, unsigned home,
   // Home-side arrival of a boundary-channel request: the level-1 transit
   // from the requester's ARD (analytic circulation — see transport), then
   // the home leaf ring entered at its ARD. Runs on the home domain's
-  // engine.
-  (void)from_leaf;
+  // engine — so the cross-domain leg lands in the home domain's traffic
+  // shard.
+  ++traffic_shards_[cfg_.domain_of_leaf(home)]
+                   [static_cast<std::size_t>(from_leaf) * leaf_count() + home];
   const unsigned ard_pos = cfg_.cells_per_leaf;
   const unsigned sr = mem::subring_of(sp);
   sim::Engine& eng = engine_of(cfg_.domain_of_leaf(home));

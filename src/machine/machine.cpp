@@ -46,6 +46,71 @@ sim::ParallelEngine::Config Machine::domain_plan(const MachineConfig& cfg) {
   return pc;
 }
 
+void Machine::attach_tracer(sim::Tracer* tracer) {
+  tracer_ = tracer;
+  tracer_shards_.clear();
+  if (tracer_ == nullptr || !multi_domain()) return;
+  tracer_shards_.reserve(domains() - 1);
+  for (unsigned d = 1; d < domains(); ++d) {
+    auto shard = std::make_unique<obs::Tracer>(tracer_->capacity());
+    shard->set_enabled_mask(tracer_->enabled_mask());
+    tracer_shards_.push_back(std::move(shard));
+  }
+}
+
+void Machine::merge_tracer_shards() {
+  if (tracer_ == nullptr || tracer_shards_.empty()) return;
+  std::size_t total = tracer_->size();
+  for (const auto& s : tracer_shards_) total += s->size();
+  std::vector<obs::Tracer::Record> all;
+  all.reserve(total);
+  all.insert(all.end(), tracer_->begin(), tracer_->end());
+  for (const auto& s : tracer_shards_) {
+    all.insert(all.end(), s->begin(), s->end());
+  }
+  // (time, domain, append) order: each shard's contents are one domain's
+  // deterministic execution log, and stable_sort keeps the domain-major
+  // concatenation order for same-time records — so the merged buffer is a
+  // pure function of simulated data, bit-identical at any thread count.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const obs::Tracer::Record& a,
+                      const obs::Tracer::Record& b) { return a.t < b.t; });
+  std::uint64_t dropped = tracer_->dropped();
+  for (auto& s : tracer_shards_) {
+    dropped += s->dropped();
+    s->clear();
+  }
+  tracer_->clear();
+  for (const auto& r : all) tracer_->append(r);
+  tracer_->add_dropped(dropped);
+}
+
+void Machine::topo_snapshot(obs::topo::Snapshot& s) const {
+  s.domains = par_.domains();
+  s.quantum_ns = static_cast<std::uint64_t>(par_.quantum_ns());
+  if (s.domains <= 1) return;
+  // The quantum loop only runs multi-domain; single-domain paths (serial
+  // inline, or one unbounded quantum on a pool thread) count quanta
+  // differently per --sim-threads, so reporting them would break the
+  // byte-equality contract. Multi-domain counts are pure simulated data.
+  s.quanta = par_.quanta();
+  s.boundary_packets = par_.boundary_packets();
+  const auto& stats = par_.channel_stats();
+  for (unsigned src = 0; src < s.domains; ++src) {
+    for (unsigned dst = 0; dst < s.domains; ++dst) {
+      const auto& c = stats[static_cast<std::size_t>(src) * s.domains + dst];
+      if (c.packets == 0) continue;
+      obs::topo::ChannelUse u;
+      u.src = src;
+      u.dst = dst;
+      u.packets = c.packets;
+      u.max_per_quantum = c.max_per_quantum;
+      u.slack_hist = c.slack_hist;
+      s.channels.push_back(std::move(u));
+    }
+  }
+}
+
 unsigned Cpu::nproc() const noexcept { return machine_.nproc(); }
 
 void Cpu::work(std::uint64_t n) { tick_cycles(n); }
@@ -308,6 +373,7 @@ RunResult Machine::run(const std::vector<Program>& programs) {
     cpu->begin_run(epoch, fid);
   }
   par_.run();
+  merge_tracer_shards();
 
   RunResult res;
   res.cell_seconds.resize(nproc());

@@ -84,6 +84,9 @@ void SlottedRing::try_head(unsigned subring, unsigned pos) {
     const sim::Duration wait = engine_.now() - claimed.enqueued;
     ++stats_.packets;
     stats_.total_inject_wait_ns += wait;
+    stats_.busy_slot_ns +=
+        stats_.in_flight * (engine_.now() - stats_.last_change_ns);
+    stats_.last_change_ns = engine_.now();
     ++stats_.in_flight;
     stats_.max_in_flight = std::max(stats_.max_in_flight, stats_.in_flight);
     if (tracer_ != nullptr) {
@@ -95,6 +98,9 @@ void SlottedRing::try_head(unsigned subring, unsigned pos) {
                [this, subring, slot, pos, done = std::move(claimed.done),
                 wait] {
                  subrings_[subring].occupied[static_cast<std::size_t>(slot)] = 0;
+                 stats_.busy_slot_ns +=
+                     stats_.in_flight * (engine_.now() - stats_.last_change_ns);
+                 stats_.last_change_ns = engine_.now();
                  --stats_.in_flight;
                  if (tracer_ != nullptr) {
                    tracer_->log(engine_.now(), obs::kCatRing, obs::kEvDeliver,

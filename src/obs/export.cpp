@@ -61,6 +61,18 @@ void ChromeTraceWriter::event_prefix() {
 
 int ChromeTraceWriter::add_process(const Tracer& t,
                                    std::string_view process_name) {
+  return add_process_impl(t, process_name, nullptr);
+}
+
+int ChromeTraceWriter::add_process(const Tracer& t,
+                                   std::string_view process_name,
+                                   const std::vector<CellTopo>& cells) {
+  return add_process_impl(t, process_name, &cells);
+}
+
+int ChromeTraceWriter::add_process_impl(const Tracer& t,
+                                        std::string_view process_name,
+                                        const std::vector<CellTopo>* cells) {
   const int pid = next_pid_++;
   event_prefix();
   os_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
@@ -90,9 +102,24 @@ int ChromeTraceWriter::add_process(const Tracer& t,
                        return a->t < b->t;
                      });
     event_prefix();
-    os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
-        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"cell " << tid
-        << "\"}}";
+    if (cells != nullptr && tid < cells->size()) {
+      // Leaf-ring grouping: the name carries the topology and the explicit
+      // sort index clusters the tracks of one leaf ring into a contiguous
+      // band (Perfetto otherwise sorts by bare tid, interleaving leaves at
+      // scale). 4096 > any per-leaf cell count, so (leaf, tid) order holds.
+      const CellTopo& ct = (*cells)[static_cast<std::size_t>(tid)];
+      os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+          << ",\"tid\":" << tid << ",\"args\":{\"name\":\"cell " << tid
+          << " (leaf " << ct.leaf << ", dom " << ct.domain << ")\"}}";
+      event_prefix();
+      os_ << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":" << pid
+          << ",\"tid\":" << tid << ",\"args\":{\"sort_index\":"
+          << (static_cast<std::uint64_t>(ct.leaf) * 4096 + tid) << "}}";
+    } else {
+      os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+          << ",\"tid\":" << tid << ",\"args\":{\"name\":\"cell " << tid
+          << "\"}}";
+    }
     for (const Tracer::Record* r : recs) {
       const PhaseInfo p = phase_of(r->ev);
       const std::string_view name =

@@ -1,5 +1,6 @@
 #include "ksr/obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <string>
@@ -27,22 +28,36 @@ void MetricsRegistry::arm() {
   });
 }
 
+void MetricsRegistry::sample_domain(unsigned d) {
+  MetricsSample s;
+  s.t = machine_->engine_of(d).now();
+  s.domain = d;
+  for (unsigned c = 0; c < machine_->nproc(); ++c) {
+    if (machine_->domain_of_cell(c) == d) s.pmon.add(machine_->cell_pmon(c));
+  }
+  s.net = machine_->net_snapshot_of(d);
+  domain_samples_[d].push_back(s);
+}
+
+void MetricsRegistry::arm_domain(unsigned d) {
+  machine_->engine_of(d).observe_in(period_, [this, d] {
+    sample_domain(d);
+    arm_domain(d);
+  });
+}
+
 void MetricsRegistry::attach(machine::Machine& m, sim::Duration period_ns) {
   machine_ = &m;
   period_ = period_ns ? period_ns : kDefaultPeriodNs;
   if (m.multi_domain()) {
-    // A periodic observer fires on one domain's thread but reads pmon and
-    // ring counters owned by every domain — a host race under the parallel
-    // engine. Multi-domain runs therefore keep only the final quiescent
-    // sample that finish() takes after the run (warned once per process).
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "warning: metrics time series is disabled on multi-domain "
-                   "runs (cross-domain counter sampling would race); only "
-                   "the final sample is recorded\n");
-    }
+    // Mode B: one observer chain per domain, on that domain's engine,
+    // reading only domain-owned state (its cells' pmon, its rings). Each
+    // chain is deterministic on the simulated clock; finish() merges the
+    // per-domain series in (time, domain) order.
+    multi_ = true;
+    domains_ = m.domains();
+    domain_samples_.assign(domains_, {});
+    for (unsigned d = 0; d < domains_; ++d) arm_domain(d);
     return;
   }
   arm();
@@ -50,21 +65,44 @@ void MetricsRegistry::attach(machine::Machine& m, sim::Duration period_ns) {
 
 void MetricsRegistry::finish() {
   if (machine_ == nullptr) return;
-  if (samples_.empty() || samples_.back().t != machine_->engine().now()) {
-    sample_now();
+  if (!multi_) {
+    if (samples_.empty() || samples_.back().t != machine_->engine().now()) {
+      sample_now();
+    }
+    return;
   }
+  // Tail sample per domain (the observer lane drops samples past a
+  // domain's last event), then the (time, domain)-ordered merge.
+  for (unsigned d = 0; d < domains_; ++d) {
+    if (domain_samples_[d].empty() ||
+        domain_samples_[d].back().t != machine_->engine_of(d).now()) {
+      sample_domain(d);
+    }
+  }
+  samples_.clear();
+  for (const auto& ds : domain_samples_) {
+    samples_.insert(samples_.end(), ds.begin(), ds.end());
+  }
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const MetricsSample& a, const MetricsSample& b) {
+                     return a.t != b.t ? a.t < b.t : a.domain < b.domain;
+                   });
 }
 
 void MetricsRegistry::write_csv(std::ostream& os, std::string_view label,
                                 bool header) const {
   if (header) {
     if (!label.empty()) os << "job,";
-    os << "time_ns,slot_util,d_ring_requests,d_ring_nacks,nack_rate,"
+    os << "time_ns,";
+    if (multi_) os << "domain,";
+    os << "slot_util,d_ring_requests,d_ring_nacks,nack_rate,"
           "d_inject_wait_ns,wait_per_req_ns,d_localcache_misses,"
           "d_invalidations,d_snarfs\n";
   }
-  cache::PerfMonitor prev_pmon;
-  machine::NetSnapshot prev_net;
+  // One delta lane per domain (mode A only ever touches lane 0): every
+  // sample covers one domain's counters, so deltas are per-domain too.
+  std::vector<cache::PerfMonitor> prev_pmon(multi_ ? domains_ : 1);
+  std::vector<machine::NetSnapshot> prev_net(multi_ ? domains_ : 1);
   char buf[64];
   auto ratio = [&buf](std::uint64_t num, std::uint64_t den) {
     std::snprintf(buf, sizeof buf, "%.6f",
@@ -73,18 +111,22 @@ void MetricsRegistry::write_csv(std::ostream& os, std::string_view label,
     return std::string(buf);
   };
   for (const MetricsSample& s : samples_) {
-    const std::uint64_t d_req = s.pmon.ring_requests - prev_pmon.ring_requests;
-    const std::uint64_t d_nack = s.pmon.ring_nacks - prev_pmon.ring_nacks;
-    const sim::Duration d_wait = s.net.inject_wait_ns - prev_net.inject_wait_ns;
+    cache::PerfMonitor& pp = prev_pmon[multi_ ? s.domain : 0];
+    machine::NetSnapshot& pn = prev_net[multi_ ? s.domain : 0];
+    const std::uint64_t d_req = s.pmon.ring_requests - pp.ring_requests;
+    const std::uint64_t d_nack = s.pmon.ring_nacks - pp.ring_nacks;
+    const sim::Duration d_wait = s.net.inject_wait_ns - pn.inject_wait_ns;
     if (!label.empty()) os << label << ',';
-    os << s.t << ',' << ratio(s.net.in_flight, s.net.slots) << ',' << d_req
+    os << s.t << ',';
+    if (multi_) os << s.domain << ',';
+    os << ratio(s.net.in_flight, s.net.slots) << ',' << d_req
        << ',' << d_nack << ',' << ratio(d_nack, d_req) << ',' << d_wait << ','
        << ratio(d_wait, d_req) << ','
-       << s.pmon.localcache_misses - prev_pmon.localcache_misses << ','
-       << s.pmon.invalidations_received - prev_pmon.invalidations_received
-       << ',' << s.pmon.snarfs - prev_pmon.snarfs << '\n';
-    prev_pmon = s.pmon;
-    prev_net = s.net;
+       << s.pmon.localcache_misses - pp.localcache_misses << ','
+       << s.pmon.invalidations_received - pp.invalidations_received
+       << ',' << s.pmon.snarfs - pp.snarfs << '\n';
+    pp = s.pmon;
+    pn = s.net;
   }
 }
 

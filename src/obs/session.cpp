@@ -29,6 +29,7 @@ JobObs Session::job() const {
     o.metrics_ = std::make_unique<MetricsRegistry>();
     o.period_ = opt_.metrics_period_ns;
   }
+  o.topo_wanted_ = topo_reporting();
   return o;
 }
 
@@ -71,7 +72,13 @@ void Session::collect(JobObs obs, const std::string& label) {
           if (!writer_) {
             writer_ = std::make_unique<ChromeTraceWriter>(trace_os_);
           }
-          writer_->add_process(t, label);
+          // Multi-leaf jobs carry per-cell (leaf, domain) so Perfetto
+          // groups the cell tracks by leaf ring.
+          if (obs.cells_.empty()) {
+            writer_->add_process(t, label);
+          } else {
+            writer_->add_process(t, label, obs.cells_);
+          }
         }
       }
     }
@@ -88,6 +95,39 @@ void Session::collect(JobObs obs, const std::string& label) {
         report_os_ << "=== job " << label << " ===\n";
         write_report(report_os_, a);
         report_os_ << '\n';
+      }
+    }
+  }
+  if (topo_reporting() && obs.has_topo_) {
+    if (!topo_os_.is_open()) {
+      topo_os_.open(opt_.topo_report, std::ios::out | std::ios::trunc);
+      if (!topo_os_) {
+        std::cerr << "[obs] warning: cannot open topo report output '"
+                  << opt_.topo_report << "'\n";
+      }
+    }
+    if (topo_os_) {
+      topo_os_ << "=== job " << label << " ===\n";
+      topo::write_report(topo_os_, obs.topo_);
+      topo_os_ << '\n';
+    }
+    // The traffic heatmap rides in a sibling CSV: long format, ready for
+    // pivoting, merged across jobs exactly like the metrics CSV.
+    if (!obs.topo_.traffic.empty()) {
+      if (!matrix_os_.is_open()) {
+        matrix_os_.open(opt_.topo_report + ".matrix.csv",
+                        std::ios::out | std::ios::trunc);
+        if (!matrix_os_) {
+          std::cerr << "[obs] warning: cannot open traffic matrix output '"
+                    << opt_.topo_report << ".matrix.csv'\n";
+        }
+      }
+      if (matrix_os_) {
+        if (!matrix_header_done_) {
+          topo::write_matrix_csv_header(matrix_os_, /*with_job_column=*/true);
+          matrix_header_done_ = true;
+        }
+        topo::write_matrix_csv(matrix_os_, obs.topo_, label);
       }
     }
   }
@@ -126,6 +166,15 @@ void Session::close() {
   if (report_os_.is_open()) {
     report_os_.close();
     std::cerr << "[obs] report -> " << opt_.report << "\n";
+  }
+  if (topo_os_.is_open()) {
+    topo_os_.close();
+    std::cerr << "[obs] topo -> " << opt_.topo_report << "\n";
+  }
+  if (matrix_os_.is_open()) {
+    matrix_os_.close();
+    std::cerr << "[obs] traffic matrix -> " << opt_.topo_report
+              << ".matrix.csv\n";
   }
 }
 

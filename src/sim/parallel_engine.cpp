@@ -1,6 +1,7 @@
 #include "ksr/sim/parallel_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,13 @@ namespace ksr::sim {
 
 namespace {
 constexpr Time kNever = std::numeric_limits<Time>::max();
+
+[[nodiscard]] std::uint64_t wall_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 ParallelEngine::ParallelEngine(const Config& cfg) : cfg_(cfg) {
@@ -31,7 +39,12 @@ ParallelEngine::ParallelEngine(const Config& cfg) : cfg_(cfg) {
     engines_.push_back(std::make_unique<Engine>());
   }
   channels_.resize(static_cast<std::size_t>(cfg_.domains) * cfg_.domains);
+  channel_stats_.resize(channels_.size());
   domain_errors_.resize(cfg_.domains);
+  slot_wall_ns_.resize(threads_, 0);
+  quantum_domain_wall_ns_.resize(cfg_.domains, 0);
+  domain_wall_ns_.resize(cfg_.domains, 0);
+  critical_quanta_.resize(cfg_.domains, 0);
 }
 
 ParallelEngine::~ParallelEngine() { stop_pool(); }
@@ -107,13 +120,20 @@ void ParallelEngine::send(unsigned src, unsigned dst, Time t, InlineFn fn) {
 }
 
 void ParallelEngine::advance_slot(unsigned slot) {
+  std::uint64_t slot_wall = 0;
   for (unsigned d = slot; d < domains(); d += threads_) {
+    const std::uint64_t t0 = wall_now_ns();
     try {
       engines_[d]->run_until(horizon_);
     } catch (...) {
       if (!domain_errors_[d]) domain_errors_[d] = std::current_exception();
     }
+    const std::uint64_t dt = wall_now_ns() - t0;
+    quantum_domain_wall_ns_[d] = dt;  // this thread alone owns domain d
+    domain_wall_ns_[d] += dt;
+    slot_wall += dt;
   }
+  slot_wall_ns_[slot] = slot_wall;
 }
 
 void ParallelEngine::start_pool() {
@@ -155,25 +175,52 @@ void ParallelEngine::worker_main(unsigned slot) {
 }
 
 void ParallelEngine::run_quantum_phase() {
+  const std::uint64_t phase_t0 = wall_now_ns();
   if (threads_ == 1) {
     // Serial quantum loop (still conservative, still barrier-merged):
     // the --sim-threads 1 reference every thread count must match.
     advance_slot(0);
-    return;
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      arrived_ = 0;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    // The coordinator advances the last slot's domains itself rather than
+    // idling at the barrier. With one domain and threads > 1 this share is
+    // empty, which is deliberate: the whole simulation then runs on worker
+    // 0, exercising the cross-thread fiber path end to end.
+    advance_slot(threads_ - 1);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return arrived_ == threads_ - 1; });
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    arrived_ = 0;
-    ++epoch_;
+  // Self-profiler fold (coordinator only; the barrier above published every
+  // worker's scratch). Phase wall is the end-to-end quantum time; each
+  // slot's idle share is its tail wait at this barrier.
+  const std::uint64_t phase_wall = wall_now_ns() - phase_t0;
+  phase_wall_ns_ += phase_wall;
+  for (unsigned s = 0; s < threads_; ++s) {
+    barrier_wait_ns_ += phase_wall - std::min(phase_wall, slot_wall_ns_[s]);
   }
-  cv_work_.notify_all();
-  // The coordinator advances the last slot's domains itself rather than
-  // idling at the barrier. With one domain and threads > 1 this share is
-  // empty, which is deliberate: the whole simulation then runs on worker 0,
-  // exercising the cross-thread fiber path end to end.
-  advance_slot(threads_ - 1);
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return arrived_ == threads_ - 1; });
+  unsigned critical = 0;
+  for (unsigned d = 1; d < domains(); ++d) {
+    if (quantum_domain_wall_ns_[d] > quantum_domain_wall_ns_[critical]) {
+      critical = d;
+    }
+  }
+  ++critical_quanta_[critical];
+}
+
+ParallelEngine::HostProfile ParallelEngine::host_profile() const {
+  HostProfile p;
+  p.threads = threads_;
+  p.quanta = quanta_;
+  p.phase_wall_ns = phase_wall_ns_;
+  p.barrier_wait_ns = barrier_wait_ns_;
+  p.domain_wall_ns = domain_wall_ns_;
+  p.critical_quanta = critical_quanta_;
+  return p;
 }
 
 void ParallelEngine::merge_channels() {
@@ -183,6 +230,21 @@ void ParallelEngine::merge_channels() {
     merged.clear();
     for (unsigned src = 0; src < d_count; ++src) {
       auto& q = channel(src, dst).q;
+      if (!q.empty()) {
+        // Per-channel lifetime counters (topo report). horizon_ is the
+        // just-finished quantum's exclusive end, and send() guaranteed
+        // every packet lands at or after it, so slack is non-negative.
+        ChannelStats& cs = channel_stats_[src * d_count + dst];
+        cs.packets += q.size();
+        cs.max_per_quantum = std::max<std::uint64_t>(cs.max_per_quantum,
+                                                     q.size());
+        for (const Packet& p : q) {
+          const std::uint64_t slack =
+              static_cast<std::uint64_t>(p.t - horizon_) / cfg_.quantum_ns;
+          ++cs.slack_hist[std::min<std::uint64_t>(
+              slack, cs.slack_hist.size() - 1)];
+        }
+      }
       for (auto& p : q) merged.push_back(std::move(p));
       q.clear();
     }

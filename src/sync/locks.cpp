@@ -40,7 +40,7 @@ namespace {
 /// Bracket an acquisition with sync/lock-acquire + lock-acquired events.
 template <typename Body>
 void traced_acquire(machine::Cpu& cpu, std::uint64_t subject, Body body) {
-  obs::Tracer* tr = cpu.machine().tracer();
+  obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id());
   if (tr == nullptr) {
     body();
     return;
@@ -53,7 +53,7 @@ void traced_acquire(machine::Cpu& cpu, std::uint64_t subject, Body body) {
 }
 
 void traced_release(machine::Cpu& cpu, std::uint64_t subject) {
-  if (obs::Tracer* tr = cpu.machine().tracer()) {
+  if (obs::Tracer* tr = cpu.machine().tracer_for_cell(cpu.id())) {
     tr->log(cpu.now(), obs::kCatSync, obs::kEvLockRelease, subject, cpu.id());
   }
 }

@@ -19,6 +19,7 @@
 #include "ksr/check/checker.hpp"
 #include "ksr/machine/ksr_machine.hpp"
 #include "ksr/nas/is.hpp"
+#include "ksr/obs/topo.hpp"
 #include "ksr/obs/tracer.hpp"
 
 namespace ksr {
@@ -345,6 +346,78 @@ TEST(ScaleOut, MultiDomainAuditPasses) {
   // quiescent full audit still checks every directory entry against I1-I6.
   EXPECT_NO_THROW(checker.audit_all());
   m.attach_checker(nullptr);
+}
+
+// ------------------- mode B observer lane + topology instrumentation
+
+struct TracedFp {
+  Fp fp;
+  std::string topo_report;
+};
+
+// 128 cells, 4 leaf rings, 4 domains: the mode-B observer lane merges one
+// tracer shard per extra domain, and topo_snapshot folds ring / shard /
+// boundary-channel / traffic counters from all of them.
+TracedFp mode_b_128_traced(unsigned sim_threads) {
+  machine::KsrMachine m(machine::MachineConfig::ksr1(128)
+                            .with_cells_per_domain(32)
+                            .with_sim_threads(sim_threads));
+  EXPECT_EQ(m.domains(), 4u);
+  obs::Tracer tracer;
+  m.attach_tracer(&tracer);
+  nas::IsConfig cfg;
+  cfg.log2_keys = 10;
+  cfg.log2_buckets = 7;
+  const nas::IsResult r = run_is(m, cfg);
+  EXPECT_TRUE(r.ranks_valid);
+  std::ostringstream csv;
+  tracer.write_csv(csv);
+  obs::topo::Snapshot s;
+  m.topo_snapshot(s);
+  std::ostringstream rep;
+  obs::topo::write_report(rep, s);
+  return {{m.engine().events_dispatched(), m.engine().now(), r.seconds,
+           csv.str()},
+          rep.str()};
+}
+
+TEST(ScaleOut, ModeBTracedRunByteIdenticalAcrossSimThreads) {
+  const TracedFp a = mode_b_128_traced(1);
+  ASSERT_GT(a.fp.events, 0u);
+  ASSERT_FALSE(a.fp.trace_csv.empty());
+  // Every instrumented layer reports: rings, directory shards, boundary
+  // channels (present because domains > 1) and the traffic matrix.
+  EXPECT_NE(a.topo_report.find("## topology"), std::string::npos);
+  EXPECT_NE(a.topo_report.find("## rings"), std::string::npos);
+  EXPECT_NE(a.topo_report.find("## directory shards"), std::string::npos);
+  EXPECT_NE(a.topo_report.find("## boundary channels"), std::string::npos);
+  EXPECT_NE(a.topo_report.find("## cross-ring traffic"), std::string::npos);
+  for (unsigned t : {2u, 4u}) {
+    const TracedFp b = mode_b_128_traced(t);
+    EXPECT_EQ(a.fp.events, b.fp.events) << "sim_threads=" << t;
+    EXPECT_EQ(a.fp.end_time, b.fp.end_time) << "sim_threads=" << t;
+    EXPECT_EQ(a.fp.seconds, b.fp.seconds) << "sim_threads=" << t;
+    EXPECT_EQ(a.fp.trace_csv, b.fp.trace_csv) << "sim_threads=" << t;
+    EXPECT_EQ(a.topo_report, b.topo_report) << "sim_threads=" << t;
+  }
+}
+
+// The observer lane is non-perturbing by construction: a traced run must
+// produce the same fingerprint as the identical untraced run.
+TEST(ScaleOut, ModeBTracingDoesNotPerturbFingerprint) {
+  machine::KsrMachine m(machine::MachineConfig::ksr1(128)
+                            .with_cells_per_domain(32)
+                            .with_sim_threads(4));
+  ASSERT_EQ(m.domains(), 4u);
+  nas::IsConfig cfg;
+  cfg.log2_keys = 10;
+  cfg.log2_buckets = 7;
+  const nas::IsResult r = run_is(m, cfg);
+  ASSERT_TRUE(r.ranks_valid);
+  const TracedFp traced = mode_b_128_traced(4);
+  EXPECT_EQ(m.engine().events_dispatched(), traced.fp.events);
+  EXPECT_EQ(m.engine().now(), traced.fp.end_time);
+  EXPECT_EQ(r.seconds, traced.fp.seconds);
 }
 
 // ---------------------------------------------------------- 1088-cell smoke

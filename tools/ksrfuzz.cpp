@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,8 @@
 #include "ksr/machine/coherent_machine.hpp"
 #include "ksr/machine/factory.hpp"
 #include "ksr/nas/is.hpp"
+#include "ksr/obs/analyze.hpp"
+#include "ksr/obs/tracer.hpp"
 #include "ksr/sync/barrier.hpp"
 #include "ksr/sync/locks.hpp"
 #include "ksr/sync/padded.hpp"
@@ -67,13 +71,72 @@ unsigned g_cells_per_domain = 0;
 std::string g_checkpoint_at;
 std::string g_restore_from;
 
+// Observability on failure (--trace / --report, docs/OBSERVABILITY.md):
+// every run carries a tracer, and when a seed FAILs its trace of the
+// violating schedule is written to <prefix>.<workload>.s<seed>.trace.csv
+// (and/or a ksrprof profile to ....report.txt) so the diagnostic window is
+// captured without re-running. Tracing never perturbs the schedule, so the
+// replay line stays valid with or without these flags.
+bool g_trace = false;
+bool g_report = false;
+std::string g_trace_cats;            // category filter; empty = all
+std::string g_trace_out = "ksrfuzz"; // output path prefix
+
 struct RunOutcome {
   bool ok = true;
   std::string detail;             // failure diagnostic when !ok
   std::uint64_t events = 0;       // engine events dispatched (determinism)
   std::string ckpt_file;          // checkpoint written by this run, if any
   check::InvariantChecker::Stats stats;
+  std::unique_ptr<obs::Tracer> tracer;   // --trace/--report: the run's trace
+  std::vector<obs::RegionSpan> regions;  // heap map for report name lookup
 };
+
+std::unique_ptr<obs::Tracer> make_fuzz_tracer() {
+  if (!g_trace && !g_report) return nullptr;
+  auto t = std::make_unique<obs::Tracer>(std::size_t{1} << 18);
+  t->set_enabled_categories(g_trace_cats);
+  return t;
+}
+
+// Capture the trace-support state that dies with the machine (the heap's
+// region map); call while the machine is still alive.
+void capture_obs(RunOutcome& out, machine::Machine& m) {
+  if (!out.tracer) return;
+  const mem::Heap& h = m.heap();
+  out.regions.reserve(h.region_count());
+  for (std::size_t i = 0; i < h.region_count(); ++i) {
+    const mem::Region& r = h.region(i);
+    out.regions.push_back({r.base, r.bytes, r.name});
+  }
+}
+
+// On FAIL: dump the violating run's trace/report files and return the text
+// naming them for the FAIL block.
+std::string write_fail_obs(const RunOutcome& out, const std::string& w,
+                           std::uint64_t seed) {
+  if (!out.tracer) return {};
+  std::string text;
+  const std::string stem =
+      g_trace_out + "." + w + ".s" + std::to_string(seed);
+  if (g_trace) {
+    const std::string path = stem + ".trace.csv";
+    std::ofstream os(path);
+    out.tracer->write_csv(os);
+    for (const obs::RegionSpan& reg : out.regions) {
+      os << "# region base=" << reg.base << " bytes=" << reg.bytes
+         << " name=" << reg.name << '\n';
+    }
+    text += "trace: " + path + "\n";
+  }
+  if (g_report) {
+    const std::string path = stem + ".report.txt";
+    std::ofstream os(path);
+    obs::write_report(os, obs::analyze(*out.tracer, out.regions));
+    text += "report: " + path + "\n";
+  }
+  return text;
+}
 
 bool parse_u64(const char* s, std::uint64_t* out) {
   if (s == nullptr || *s == '\0') return false;
@@ -109,6 +172,8 @@ RunOutcome run_locks(std::uint64_t seed, unsigned procs) {
   auto& cm = dynamic_cast<machine::CoherentMachine&>(*m);
   check::InvariantChecker checker(cm);
   cm.attach_checker(&checker);
+  out.tracer = make_fuzz_tracer();
+  if (out.tracer) m->attach_tracer(out.tracer.get());
 
   constexpr std::uint32_t kOps = 24;
   sync::HardwareLock lock(*m, "fuzz.lock");
@@ -135,6 +200,7 @@ RunOutcome run_locks(std::uint64_t seed, unsigned procs) {
                  std::to_string(counter.value(0)) + ", expected " +
                  std::to_string(want) + " (lost update under HardwareLock)";
   }
+  capture_obs(out, *m);
   out.events = m->engine().events_dispatched();
   out.stats = checker.stats();
   return out;
@@ -153,6 +219,8 @@ RunOutcome run_barriers(std::uint64_t seed, unsigned procs) {
   auto& cm = dynamic_cast<machine::CoherentMachine&>(*m);
   check::InvariantChecker checker(cm);
   cm.attach_checker(&checker);
+  out.tracer = make_fuzz_tracer();
+  if (out.tracer) m->attach_tracer(out.tracer.get());
 
   constexpr std::uint32_t kEpisodes = 12;
   auto barrier = sync::make_barrier(*m, sync::BarrierKind::kMcsM);
@@ -187,6 +255,7 @@ RunOutcome run_barriers(std::uint64_t seed, unsigned procs) {
     out.ok = false;
     out.detail = mismatch;
   }
+  capture_obs(out, *m);
   out.events = m->engine().events_dispatched();
   out.stats = checker.stats();
   return out;
@@ -204,6 +273,8 @@ RunOutcome run_is(std::uint64_t seed, unsigned procs) {
   auto& cm = dynamic_cast<machine::CoherentMachine&>(*m);
   check::InvariantChecker checker(cm);
   cm.attach_checker(&checker);
+  out.tracer = make_fuzz_tracer();
+  if (out.tracer) m->attach_tracer(out.tracer.get());
 
   nas::IsConfig cfg;
   cfg.log2_keys = 11;
@@ -241,6 +312,7 @@ RunOutcome run_is(std::uint64_t seed, unsigned procs) {
     out.ok = false;
     out.detail = e.what();
   }
+  capture_obs(out, *m);
   out.events = m->engine().events_dispatched();
   out.stats = checker.stats();
   return out;
@@ -260,6 +332,8 @@ int usage(const char* argv0) {
       "          [--seed-base S] [--procs P] [--sim-threads T]\n"
       "          [--cells-per-leaf C] [--cells-per-domain D] [--verbose]\n"
       "          [--checkpoint-at PREFIX] [--restore-from FILE]\n"
+      "          [--trace] [--trace-cats ring,coherence,sync,stall]\n"
+      "          [--trace-out PREFIX] [--report]\n"
       "\n"
       "Runs N consecutive schedule seeds (S, S+1, ...) of each workload on\n"
       "a KSR-1 machine with the ALLCACHE invariant checker attached.\n"
@@ -274,7 +348,14 @@ int usage(const char* argv0) {
       "boundary; a FAIL replay line then includes --restore-from so the\n"
       "violating schedule replays from just before the contended phases.\n"
       "--restore-from FILE restores instead of warming up (same --procs /\n"
-      "--sim-threads / seed as the capture; use --seeds 1).\n",
+      "--sim-threads / seed as the capture; use --seeds 1).\n"
+      "\n"
+      "--trace captures a structured event trace of every run and, on a\n"
+      "FAIL, writes the violating schedule's window to\n"
+      "PREFIX.<workload>.s<seed>.trace.csv (PREFIX from --trace-out,\n"
+      "default 'ksrfuzz'; --trace-cats filters categories). --report\n"
+      "additionally writes a ksrprof profile to ....report.txt. Tracing\n"
+      "never perturbs the schedule, so replay lines stay valid either way.\n",
       argv0);
   return 2;
 }
@@ -321,6 +402,17 @@ int main(int argc, char** argv) {
     } else if (a == "--restore-from" && val != nullptr) {
       g_restore_from = val;
       ++i;
+    } else if (a == "--trace") {
+      g_trace = true;
+    } else if (a == "--trace-cats" && val != nullptr) {
+      g_trace_cats = val;
+      ++i;
+    } else if (a == "--trace-out" && val != nullptr) {
+      g_trace = true;
+      g_trace_out = val;
+      ++i;
+    } else if (a == "--report") {
+      g_report = true;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else {
@@ -363,11 +455,14 @@ int main(int argc, char** argv) {
           // captured at this seed's warm-up boundary.
           topo += " --restore-from " + out.ckpt_file;
         }
+        const std::string obs_files = write_fail_obs(out, w, seed);
         std::fprintf(stderr,
                      "FAIL workload=%s seed=%" PRIu64 " procs=%u\n%s\n"
+                     "%s"
                      "replay: ksrfuzz --workload %s --procs %u "
                      "--seed-base %" PRIu64 " --seeds 1%s\n",
                      w.c_str(), seed, opt.procs, out.detail.c_str(),
+                     obs_files.c_str(),
                      w.c_str(), opt.procs, seed, topo.c_str());
       } else if (opt.verbose) {
         std::fprintf(stdout,

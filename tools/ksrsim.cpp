@@ -56,6 +56,7 @@ class Args {
         {"pad-buckets", 1},
         {"jobs", 1},     {"trace", 1},        {"trace-out", 1},
         {"trace-cap", 1}, {"report", 1},      {"metrics-csv", 1},
+        {"topo-report", 1},
         {"fuzz-seed", 1},    {"check", 0},    {"sim-threads", 1},
         {"leaf-rings", 1},   {"cells-per-leaf", 1}, {"cells-per-domain", 1},
         {"checkpoint-at", 1}, {"restore-from", 1}};
@@ -171,7 +172,8 @@ class Args {
 /// `--trace [cat,...]` captures a structured trace, `--trace-out FILE` names
 /// the output (default ksrsim_<cmd>_trace.json), `--trace-cap N` sizes the
 /// per-job record buffer, `--metrics-csv FILE` the sampled metrics time
-/// series, `--report FILE` a ksrprof simulated-time profile.
+/// series, `--report FILE` a ksrprof simulated-time profile,
+/// `--topo-report FILE` the byte-stable topology report (+ FILE.matrix.csv).
 obs::Session make_session(const Args& args, const std::string& cmd) {
   obs::SessionOptions s;
   s.trace = args.has("trace") || args.has("trace-out");
@@ -180,6 +182,7 @@ obs::Session make_session(const Args& args, const std::string& cmd) {
   s.trace_out = args.get("trace-out");
   s.metrics_csv = args.get("metrics-csv");
   s.report = args.get("report");
+  s.topo_report = args.get("topo-report");
   const unsigned cap = args.get_u("trace-cap", 0);
   if (cap != 0) s.trace_capacity = cap;
   return obs::Session(std::move(s), "ksrsim_" + cmd);
@@ -596,6 +599,11 @@ int cmd_help() {
       "  --report FILE        ksrprof simulated-time profile (sharing\n"
       "                       patterns, sync critical paths, stalls); see\n"
       "                       also tools/ksrprof for offline CSV analysis\n"
+      "  --topo-report FILE   topology report: per-level ring utilization,\n"
+      "                       directory-shard pressure, boundary channels,\n"
+      "                       leaf-to-leaf traffic (+ FILE.matrix.csv\n"
+      "                       heatmap; byte-stable across --jobs and\n"
+      "                       --sim-threads; see also tools/ksrtop)\n"
       "\n"
       "kernel size flags: --log2-pairs (ep), --n/--nnz-per-row/--iters (cg),\n"
       "  --log2-keys/--log2-buckets (is, --pad-buckets pads per-cpu bucket\n"
