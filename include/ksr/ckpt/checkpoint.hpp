@@ -165,8 +165,24 @@ class Reader {
   return open(image.data(), image.size());
 }
 
-/// Whole-image file I/O (binary). write_file refuses to leave a partial
-/// file on error; read_file throws on any I/O failure.
+/// Durable whole-file write: the bytes land in a `<path>.tmp.<pid>` sibling
+/// first and reach `path` only through rename(2), which POSIX makes atomic
+/// within a filesystem — so a crash, kill, or full disk mid-write can never
+/// leave a truncated file under the final name (the old contents, if any,
+/// survive instead). Flush errors (ENOSPC surfaces here, not at fwrite) are
+/// checked before the rename and the temp file is removed on any failure.
+/// Throws std::runtime_error naming the path and the errno text. Shared by
+/// checkpoint images, the serve result cache and the campaign outputs.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t n);
+inline void atomic_write_file(const std::string& path,
+                              const std::string& data) {
+  atomic_write_file(path, data.data(), data.size());
+}
+
+/// Whole-image file I/O (binary). write_file is atomic_write_file — a
+/// partial image can never appear under the final name; read_file throws on
+/// any I/O failure.
 void write_file(const std::string& path, const std::vector<std::byte>& image);
 [[nodiscard]] std::vector<std::byte> read_file(const std::string& path);
 

@@ -148,6 +148,12 @@ class Session {
   /// Flush and close the outputs (idempotent; the destructor calls it).
   void close();
 
+  /// False once any output failed to open or write (full disk, bad path).
+  /// Every failure is also reported on stderr with the offending path; the
+  /// tools fold this into their exit status after close(), so a truncated
+  /// trace or metrics file can never look like a successful run.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
  private:
   [[nodiscard]] bool trace_as_csv() const;
   [[nodiscard]] std::string trace_path() const;
@@ -167,6 +173,7 @@ class Session {
   std::uint64_t total_dropped_ = 0;
   std::size_t jobs_collected_ = 0;
   bool closed_ = false;
+  bool ok_ = true;
 };
 
 }  // namespace ksr::obs

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "ksr/host/sweep_runner.hpp"
+#include "ksr/serve/cache.hpp"
+#include "ksr/serve/job.hpp"
+
+// The serving engine shared by the `ksrsim serve` daemon and the in-process
+// `ksrsim campaign` runner (docs/SERVING.md): validate → cache probe →
+// in-flight dedup → execute → store. Batches dispatch through the existing
+// host::SweepRunner pool; single submissions execute on the calling thread
+// (daemon connection threads already parallelize across clients). Identical
+// jobs submitted concurrently dedup to ONE execution — later arrivals wait
+// on the first and receive the same bytes.
+namespace ksr::serve {
+
+class ServeCore {
+ public:
+  struct Options {
+    std::string store_dir;     // empty = in-memory cache only
+    unsigned jobs = 0;         // SweepRunner width for batches; 0 = one/core
+    unsigned sim_threads = 1;  // engine threads per simulation (policy only)
+    std::uint32_t code_version = kCodeVersion;  // overridable for tests
+  };
+
+  struct Response {
+    bool ok = false;
+    bool cached = false;  // true for cache hits AND in-flight dedup waits
+    std::string key;      // 16-hex cache key
+    std::string error;    // when !ok
+    std::string result;   // deterministic result JSON bytes
+    std::uint64_t wall_ms = 0;  // this submission's wall clock (not cached)
+  };
+
+  explicit ServeCore(const Options& opt);
+
+  /// Submit one job. Thread-safe; blocks until the result is available.
+  [[nodiscard]] Response submit(const JobSpec& spec);
+
+  /// Submit a batch through the SweepRunner pool; responses in submission
+  /// order. Batches serialize against each other (one pool).
+  [[nodiscard]] std::vector<Response> submit_batch(
+      const std::vector<JobSpec>& specs);
+
+  struct Counters {
+    ResultCache::Stats cache;
+    std::uint64_t executed = 0;       // jobs that actually simulated
+    std::uint64_t inflight_dedup = 0; // submissions served by a peer's run
+    std::uint64_t failures = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] Json stats_json() const;
+  /// Counter export in the obs metrics CSV shape (counter,value rows) —
+  /// `ksrsim serve --metrics-csv FILE` dumps this at shutdown.
+  void write_stats_csv(std::ostream& os) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+
+ private:
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response resp;
+  };
+
+  Options opt_;
+  ResultCache cache_;
+  host::SweepRunner runner_;
+  std::mutex batch_mu_;  // SweepRunner batches are not reentrant
+  mutable std::mutex inflight_mu_;  // guards inflight_ and the counters below
+  std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t inflight_dedup_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace ksr::serve

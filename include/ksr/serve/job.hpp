@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ksr/serve/json.hpp"
+
+// A serve job = MachineConfig knobs + workload name/params + seed +
+// optional checkpoint preset (docs/SERVING.md). Every simulation in this
+// repo is bit-deterministic — the same spec produces the same
+// events_dispatched fingerprint and the same result values at any --jobs /
+// --sim-threads — so a content hash of (spec, code version) is a *perfect*
+// cache key for the result store. Execution policy (how many host threads
+// run the job) is therefore deliberately NOT part of the spec.
+namespace ksr::serve {
+
+/// Bump when a change moves any pinned fingerprint (simulated semantics,
+/// kernel schedules, machine timing): every cached result keyed under the
+/// old version becomes unreachable and re-runs on first request. The
+/// pinned-fingerprint stage of scripts/bench_host.sh --check is the tripwire
+/// that tells you a bump is due.
+inline constexpr std::uint32_t kCodeVersion = 1;
+
+struct JobSpec {
+  // --- machine knobs (ksrsim's make_config vocabulary) ---
+  std::string machine = "ksr1";  // ksr1|ksr2|symmetry|butterfly
+  unsigned procs = 8;
+  unsigned scale = 1;            // MachineConfig::scaled_by
+  bool snarf = true;             // read_snarfing
+  std::uint64_t fuzz_seed = 0;   // sched_fuzz_seed
+  unsigned cells_per_leaf = 0;   // 0 = preset
+  unsigned cells_per_domain = 0; // 0 = single domain
+
+  // --- workload ---
+  std::string workload = "cg";   // ep|cg|is|sp|bt
+  std::uint64_t seed = 0;        // 0 = the kernel's published default seed
+  // Size parameters; 0 (or false) means the ksrsim kernel-command default
+  // for that workload. Unused parameters for a workload are ignored at
+  // execution but still keyed — two spellings of the same job may occupy
+  // two cache slots (conservative), a shared slot can never collide.
+  unsigned log2_keys = 0;        // is
+  unsigned log2_buckets = 0;     // is
+  bool pad_buckets = false;      // is
+  unsigned n = 0;                // cg/sp/bt
+  unsigned nnz_per_row = 0;      // cg
+  unsigned iters = 0;            // cg/sp/bt
+  unsigned log2_pairs = 0;       // ep
+  // Checkpoint preset (is only): restore the machine from this image and
+  // run the timed split-phase ranking instead of the warm-up
+  // (docs/CHECKPOINT.md). The *contents* of the file are folded into the
+  // cache key, so the preset is itself content-addressed.
+  std::string restore_from;
+
+  /// Empty string when the spec is well-formed, else a diagnostic. Validates
+  /// the vocabulary and builds the MachineConfig once to run its validate().
+  [[nodiscard]] std::string validate() const;
+
+  /// Canonical fixed-field-order serialization — the byte string the cache
+  /// key hashes. Includes every field (plus the FNV-1a of the checkpoint
+  /// preset's bytes when one is named), so any change to any field, seed or
+  /// preset changes the key.
+  [[nodiscard]] std::string canonical() const;
+
+  [[nodiscard]] Json to_json() const;
+  /// Populate from a JSON object (unknown keys are errors — a typo'd knob
+  /// must not silently run with defaults). Fields absent keep defaults.
+  static bool from_json(const Json& j, JobSpec* out, std::string* err);
+};
+
+struct CacheKey {
+  std::uint64_t value = 0;
+  [[nodiscard]] std::string hex() const;
+};
+
+/// FNV-1a over canonical() plus the version stamps (kCodeVersion and the
+/// checkpoint format version). Throws std::runtime_error when the spec
+/// names a checkpoint preset that cannot be read.
+[[nodiscard]] CacheKey derive_key(const JobSpec& spec,
+                                  std::uint32_t code_version = kCodeVersion);
+
+struct JobOutcome {
+  std::uint64_t events = 0;  // the determinism fingerprint
+  std::string result;        // deterministic result JSON (the cached bytes)
+};
+
+/// Run the job on a freshly built machine. `sim_threads` is server
+/// execution policy — results are bit-identical for any value
+/// (docs/PARALLEL.md). Throws on invalid specs or checkpoint mismatches.
+[[nodiscard]] JobOutcome execute(const JobSpec& spec, unsigned sim_threads = 1);
+
+}  // namespace ksr::serve

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// Minimal dependency-free JSON for the serve subsystem (docs/SERVING.md):
+// the daemon's newline-delimited request/response protocol and the campaign
+// manifests. Deliberately small — objects keep *insertion order* (so a
+// value serializes to the same bytes it was built in, which the
+// content-addressed result cache and the campaign result database rely on),
+// numbers are stored exactly as signed/unsigned 64-bit integers when the
+// token is integral (a seed or an event fingerprint must survive the round
+// trip bit-exactly), and output is compact with no whitespace.
+namespace ksr::serve {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kUint,    // non-negative integer token
+    kInt,     // negative integer token
+    kDouble,  // fractional / exponent token
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+
+  // -------- builders --------
+  static Json null() { return Json(); }
+  static Json boolean(bool v) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.b_ = v;
+    return j;
+  }
+  static Json uint(std::uint64_t v) {
+    Json j;
+    j.kind_ = Kind::kUint;
+    j.u_ = v;
+    return j;
+  }
+  static Json integer(std::int64_t v) {
+    if (v >= 0) return uint(static_cast<std::uint64_t>(v));
+    Json j;
+    j.kind_ = Kind::kInt;
+    j.i_ = v;
+    return j;
+  }
+  static Json real(double v) {
+    Json j;
+    j.kind_ = Kind::kDouble;
+    j.d_ = v;
+    return j;
+  }
+  static Json str(std::string v) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.s_ = std::move(v);
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  /// Append to an array.
+  Json& push(Json v) {
+    arr_.push_back(std::move(v));
+    return *this;
+  }
+  /// Set an object member: replaces an existing key in place, appends a new
+  /// one (insertion order is serialization order).
+  Json& set(std::string_view key, Json v);
+
+  // -------- inspectors --------
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kUint || kind_ == Kind::kInt ||
+           kind_ == Kind::kDouble;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  [[nodiscard]] const std::vector<Json>& items() const noexcept {
+    return arr_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const noexcept {
+    return obj_;
+  }
+
+  [[nodiscard]] const std::string& as_string() const noexcept { return s_; }
+  [[nodiscard]] bool as_bool(bool def = false) const noexcept {
+    return kind_ == Kind::kBool ? b_ : def;
+  }
+  /// Exact unsigned value; false when not a non-negative integer token.
+  [[nodiscard]] bool as_u64(std::uint64_t* out) const noexcept {
+    if (kind_ != Kind::kUint) return false;
+    *out = u_;
+    return true;
+  }
+  [[nodiscard]] double as_double(double def = 0.0) const noexcept {
+    switch (kind_) {
+      case Kind::kUint: return static_cast<double>(u_);
+      case Kind::kInt: return static_cast<double>(i_);
+      case Kind::kDouble: return d_;
+      default: return def;
+    }
+  }
+
+  // -------- serialization --------
+  /// Compact serialization appended to `out` (no whitespace; object members
+  /// in insertion order; doubles via %.17g so values round-trip exactly).
+  void write(std::string* out) const;
+  [[nodiscard]] std::string dump() const {
+    std::string s;
+    write(&s);
+    return s;
+  }
+
+  /// Parse one JSON document; the whole input must be consumed. Returns a
+  /// null value and sets *err on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text, std::string* err);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool b_ = false;
+  std::uint64_t u_ = 0;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace ksr::serve

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ksr/serve/core.hpp"
+
+// `ksrsim serve` — simulation-as-a-service over a local AF_UNIX stream
+// socket (docs/SERVING.md). The protocol is newline-delimited JSON: one
+// request object per line in, one response object per line out, on the same
+// connection, in submission order. Operations:
+//
+//   {"op":"ping"}                      → {"ok":true,"op":"ping",...}
+//   {"op":"submit","job":{...}}        → one result line
+//   {"op":"submit","jobs":[{...},...]} → one result line per job, in order
+//   {"op":"stats"}                     → cache/dedup counters
+//   {"op":"shutdown"}                  → ack, then the daemon exits
+//
+// Each connection gets its own thread; job batches dispatch through the
+// shared ServeCore (SweepRunner pool + content-addressed result cache), so
+// concurrent clients submitting the same spec dedup to one execution.
+namespace ksr::serve {
+
+class SocketServer {
+ public:
+  struct Options {
+    std::string socket_path;
+    ServeCore::Options core;
+  };
+
+  /// Binds and listens (replacing a stale socket file at the path).
+  /// Throws std::runtime_error with the path on any socket failure.
+  explicit SocketServer(const Options& opt);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept loop; returns after shutdown() (from a handler or another
+  /// thread) once every connection thread has drained.
+  void run();
+
+  /// Stop accepting, wake blocked connections, and make run() return.
+  void shutdown();
+
+  [[nodiscard]] ServeCore& core() noexcept { return core_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+
+ private:
+  void handle_connection(int fd);
+  /// Handle one request line; returns false when the connection should
+  /// close (protocol error or shutdown).
+  bool handle_request(int fd, const std::string& line);
+
+  ServeCore core_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::set<int> live_fds_;
+};
+
+/// Minimal blocking client for the daemon protocol — used by `ksrsim
+/// submit`, the CI smoke stage and the tests. One request line out, N
+/// response lines back.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path);  // throws on connect
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send_line(const std::string& line);
+  /// One newline-terminated response (without the newline). Throws on EOF.
+  [[nodiscard]] std::string read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace ksr::serve

@@ -1,9 +1,8 @@
 #pragma once
 
-#include <cerrno>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <limits>
@@ -11,6 +10,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "ksr/util/parse.hpp"
 
 // Plain-text / CSV table rendering for the bench harnesses. Every bench
 // binary prints the same rows the paper's table or figure reports, plus an
@@ -138,10 +139,8 @@ struct BenchOptions {
   std::string restore_from;   // donor checkpoint path prefix; empty = off
 
   static void parse_trace_cap(BenchOptions* o, const char* s) {
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0' || errno == ERANGE || v == 0) {
+    std::uint64_t v = 0;
+    if (!util::parse_u64(s, &v) || v == 0) {
       std::cerr << "warning: ignoring invalid --trace-cap value '" << s
                 << "' (expected a positive record count)\n";
     } else {
@@ -151,29 +150,23 @@ struct BenchOptions {
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
-    auto parse_jobs = [&o](const char* s) {
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long v = std::strtoul(s, &end, 10);
-      if (end == s || *end != '\0' || errno == ERANGE ||
+    // The one strict parser every tool shares (ksr/util/parse.hpp): rejects
+    // empty, partial, negative, and overflowing tokens in one place.
+    auto parse_unsigned = [](const char* s, const char* flag, unsigned* out) {
+      std::uint64_t v = 0;
+      if (!util::parse_u64(s, &v) ||
           v > std::numeric_limits<unsigned>::max()) {
-        std::cerr << "warning: ignoring invalid --jobs value '" << s
+        std::cerr << "warning: ignoring invalid " << flag << " value '" << s
                   << "' (expected a non-negative integer)\n";
       } else {
-        o.jobs = static_cast<unsigned>(v);
+        *out = static_cast<unsigned>(v);
       }
     };
-    auto parse_sim_threads = [&o](const char* s) {
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long v = std::strtoul(s, &end, 10);
-      if (end == s || *end != '\0' || errno == ERANGE ||
-          v > std::numeric_limits<unsigned>::max()) {
-        std::cerr << "warning: ignoring invalid --sim-threads value '" << s
-                  << "' (expected a non-negative integer)\n";
-      } else {
-        o.sim_threads = static_cast<unsigned>(v);
-      }
+    auto parse_jobs = [&o, &parse_unsigned](const char* s) {
+      parse_unsigned(s, "--jobs", &o.jobs);
+    };
+    auto parse_sim_threads = [&o, &parse_unsigned](const char* s) {
+      parse_unsigned(s, "--sim-threads", &o.sim_threads);
     };
     // "--flag=VALUE" match; returns the value through `out`.
     auto eq_value = [](const std::string& a, const std::string& flag,

@@ -313,11 +313,53 @@ assert isinstance(d['traceEvents'], list) and d['traceEvents'], 'empty trace'
          "point telemetry lines" >&2
     exit 1
   fi
+  # Serving-layer equivalence (docs/SERVING.md): the fig8_quick campaign
+  # manifest expands to the same six points the direct bench sweeps, so the
+  # sum of its per-job events_dispatched must equal the direct [host]
+  # fingerprint; a second pass over the same store must be 100% cache hits
+  # with a byte-identical result database.
+  CAMPAIGN_ARGS=()
+  if [ -x "$BUILD_DIR/tools/ksrsim" ]; then
+    run_paper bench_fig8_speedup fig8_direct
+    fpd=$(fingerprint fig8_direct)
+    "$BUILD_DIR/tools/ksrsim" campaign presets/campaigns/fig8_quick.json \
+      --store "$TMP/campaign_store" --out "$TMP/fig8_cold_db" \
+      2> "$TMP/campaign_cold.log"
+    "$BUILD_DIR/tools/ksrsim" campaign presets/campaigns/fig8_quick.json \
+      --store "$TMP/campaign_store" --out "$TMP/fig8_warm_db" \
+      2> "$TMP/campaign_warm.log"
+    fpcamp=$(python3 -c "
+import json, sys
+print(sum(json.loads(l)['result']['events_dispatched']
+          for l in open('$TMP/fig8_cold_db.jsonl') if l.strip()))
+")
+    if [ -z "$fpd" ] || [ "$fpcamp" != "$fpd" ]; then
+      echo "bench_host.sh --check FAILED: campaign events_dispatched sum" \
+           "differs from the direct fig8 sweep ($fpcamp vs $fpd)" >&2
+      exit 1
+    fi
+    if ! grep -q 'hit_rate_pct=100' "$TMP/campaign_warm.log"; then
+      echo "bench_host.sh --check FAILED: second campaign pass was not 100%" \
+           "cache hits" >&2
+      cat "$TMP/campaign_warm.log" >&2
+      exit 1
+    fi
+    if ! cmp -s "$TMP/fig8_cold_db.jsonl" "$TMP/fig8_warm_db.jsonl" ||
+       ! cmp -s "$TMP/fig8_cold_db.csv" "$TMP/fig8_warm_db.csv"; then
+      echo "bench_host.sh --check FAILED: campaign result database differs" \
+           "between the cold and cached pass" >&2
+      exit 1
+    fi
+    CAMPAIGN_ARGS=(--campaign "fig8_campaign=$TMP/fig8_cold_db.jsonl")
+  else
+    echo "bench_host.sh --check: skipping campaign stage (ksrsim not built)" >&2
+  fi
   # Host-performance gate: the simulator's hot loops must not have slowed
   # past tolerance relative to the committed BENCH_host.json baseline.
   python3 scripts/perf_gate.py --gbench "$TMP/gbench.json"
   python3 bench/report.py --gbench "$TMP/gbench.json" \
     --host "$TMP/table2_is.host" --host "$TMP/fig4.host" \
+    ${CAMPAIGN_ARGS[@]+"${CAMPAIGN_ARGS[@]}"} \
     --mode quick --out "$TMP/BENCH_host.json"
   echo "bench_host.sh --check OK (fingerprint $fp1 reproducible," \
        "jobs-1/jobs-4 fingerprint $fpj1 identical, sim-threads-1/4" \

@@ -1,5 +1,8 @@
 #include "ksr/ckpt/checkpoint.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 
 namespace ksr::ckpt {
@@ -65,18 +68,36 @@ Reader open(const std::byte* image, std::size_t n) {
   return Reader(image + kHeaderBytes, static_cast<std::size_t>(payload));
 }
 
-void write_file(const std::string& path, const std::vector<std::byte>& image) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t n) {
+  // The pid suffix keeps concurrent writers of the same path (two daemons
+  // sharing a result-cache store) off each other's temp file; whichever
+  // rename lands last wins with a complete image either way.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    throw std::runtime_error("checkpoint: cannot open " + path +
-                             " for writing");
+    throw std::runtime_error("checkpoint: cannot open " + tmp +
+                             " for writing: " + std::strerror(errno));
   }
-  const std::size_t wrote = std::fwrite(image.data(), 1, image.size(), f);
+  const std::size_t wrote = n == 0 ? 0 : std::fwrite(data, 1, n, f);
+  // fclose flushes the stdio buffer; a full disk often only surfaces here.
   const bool flushed = std::fclose(f) == 0;
-  if (wrote != image.size() || !flushed) {
-    std::remove(path.c_str());  // never leave a torn image behind
-    throw std::runtime_error("checkpoint: short write to " + path);
+  if (wrote != n || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to " + tmp + ": " +
+                             std::strerror(errno));
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path + ": " + why);
+  }
+}
+
+void write_file(const std::string& path, const std::vector<std::byte>& image) {
+  atomic_write_file(path, image.data(), image.size());
 }
 
 std::vector<std::byte> read_file(const std::string& path) {

@@ -43,8 +43,9 @@ void Session::collect(JobObs obs, const std::string& label) {
       if (!trace_os_.is_open()) {
         trace_os_.open(trace_path(), std::ios::out | std::ios::trunc);
         if (!trace_os_) {
-          std::cerr << "[obs] warning: cannot open trace output '"
+          std::cerr << "[obs] ERROR: cannot open trace output '"
                     << trace_path() << "'\n";
+          ok_ = false;
         }
       }
       if (trace_os_) {
@@ -86,8 +87,9 @@ void Session::collect(JobObs obs, const std::string& label) {
       if (!report_os_.is_open()) {
         report_os_.open(opt_.report, std::ios::out | std::ios::trunc);
         if (!report_os_) {
-          std::cerr << "[obs] warning: cannot open report output '"
+          std::cerr << "[obs] ERROR: cannot open report output '"
                     << opt_.report << "'\n";
+          ok_ = false;
         }
       }
       if (report_os_) {
@@ -102,8 +104,9 @@ void Session::collect(JobObs obs, const std::string& label) {
     if (!topo_os_.is_open()) {
       topo_os_.open(opt_.topo_report, std::ios::out | std::ios::trunc);
       if (!topo_os_) {
-        std::cerr << "[obs] warning: cannot open topo report output '"
+        std::cerr << "[obs] ERROR: cannot open topo report output '"
                   << opt_.topo_report << "'\n";
+        ok_ = false;
       }
     }
     if (topo_os_) {
@@ -118,8 +121,9 @@ void Session::collect(JobObs obs, const std::string& label) {
         matrix_os_.open(opt_.topo_report + ".matrix.csv",
                         std::ios::out | std::ios::trunc);
         if (!matrix_os_) {
-          std::cerr << "[obs] warning: cannot open traffic matrix output '"
+          std::cerr << "[obs] ERROR: cannot open traffic matrix output '"
                     << opt_.topo_report << ".matrix.csv'\n";
+          ok_ = false;
         }
       }
       if (matrix_os_) {
@@ -135,8 +139,9 @@ void Session::collect(JobObs obs, const std::string& label) {
     if (!metrics_os_.is_open()) {
       metrics_os_.open(opt_.metrics_csv, std::ios::out | std::ios::trunc);
       if (!metrics_os_) {
-        std::cerr << "[obs] warning: cannot open metrics output '"
+        std::cerr << "[obs] ERROR: cannot open metrics output '"
                   << opt_.metrics_csv << "'\n";
+        ok_ = false;
       }
     }
     if (metrics_os_) {
@@ -153,26 +158,38 @@ void Session::close() {
     writer_->finish();
     writer_.reset();
   }
-  if (trace_os_.is_open()) {
-    trace_os_.close();
+  // Flush-then-verify each output: an ofstream swallows short writes (full
+  // disk, yanked mount) until the final flush, so the stream state after
+  // close() is the only trustworthy signal the file actually holds what we
+  // streamed into it.
+  const auto finish = [this](std::ofstream& os, const std::string& path,
+                             const char* what) -> bool {
+    if (!os.is_open()) return false;
+    os.close();
+    if (!os) {
+      std::cerr << "[obs] ERROR: short write to " << what << " output '"
+                << path << "'\n";
+      ok_ = false;
+      return false;
+    }
+    return true;
+  };
+  if (finish(trace_os_, trace_path(), "trace")) {
     std::cerr << "[obs] trace: " << total_events_ << " events ("
               << total_dropped_ << " dropped) from " << jobs_collected_
               << " job(s) -> " << trace_path() << "\n";
   }
-  if (metrics_os_.is_open()) {
-    metrics_os_.close();
+  if (finish(metrics_os_, opt_.metrics_csv, "metrics")) {
     std::cerr << "[obs] metrics -> " << opt_.metrics_csv << "\n";
   }
-  if (report_os_.is_open()) {
-    report_os_.close();
+  if (finish(report_os_, opt_.report, "report")) {
     std::cerr << "[obs] report -> " << opt_.report << "\n";
   }
-  if (topo_os_.is_open()) {
-    topo_os_.close();
+  if (finish(topo_os_, opt_.topo_report, "topo report")) {
     std::cerr << "[obs] topo -> " << opt_.topo_report << "\n";
   }
-  if (matrix_os_.is_open()) {
-    matrix_os_.close();
+  if (finish(matrix_os_, opt_.topo_report + ".matrix.csv",
+             "traffic matrix")) {
     std::cerr << "[obs] traffic matrix -> " << opt_.topo_report
               << ".matrix.csv\n";
   }

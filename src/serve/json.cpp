@@ -1,0 +1,342 @@
+#include "ksr/serve/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ksr/util/parse.hpp"
+
+namespace ksr::serve {
+
+namespace {
+
+// Recursive-descent parser over a string_view. Depth-limited so a
+// pathological request can't blow the daemon's stack.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : s_(text), err_(err) {}
+
+  bool run(Json* out) {
+    skip_ws();
+    if (!value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing bytes after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (err_ != nullptr && err_->empty()) {
+      *err_ = "json: " + what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string_token(std::string* out) {
+    if (!eat('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control byte in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(&cp)) return false;
+          // Basic-plane code points only; surrogate pairs are rejected
+          // rather than half-decoded (job specs never need them).
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            return fail("surrogate escapes unsupported");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool hex4(std::uint32_t* out) {
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (pos_ >= s_.size()) return fail("truncated \\u escape");
+      const char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool number(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    bool integral = pos_ > start && s_[pos_ - 1] >= '0';
+    if (pos_ < s_.size() && (s_[pos_] == '.' || s_[pos_] == 'e' ||
+                             s_[pos_] == 'E')) {
+      integral = false;
+      // Fractional / exponent tail: validated loosely, decoded by strtod.
+      while (pos_ < s_.size() &&
+             (s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+              s_[pos_] == '+' || s_[pos_] == '-' ||
+              (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+        ++pos_;
+      }
+    }
+    const std::string_view tok = s_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return fail("bad number");
+    // JSON forbids leading zeros ("01"): the integer part is either a lone
+    // 0 or starts with 1-9.
+    const std::string_view mag =
+        tok[0] == '-' ? tok.substr(1) : tok;
+    if (mag.size() > 1 && mag[0] == '0' && mag[1] >= '0' && mag[1] <= '9') {
+      return fail("bad number");
+    }
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t v = 0;
+        if (!util::parse_i64(tok, &v)) return fail("integer out of range");
+        *out = Json::integer(v);
+      } else {
+        std::uint64_t v = 0;
+        if (!util::parse_u64(tok, &v)) return fail("integer out of range");
+        *out = Json::uint(v);
+      }
+      return true;
+    }
+    const std::string z(tok);
+    char* end = nullptr;
+    const double d = std::strtod(z.c_str(), &end);
+    if (end != z.c_str() + z.size()) return fail("bad number");
+    *out = Json::real(d);
+    return true;
+  }
+
+  bool value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      *out = Json::object();
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!string_token(&key)) return false;
+        skip_ws();
+        if (!eat(':')) return fail("expected ':'");
+        skip_ws();
+        Json v;
+        if (!value(&v, depth + 1)) return false;
+        out->set(key, std::move(v));
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      *out = Json::array();
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        skip_ws();
+        Json v;
+        if (!value(&v, depth + 1)) return false;
+        out->push(std::move(v));
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string sv;
+      if (!string_token(&sv)) return false;
+      *out = Json::str(std::move(sv));
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      *out = Json::boolean(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      *out = Json::boolean(false);
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      *out = Json::null();
+      return true;
+    }
+    return number(out);
+  }
+
+  std::string_view s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+void write_escaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Json& Json::set(std::string_view key, Json v) {
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::write(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull: out->append("null"); return;
+    case Kind::kBool: out->append(b_ ? "true" : "false"); return;
+    case Kind::kUint: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(u_));
+      out->append(buf);
+      return;
+    }
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i_));
+      out->append(buf);
+      return;
+    }
+    case Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d_);
+      out->append(buf);
+      return;
+    }
+    case Kind::kString: write_escaped(s_, out); return;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        arr_[i].write(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        write_escaped(obj_[i].first, out);
+        out->push_back(':');
+        obj_[i].second.write(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+Json Json::parse(std::string_view text, std::string* err) {
+  Json out;
+  Parser p(text, err);
+  if (!p.run(&out)) return Json();
+  return out;
+}
+
+}  // namespace ksr::serve

@@ -1,0 +1,294 @@
+#include "ksr/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ksr::serve {
+
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 1u << 20;  // 1 MiB request cap
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a client that hung up mid-response must surface as an
+    // error on this connection, not a SIGPIPE for the whole daemon.
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("serve: send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long (" +
+                             std::to_string(path.size()) + " bytes, max " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Response line for one submitted job. The cached result bytes are
+/// embedded *verbatim* (not re-parsed), so a hit is byte-identical to the
+/// cold run that produced it.
+std::string result_line(const ServeCore::Response& r, long index) {
+  std::string line = "{\"ok\":";
+  line += r.ok ? "true" : "false";
+  if (index >= 0) {
+    line += ",\"index\":";
+    line += std::to_string(index);
+  }
+  if (!r.key.empty()) {
+    line += ",\"key\":\"";
+    line += r.key;  // fixed 16-hex alphabet, never needs escaping
+    line += '"';
+  }
+  if (r.ok) {
+    line += ",\"cached\":";
+    line += r.cached ? "true" : "false";
+    line += ",\"wall_ms\":";
+    line += std::to_string(r.wall_ms);
+    line += ",\"result\":";
+    line += r.result;
+  } else {
+    line += ",\"error\":";
+    Json::str(r.error).write(&line);
+  }
+  line += "}\n";
+  return line;
+}
+
+std::string error_line(const std::string& what) {
+  std::string line = "{\"ok\":false,\"error\":";
+  Json::str(what).write(&line);
+  line += "}\n";
+  return line;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(const Options& opt)
+    : core_(opt.core), path_(opt.socket_path) {
+  const sockaddr_un addr = make_addr(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  // A previous daemon's socket file would make bind fail with EADDRINUSE
+  // even though nobody is listening; replace it. (A *live* daemon is the
+  // operator's problem — same contract as every pidfile-less service.)
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on '" + path_ +
+                             "': " + why);
+  }
+}
+
+SocketServer::~SocketServer() {
+  shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+  // run() joins the connection threads; if run() was never called, join
+  // whatever accumulated (none, since accepts happen inside run()).
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  // Closing the listen fd pops the blocking accept(); shutting down the
+  // live connections pops their blocking reads.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketServer::run() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down
+    }
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    live_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  std::vector<std::thread> drain;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    drain.swap(conn_threads_);
+  }
+  for (auto& t : drain) t.join();
+}
+
+void SocketServer::handle_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+      try {
+        open = handle_request(fd, line);
+      } catch (const std::exception&) {
+        open = false;  // client hung up mid-response
+      }
+      continue;
+    }
+    if (buf.size() > kMaxLineBytes) {
+      try {
+        write_all(fd, error_line("request line exceeds 1 MiB"));
+      } catch (const std::exception&) {
+      }
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or shutdown()
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  live_fds_.erase(fd);
+}
+
+bool SocketServer::handle_request(int fd, const std::string& line) {
+  std::string err;
+  const Json req = Json::parse(line, &err);
+  if (!err.empty() || !req.is_object()) {
+    write_all(fd, error_line(err.empty() ? "request must be a JSON object"
+                                         : err));
+    return true;
+  }
+  const Json* op_v = req.find("op");
+  const std::string op =
+      op_v != nullptr && op_v->is_string() ? op_v->as_string() : "";
+  if (op == "ping") {
+    std::string out = "{\"ok\":true,\"op\":\"ping\",\"code_version\":";
+    out += std::to_string(core_.options().code_version);
+    out += "}\n";
+    write_all(fd, out);
+    return true;
+  }
+  if (op == "stats") {
+    std::string out = "{\"ok\":true,\"op\":\"stats\",\"stats\":";
+    core_.stats_json().write(&out);
+    out += "}\n";
+    write_all(fd, out);
+    return true;
+  }
+  if (op == "shutdown") {
+    write_all(fd, "{\"ok\":true,\"op\":\"shutdown\"}\n");
+    shutdown();
+    return false;
+  }
+  if (op == "submit") {
+    const Json* job = req.find("job");
+    const Json* jobs = req.find("jobs");
+    if (job != nullptr) {
+      JobSpec spec;
+      if (!JobSpec::from_json(*job, &spec, &err)) {
+        write_all(fd, error_line(err));
+        return true;
+      }
+      write_all(fd, result_line(core_.submit(spec), -1));
+      return true;
+    }
+    if (jobs != nullptr && jobs->is_array()) {
+      std::vector<JobSpec> specs(jobs->items().size());
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!JobSpec::from_json(jobs->items()[i], &specs[i], &err)) {
+          write_all(fd, error_line("jobs[" + std::to_string(i) + "]: " + err));
+          return true;
+        }
+      }
+      const std::vector<ServeCore::Response> rs = core_.submit_batch(specs);
+      std::string out;
+      for (std::size_t i = 0; i < rs.size(); ++i) {
+        out += result_line(rs[i], static_cast<long>(i));
+      }
+      write_all(fd, out);
+      return true;
+    }
+    write_all(fd, error_line("submit needs a 'job' object or 'jobs' array"));
+    return true;
+  }
+  write_all(fd, error_line("unknown op '" + op +
+                           "' (expected ping|submit|stats|shutdown)"));
+  return true;
+}
+
+Client::Client(const std::string& socket_path) {
+  const sockaddr_un addr = make_addr(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve: cannot connect to '" + socket_path +
+                             "': " + why);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(const std::string& line) {
+  write_all(fd_, line.back() == '\n' ? line : line + "\n");
+}
+
+std::string Client::read_line() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("serve: connection closed by daemon");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace ksr::serve

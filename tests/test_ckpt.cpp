@@ -11,8 +11,14 @@
 // (in-flight prefetches, busy directory windows).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
@@ -300,6 +306,96 @@ TEST(CkptQuiescence, RefusesInflightAndBusyCaptures) {
   // Quiescent again: capture succeeds and round-trips.
   const std::vector<std::byte> image = m.checkpoint();
   EXPECT_GT(image.size(), ckpt::kHeaderBytes);
+}
+
+// ------------------------------------------------------- durable writes
+//
+// Checkpoints (and everything else ckpt::atomic_write_file backs: the serve
+// result store, campaign databases) are written temp-then-rename: a reader
+// polling the final name can only ever see a complete image, and a failed
+// write leaves neither a final file nor a temp file behind.
+
+[[nodiscard]] bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+[[nodiscard]] std::string tmp_name_of(const std::string& path) {
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+}
+
+TEST(AtomicWrite, FailedWriteNeverAppearsAtFinalName) {
+  const std::string dir = ::testing::TempDir() + "ksr_no_such_dir_12345";
+  const std::string path = dir + "/image.ckpt";
+  try {
+    ckpt::atomic_write_file(path, "payload");
+    FAIL() << "write into a nonexistent directory must throw";
+  } catch (const std::runtime_error& e) {
+    // The diagnostic names the offending path, not just errno text.
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(file_exists(tmp_name_of(path)));
+}
+
+TEST(AtomicWrite, RenameFailureCleansTempAndNamesBothPaths) {
+  // The final name is an existing directory, so the temp file writes fine
+  // but the rename must fail — the temp file must be cleaned up and the
+  // exception must name both ends of the failed rename.
+  const std::string path = ::testing::TempDir() + "ksr_atomic_dir_tgt";
+  ASSERT_EQ(::mkdir(path.c_str(), 0755), 0) << std::strerror(errno);
+  try {
+    ckpt::atomic_write_file(path, "payload");
+    FAIL() << "rename onto a directory must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(file_exists(tmp_name_of(path)));
+  ::rmdir(path.c_str());
+}
+
+TEST(AtomicWrite, OverwriteReplacesWholeFileAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "ksr_atomic_overwrite";
+  ckpt::atomic_write_file(path, "the old, longer content");
+  ckpt::atomic_write_file(path, "new");
+  const std::vector<std::byte> got = ckpt::read_file(path);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(got.data()),
+                        got.size()),
+            "new");
+  EXPECT_FALSE(file_exists(tmp_name_of(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, CheckpointToBadPathThrowsWithPathAndWritesNothing) {
+  const nas::IsConfig is = small_is();
+  KsrMachine m(machine_cfg(2, 1));
+  nas::IsSplit split(m, is);
+  split.run_warmup();
+  const std::string path =
+      ::testing::TempDir() + "ksr_no_such_dir_67890/is.ckpt";
+  try {
+    m.checkpoint_to(path);
+    FAIL() << "checkpoint into a nonexistent directory must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(file_exists(path));
+  // The machine is unharmed by the failed write: a good path still works
+  // and the image restores bit-exactly.
+  const std::string good = ::testing::TempDir() + "ksr_atomic_good.ckpt";
+  m.checkpoint_to(good);
+  EXPECT_TRUE(file_exists(good));
+  EXPECT_FALSE(file_exists(tmp_name_of(good)));
+  KsrMachine m2(machine_cfg(2, 1));
+  nas::IsSplit split2(m2, is);
+  m2.restore_from(good);
+  EXPECT_TRUE(split2.run_ranked().ranks_valid);
+  std::remove(good.c_str());
 }
 
 }  // namespace

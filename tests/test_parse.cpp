@@ -1,0 +1,126 @@
+// ksr/util/parse.hpp — the one strict integer parser shared by every tool
+// (ksrsim, ksrfuzz, ksrprof, ksrtop), the bench-binary BenchOptions, and
+// the serve/campaign JSON decoder. The predecessors were four divergent
+// strtoull wrappers, each with its own edge-case bugs (the classic: strtoull
+// silently wraps "-1" to UINT64_MAX); these tests pin the shared semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "ksr/util/parse.hpp"
+
+namespace ksr::util {
+namespace {
+
+std::uint64_t u64_of(std::string_view s) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64(s, &v)) << s;
+  return v;
+}
+
+std::int64_t i64_of(std::string_view s) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_i64(s, &v)) << s;
+  return v;
+}
+
+bool u64_rejects(std::string_view s) {
+  std::uint64_t v = 12345;
+  const bool ok = parse_u64(s, &v);
+  if (!ok) {
+    EXPECT_EQ(v, 12345u) << "rejected parse must not clobber *out";
+  }
+  return !ok;
+}
+
+bool i64_rejects(std::string_view s) {
+  std::int64_t v = 12345;
+  const bool ok = parse_i64(s, &v);
+  if (!ok) {
+    EXPECT_EQ(v, 12345) << "rejected parse must not clobber *out";
+  }
+  return !ok;
+}
+
+TEST(ParseU64, AcceptsPlainAndPlusSignedDecimals) {
+  EXPECT_EQ(u64_of("0"), 0u);
+  EXPECT_EQ(u64_of("1"), 1u);
+  EXPECT_EQ(u64_of("0042"), 42u);
+  EXPECT_EQ(u64_of("+7"), 7u);
+  EXPECT_EQ(u64_of("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsMalformedTokens) {
+  EXPECT_TRUE(u64_rejects(""));
+  EXPECT_TRUE(u64_rejects("+"));
+  EXPECT_TRUE(u64_rejects(" 1"));   // strtoull would skip the space
+  EXPECT_TRUE(u64_rejects("1 "));
+  EXPECT_TRUE(u64_rejects("1x"));   // strtoull would stop at 'x'
+  EXPECT_TRUE(u64_rejects("0x10"));
+  EXPECT_TRUE(u64_rejects("1e3"));
+  EXPECT_TRUE(u64_rejects("12.5"));
+  EXPECT_TRUE(u64_rejects("++1"));
+}
+
+TEST(ParseU64, RejectsNegativesInsteadOfWrapping) {
+  // The bug the consolidation fixes: strtoull("-1") "succeeds" and returns
+  // 2^64-1, so `--procs -1` used to ask for eighteen quintillion cells.
+  EXPECT_TRUE(u64_rejects("-1"));
+  EXPECT_TRUE(u64_rejects("-0"));
+  EXPECT_TRUE(u64_rejects("-18446744073709551615"));
+}
+
+TEST(ParseU64, RejectsOverflow) {
+  EXPECT_TRUE(u64_rejects("18446744073709551616"));  // 2^64
+  EXPECT_TRUE(u64_rejects("99999999999999999999"));
+  EXPECT_TRUE(u64_rejects("184467440737095516150"));  // max * 10
+}
+
+TEST(ParseI64, AcceptsSignedDecimals) {
+  EXPECT_EQ(i64_of("0"), 0);
+  EXPECT_EQ(i64_of("-0"), 0);
+  EXPECT_EQ(i64_of("-1"), -1);
+  EXPECT_EQ(i64_of("+25"), 25);
+  EXPECT_EQ(i64_of("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(i64_of("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseI64, RejectsMalformedAndOverflow) {
+  EXPECT_TRUE(i64_rejects(""));
+  EXPECT_TRUE(i64_rejects("-"));
+  EXPECT_TRUE(i64_rejects("+"));
+  EXPECT_TRUE(i64_rejects("-+1"));
+  EXPECT_TRUE(i64_rejects("1-"));
+  EXPECT_TRUE(i64_rejects("9223372036854775808"));   // max + 1
+  EXPECT_TRUE(i64_rejects("-9223372036854775809"));  // min - 1
+}
+
+TEST(ParseOr, FallbackKeepsDefaultAndParsesValid) {
+  // The warn-and-fallback wrappers the tools use: valid tokens parse,
+  // invalid ones keep the caller's default (the warning goes to stderr).
+  EXPECT_EQ(to_u64_or("17", 5, "test", "field"), 17u);
+  EXPECT_EQ(to_u64_or("bogus", 5, "test", "field"), 5u);
+  EXPECT_EQ(to_u64_or("-3", 5, "test", "field"), 5u);
+  EXPECT_EQ(to_i64_or("-17", 5, "test", "field"), -17);
+  EXPECT_EQ(to_i64_or("junk", 5, "test", "field"), 5);
+}
+
+TEST(ParseU64, WorksAtCompileTime) {
+  // constexpr-ness is part of the contract (table-driven tests and future
+  // static configs rely on it).
+  constexpr auto parsed = [] {
+    std::uint64_t v = 0;
+    const bool ok = parse_u64("123", &v);
+    return ok ? v : 0;
+  }();
+  static_assert(parsed == 123);
+  EXPECT_EQ(parsed, 123u);
+}
+
+}  // namespace
+}  // namespace ksr::util

@@ -16,11 +16,9 @@
 // checker hooks never schedule events). In a -DKSR_CHECK=ON build every
 // coherence transition is audited as it commits; in a default build the
 // checker still audits the complete machine state at end of run.
-#include <cerrno>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -36,6 +34,7 @@
 #include "ksr/sync/barrier.hpp"
 #include "ksr/sync/locks.hpp"
 #include "ksr/sync/padded.hpp"
+#include "ksr/util/parse.hpp"
 
 namespace {
 
@@ -139,13 +138,8 @@ std::string write_fail_obs(const RunOutcome& out, const std::string& w,
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
-  if (s == nullptr || *s == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (errno == ERANGE || end == s || *end != '\0') return false;
-  *out = v;
-  return true;
+  if (s == nullptr) return false;
+  return util::parse_u64(s, out);
 }
 
 // One machine per run: fresh caches, fresh directory, fresh heap, and the

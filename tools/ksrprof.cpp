@@ -17,10 +17,8 @@
 // Region names come from the `# region ...` footers the session CSV writes;
 // a raw tracer dump has none, so sub-pages print as bare ids. All output is
 // integer-math only: byte-identical across hosts for the same trace.
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,6 +27,7 @@
 
 #include "ksr/obs/analyze.hpp"
 #include "ksr/obs/tracer.hpp"
+#include "ksr/util/parse.hpp"
 
 namespace {
 
@@ -61,36 +60,16 @@ struct ParsedCsv {
   }
 }
 
-/// strtoull warn-and-fallback parse (the pattern ksrsim/ksrfuzz use):
+/// Warn-and-fallback parse via the shared strict parser (ksr/util/parse.hpp):
 /// malformed, partial, or overflowing numeric fields warn on stderr and
 /// parse as `def` instead of silently truncating at the first bad byte.
 [[nodiscard]] std::uint64_t to_u64(const std::string& s,
                                    std::uint64_t def = 0) {
-  const char* c = s.c_str();
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(c, &end, 10);
-  if (s.empty() || end == c || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr,
-                 "ksrprof: warning: invalid numeric field '%s'; using %llu\n",
-                 s.c_str(), static_cast<unsigned long long>(def));
-    return def;
-  }
-  return v;
+  return ksr::util::to_u64_or(s, def, "ksrprof", "numeric field");
 }
 [[nodiscard]] std::int64_t to_i64(const std::string& s,
                                   std::int64_t def = 0) {
-  const char* c = s.c_str();
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(c, &end, 10);
-  if (s.empty() || end == c || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr,
-                 "ksrprof: warning: invalid numeric field '%s'; using %lld\n",
-                 s.c_str(), static_cast<long long>(def));
-    return def;
-  }
-  return v;
+  return ksr::util::to_i64_or(s, def, "ksrprof", "numeric field");
 }
 
 /// "key=value" lookup inside a comment footer. The value runs to the next
@@ -275,5 +254,24 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  // ofstreams swallow short writes (full disk) until the final flush; a
+  // truncated report must not exit 0.
+  int rc = 0;
+  if (!out_path.empty()) {
+    out_file.close();
+    if (!out_file) {
+      std::fprintf(stderr, "ksrprof: ERROR: short write to '%s'\n",
+                   out_path.c_str());
+      rc = 1;
+    }
+  }
+  if (!flame_path.empty()) {
+    flame.close();
+    if (!flame) {
+      std::fprintf(stderr, "ksrprof: ERROR: short write to '%s'\n",
+                   flame_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }

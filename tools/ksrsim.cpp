@@ -7,9 +7,13 @@
 //   ksrsim lock      --kind rw --read-pct 60 --procs 16 --ops 100
 //   ksrsim kernel    --name cg --procs 16 --scale 64
 //   ksrsim sweep     --name is --procs 1,2,4,8,16,32 --scale 64
+//   ksrsim serve     --socket ksrsim.sock --store ksrsim_store
+//   ksrsim submit    --socket ksrsim.sock --name is --procs 16 --scale 64
+//   ksrsim campaign  presets/campaigns/fig8_quick.json --store ksrsim_store
 //
 // Run `ksrsim help` for the full reference.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "ksr/check/checker.hpp"
+#include "ksr/ckpt/checkpoint.hpp"
 #include "ksr/host/sweep_runner.hpp"
 #include "ksr/machine/factory.hpp"
 #include "ksr/nas/bt.hpp"
@@ -29,11 +34,14 @@
 #include "ksr/nas/is.hpp"
 #include "ksr/nas/sp.hpp"
 #include "ksr/obs/session.hpp"
+#include "ksr/serve/campaign.hpp"
+#include "ksr/serve/server.hpp"
 #include "ksr/study/metrics.hpp"
 #include "ksr/study/table.hpp"
 #include "ksr/sync/barrier.hpp"
 #include "ksr/sync/locks.hpp"
 #include "ksr/sync/spinlocks.hpp"
+#include "ksr/util/parse.hpp"
 
 namespace {
 
@@ -59,11 +67,19 @@ class Args {
         {"topo-report", 1},
         {"fuzz-seed", 1},    {"check", 0},    {"sim-threads", 1},
         {"leaf-rings", 1},   {"cells-per-leaf", 1}, {"cells-per-domain", 1},
-        {"checkpoint-at", 1}, {"restore-from", 1}};
+        {"checkpoint-at", 1}, {"restore-from", 1},
+        {"socket", 1},       {"store", 1},    {"out", 1},
+        {"manifest", 1},     {"op", 1},       {"seed", 1}};
     for (int i = 2; i < argc; ++i) {
       std::string a = argv[i];
       if (a.rfind("--", 0) != 0) {
-        std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
+        // First bare token is the positional argument (the campaign
+        // manifest path); anything further is still a likely typo.
+        if (positional_.empty()) {
+          positional_ = a;
+        } else {
+          std::cerr << "warning: ignoring unknown argument '" << a << "'\n";
+        }
         continue;
       }
       std::string key = a.substr(2);
@@ -99,19 +115,11 @@ class Args {
     const auto it = kv_.find(key);
     return it == kv_.end() ? def : it->second;
   }
-  /// strtoul-validated parse of one non-negative integer token; false on
-  /// malformed or overflowing input (never throws, unlike std::stoul).
+  /// Strict parse of one non-negative integer token; false on malformed or
+  /// overflowing input (the shared tool parser — see ksr/util/parse.hpp).
   [[nodiscard]] static bool parse_u64(const std::string& tok,
                                       std::uint64_t* out) {
-    const char* s = tok.c_str();
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (tok.empty() || end == s || *end != '\0' || errno == ERANGE) {
-      return false;
-    }
-    *out = v;
-    return true;
+    return util::parse_u64(tok, out);
   }
   [[nodiscard]] unsigned get_u(const std::string& key, unsigned def) const {
     const auto it = kv_.find(key);
@@ -163,9 +171,14 @@ class Args {
     }
     return out;
   }
+  /// First non-flag token after the command (e.g. the campaign manifest).
+  [[nodiscard]] const std::string& positional() const noexcept {
+    return positional_;
+  }
 
  private:
   std::map<std::string, std::string> kv_;
+  std::string positional_;
 };
 
 /// Observability session from the common flags (see docs/OBSERVABILITY.md):
@@ -295,7 +308,8 @@ int cmd_probe(const Args& args) {
   std::printf("  repeat-read (sub-cache)   : %7.3f us\n", sub * 1e6);
   std::printf("  stride-read (local level) : %7.3f us\n", local * 1e6);
   std::printf("  remote read               : %7.3f us\n", remote * 1e6);
-  return 0;
+  session.close();
+  return session.ok() ? 0 : 1;
 }
 
 int cmd_barrier(const Args& args) {
@@ -342,7 +356,8 @@ int cmd_barrier(const Args& args) {
               machine::to_string(m->config().kind), procs,
               total / episodes * 1e6,
               static_cast<unsigned long long>(res.pmon.ring_requests));
-  return 0;
+  session.close();
+  return session.ok() ? 0 : 1;
 }
 
 int cmd_lock(const Args& args) {
@@ -413,11 +428,14 @@ int cmd_lock(const Args& args) {
   std::printf("%s lock, %u procs, %d ops/proc: %.4f s total, %.1f us/op\n",
               kind.c_str(), procs, ops, t,
               t / ops * 1e6);
-  return 0;
+  session.close();
+  return session.ok() ? 0 : 1;
 }
 
 struct KernelRun {
   double seconds = 0.0;
+  std::uint64_t events = 0;  // determinism fingerprint (events_dispatched)
+  std::uint64_t quanta = 0;
   obs::JobObs obs;
 };
 
@@ -485,6 +503,8 @@ KernelRun run_kernel_once(const obs::Session& session, const Args& args,
                  "--name is (the split-phase kernel); ignored\n";
   }
   r.obs.finish();
+  r.events = m->engine().events_dispatched();
+  r.quanta = m->parallel_engine().quanta();
   return r;
 }
 
@@ -492,13 +512,26 @@ int cmd_kernel(const Args& args) {
   const std::string name = args.get("name", "cg");
   const unsigned procs = args.get_u("procs", 8);
   obs::Session session = make_session(args, "kernel");
+  const auto wall0 = std::chrono::steady_clock::now();
   KernelRun r = run_kernel_once(session, args, name, procs);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall0)
+                           .count();
   if (session.active()) {
     session.collect(std::move(r.obs), name + " p=" + std::to_string(procs));
   }
+  // Same [host] line the bench binaries emit (bench/report.py HOST_RE):
+  // events_dispatched is the determinism fingerprint.
+  std::fprintf(stderr,
+               "[host] bench=ksrsim_kernel events_dispatched=%llu "
+               "wall_ms=%lld sim_threads=%u quanta=%llu\n",
+               static_cast<unsigned long long>(r.events),
+               static_cast<long long>(wall_ms), args.get_u("sim-threads", 1),
+               static_cast<unsigned long long>(r.quanta));
   std::printf("%s on %u procs: %.5f simulated seconds\n", name.c_str(), procs,
               r.seconds);
-  return 0;
+  session.close();
+  return session.ok() ? 0 : 1;
 }
 
 int cmd_sweep(const Args& args) {
@@ -527,15 +560,30 @@ int cmd_sweep(const Args& args) {
       return run_kernel_once(session, args, name, p);
     });
   }
+  const auto wall0 = std::chrono::steady_clock::now();
   std::vector<KernelRun> seconds = runner.run(jobs);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall0)
+                           .count();
   std::vector<std::pair<unsigned, double>> measured;
+  std::uint64_t events = 0;
+  std::uint64_t quanta = 0;
   for (std::size_t i = 0; i < procs.size(); ++i) {
     if (session.active()) {
       session.collect(std::move(seconds[i].obs),
                       name + " p=" + std::to_string(procs[i]));
     }
     measured.emplace_back(procs[i], seconds[i].seconds);
+    events += seconds[i].events;
+    quanta += seconds[i].quanta;
   }
+  std::fprintf(stderr,
+               "[host] bench=ksrsim_sweep events_dispatched=%llu "
+               "wall_ms=%lld jobs=%u sim_threads=%u quanta=%llu\n",
+               static_cast<unsigned long long>(events),
+               static_cast<long long>(wall_ms), args.get_u("jobs", 0),
+               args.get_u("sim-threads", 1),
+               static_cast<unsigned long long>(quanta));
   study::TextTable t({"procs", "time (s)", "speedup", "efficiency",
                       "serial fraction"});
   for (const auto& row : study::scaling_rows(measured)) {
@@ -551,7 +599,134 @@ int cmd_sweep(const Args& args) {
   } else {
     t.print();
   }
+  session.close();
+  return session.ok() ? 0 : 1;
+}
+
+// ----------------------------------------------------- serving commands
+
+/// Translate the kernel-command flag vocabulary into a serve::JobSpec, so
+/// `ksrsim submit --name is --procs 16 --scale 64` describes exactly the
+/// job `ksrsim kernel` would run locally. Size fields left at 0 resolve to
+/// the kernel defaults inside serve::execute.
+serve::JobSpec spec_from_args(const Args& args) {
+  serve::JobSpec s;
+  s.machine = args.get("machine", "ksr1");
+  s.procs = args.get_u("procs", 8);
+  s.scale = args.get_u("scale", 1);
+  s.snarf = !args.has("no-snarf");
+  s.fuzz_seed = args.get_u64("fuzz-seed", 0);
+  s.cells_per_leaf = args.get_u("cells-per-leaf", 0);
+  s.cells_per_domain = args.get_u("cells-per-domain", 0);
+  s.workload = args.get("name", "cg");
+  s.seed = args.get_u64("seed", 0);
+  s.log2_keys = args.get_u("log2-keys", 0);
+  s.log2_buckets = args.get_u("log2-buckets", 0);
+  s.pad_buckets = args.has("pad-buckets");
+  s.n = args.get_u("n", 0);
+  s.nnz_per_row = args.get_u("nnz-per-row", 0);
+  s.iters = args.get_u("iters", 0);
+  s.log2_pairs = args.get_u("log2-pairs", 0);
+  s.restore_from = args.get("restore-from");
+  return s;
+}
+
+int cmd_serve(const Args& args) {
+  serve::SocketServer::Options opt;
+  opt.socket_path = args.get("socket", "ksrsim.sock");
+  opt.core.store_dir = args.get("store");
+  opt.core.jobs = args.get_u("jobs", 0);
+  opt.core.sim_threads = args.get_u("sim-threads", 1);
+  serve::SocketServer server(opt);
+  std::fprintf(stderr, "[serve] listening on %s (store=%s)\n",
+               server.socket_path().c_str(),
+               opt.core.store_dir.empty() ? "<memory>"
+                                          : opt.core.store_dir.c_str());
+  server.run();
+  const serve::ServeCore::Counters c = server.core().counters();
+  std::fprintf(stderr,
+               "[serve] shutdown: hits=%llu misses=%llu stores=%llu "
+               "inflight_dedup=%llu executed=%llu failures=%llu\n",
+               static_cast<unsigned long long>(c.cache.hits),
+               static_cast<unsigned long long>(c.cache.misses),
+               static_cast<unsigned long long>(c.cache.stores),
+               static_cast<unsigned long long>(c.inflight_dedup),
+               static_cast<unsigned long long>(c.executed),
+               static_cast<unsigned long long>(c.failures));
+  const std::string metrics_csv = args.get("metrics-csv");
+  if (!metrics_csv.empty()) {
+    // Same counter,value CSV shape as the obs metrics exporter.
+    std::ostringstream os;
+    server.core().write_stats_csv(os);
+    ckpt::atomic_write_file(metrics_csv, os.str());
+  }
   return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const std::string path = args.get("socket", "ksrsim.sock");
+  const std::string op = args.get("op", "submit");
+  serve::Client client(path);
+  std::string req;
+  if (op == "submit") {
+    serve::Json j = serve::Json::object();
+    j.set("op", serve::Json::str("submit"));
+    j.set("job", spec_from_args(args).to_json());
+    req = j.dump();
+  } else if (op == "ping" || op == "stats" || op == "shutdown") {
+    req = "{\"op\":\"" + op + "\"}";
+  } else {
+    std::fprintf(stderr,
+                 "ksrsim submit: unknown --op '%s' "
+                 "(submit|ping|stats|shutdown)\n",
+                 op.c_str());
+    return 1;
+  }
+  client.send_line(req);
+  const std::string resp = client.read_line();
+  std::printf("%s\n", resp.c_str());
+  return resp.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+}
+
+int cmd_campaign(const Args& args) {
+  std::string manifest_path = args.get("manifest");
+  if (manifest_path.empty()) manifest_path = args.positional();
+  if (manifest_path.empty()) {
+    std::fprintf(stderr,
+                 "ksrsim campaign: no manifest "
+                 "(usage: ksrsim campaign manifest.json --store DIR)\n");
+    return 1;
+  }
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ksrsim campaign: cannot read manifest '%s'\n",
+                 manifest_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string err;
+  const serve::Json manifest = serve::Json::parse(text.str(), &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "ksrsim campaign: %s: %s\n", manifest_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  serve::Campaign campaign;
+  if (!serve::expand_manifest(manifest, &campaign, &err)) {
+    std::fprintf(stderr, "ksrsim campaign: %s: %s\n", manifest_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  serve::ServeCore::Options copt;
+  copt.store_dir = args.get("store");
+  copt.jobs = args.get_u("jobs", 0);
+  copt.sim_threads = args.get_u("sim-threads", 1);
+  serve::ServeCore core(copt);
+  const std::string prefix = args.get("out", campaign.name);
+  const serve::CampaignOutcome outcome =
+      run_campaign(campaign, core, prefix);
+  return outcome.failures == 0 ? 0 : 1;
 }
 
 int cmd_help() {
@@ -570,6 +745,16 @@ int cmd_help() {
       "                                       N host threads (default: one\n"
       "                                       per core; output is identical\n"
       "                                       for any N)]\n"
+      "  serve    simulation-as-a-service daemon on an AF_UNIX socket\n"
+      "           [--socket PATH --store DIR --jobs N --sim-threads N\n"
+      "            --metrics-csv FILE]  (docs/SERVING.md; newline-delimited\n"
+      "           JSON protocol; results cached content-addressed in DIR)\n"
+      "  submit   send one request to a running daemon and print the\n"
+      "           response line [--socket PATH --op submit|ping|stats|\n"
+      "           shutdown, plus the kernel flags for --op submit]\n"
+      "  campaign expand a declarative sweep manifest, run it through the\n"
+      "           result cache, and write <out>.jsonl/<out>.csv\n"
+      "           [MANIFEST.json --store DIR --out PREFIX --jobs N]\n"
       "\n"
       "common flags:\n"
       "  --machine ksr1|ksr2|symmetry|butterfly   (default ksr1)\n"
@@ -633,6 +818,9 @@ int main(int argc, char** argv) {
     else if (cmd == "lock") rc = cmd_lock(args);
     else if (cmd == "kernel") rc = cmd_kernel(args);
     else if (cmd == "sweep") rc = cmd_sweep(args);
+    else if (cmd == "serve") rc = cmd_serve(args);
+    else if (cmd == "submit") rc = cmd_submit(args);
+    else if (cmd == "campaign") rc = cmd_campaign(args);
     else rc = cmd_help();
     return g_check_failed && rc == 0 ? 1 : rc;
   } catch (const std::exception& e) {

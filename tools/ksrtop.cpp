@@ -18,12 +18,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "ksr/util/parse.hpp"
 
 namespace {
 
@@ -50,11 +52,14 @@ struct JobBlock {
   return line.substr(v0, v1 == std::string::npos ? v1 : v1 - v0);
 }
 
+// Report fields are machine-written, so a malformed one silently reads as
+// 0 (a summary line is not worth aborting over); a trailing '%' is part of
+// the report's own rendering and is tolerated.
 [[nodiscard]] std::uint64_t to_u64(const std::string& s) {
-  if (s.empty()) return 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  return (end == s.c_str() || (*end != '\0' && *end != '%')) ? 0 : v;
+  std::string_view v = s;
+  if (!v.empty() && v.back() == '%') v.remove_suffix(1);
+  std::uint64_t out = 0;
+  return ksr::util::parse_u64(v, &out) ? out : 0;
 }
 
 // "12.3456%" -> 123456 ppm (the report renders ppm with 4 fixed decimals).
